@@ -1,0 +1,30 @@
+package dltprivacy_test
+
+import (
+	"testing"
+
+	"dltprivacy/internal/anoncred"
+	"dltprivacy/internal/zkp"
+)
+
+func anoncredIssuer(b *testing.B, attrs []string) *anoncred.Issuer {
+	b.Helper()
+	issuer := anoncred.NewIssuer("bench-ca")
+	if _, err := issuer.RegisterAttributeSet(attrs); err != nil {
+		b.Fatal(err)
+	}
+	return issuer
+}
+
+func anoncredWallet(b *testing.B) *anoncred.Wallet {
+	b.Helper()
+	w, err := anoncred.NewWallet()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+func verifyPresentation(p anoncred.Presentation, key zkp.Point) error {
+	return anoncred.VerifyPresentation(p, key)
+}

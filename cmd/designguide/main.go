@@ -1,0 +1,122 @@
+// Command designguide runs the paper's design guide on a requirements
+// specification: it reads a JSON requirements object (file argument or
+// stdin) and prints the Figure 1 decision with its full path, plus the
+// §3.1 interaction and §3.3 business-logic recommendations.
+//
+// Example input:
+//
+//	{
+//	  "data": {"dataConfidential": true, "deletionRequired": true},
+//	  "interactions": {"groupPrivate": true},
+//	  "logic": {"needAnyLanguage": true}
+//	}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dltprivacy/internal/guide"
+)
+
+// spec is the JSON input format.
+type spec struct {
+	Data struct {
+		DataConfidential        bool `json:"dataConfidential"`
+		DeletionRequired        bool `json:"deletionRequired"`
+		EncryptedSharingAllowed bool `json:"encryptedSharingAllowed"`
+		PartsPrivateToSubset    bool `json:"partsPrivateToSubset"`
+		ValidatorsMayRead       bool `json:"validatorsMayRead"`
+		HideBusinessLogic       bool `json:"hideBusinessLogic"`
+		PrivateToOwnerOnly      bool `json:"privateToOwnerOnly"`
+		BooleanProofsEnough     bool `json:"booleanProofsEnough"`
+		CollectiveComputation   bool `json:"collectiveComputation"`
+		UntrustedNodeAdmin      bool `json:"untrustedNodeAdmin"`
+	} `json:"data"`
+	Interactions struct {
+		GroupPrivate        bool `json:"groupPrivate"`
+		SubgroupUnlinkable  bool `json:"subgroupUnlinkable"`
+		IndividualAnonymous bool `json:"individualAnonymous"`
+	} `json:"interactions"`
+	Logic struct {
+		HideFromNodeAdmin     bool `json:"hideFromNodeAdmin"`
+		NeedAnyLanguage       bool `json:"needAnyLanguage"`
+		NeedBuiltInVersioning bool `json:"needBuiltInVersioning"`
+	} `json:"logic"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "designguide:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("designguide", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		return fmt.Errorf("read spec: %w", err)
+	}
+	var s spec
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("parse spec: %w", err)
+	}
+
+	d := guide.Decide(guide.Requirements(s.Data))
+	fmt.Fprintf(stdout, "Transaction confidentiality (Figure 1):\n  primary: %s\n", d.Primary)
+	if len(d.Additional) > 0 {
+		fmt.Fprintf(stdout, "  additional: %v\n", d.Additional)
+	}
+	for _, n := range d.Notes {
+		fmt.Fprintf(stdout, "  note: %s\n", n)
+	}
+	fmt.Fprintln(stdout, "  path:")
+	for _, step := range d.Path {
+		fmt.Fprintf(stdout, "    %s\n", step)
+	}
+
+	im := guide.DecideInteractions(guide.InteractionRequirements(s.Interactions))
+	fmt.Fprintf(stdout, "\nPrivacy of interactions (§3.1): %v\n", im)
+
+	ld := guide.DecideLogic(guide.LogicRequirements(s.Logic))
+	fmt.Fprintf(stdout, "\nBusiness-logic confidentiality (§3.3): %s\n", ld.Primary)
+	fmt.Fprintf(stdout, "  criteria: logic-private=%v versioning=%v hides-from-admin=%v any-language=%v\n",
+		ld.Criteria.KeepsLogicPrivate, ld.Criteria.InBuiltVersioning,
+		ld.Criteria.HidesDataFromAdmin, ld.Criteria.AnyLanguage)
+	for _, n := range ld.Notes {
+		fmt.Fprintf(stdout, "  note: %s\n", n)
+	}
+
+	best, required, ranking := guide.RecommendPlatform(
+		guide.Requirements(s.Data),
+		guide.InteractionRequirements(s.Interactions),
+		guide.LogicRequirements(s.Logic),
+	)
+	fmt.Fprintf(stdout, "\nPlatform fit (Table 1 ratings against required mechanisms %v):\n", required)
+	for _, fs := range ranking {
+		fmt.Fprintf(stdout, "  %-7s score=%3d  native=%d implementable=%d rewrite=%d",
+			fs.Platform, fs.Score, fs.Native, fs.Implementable, fs.Rewrite)
+		if len(fs.Gaps) > 0 {
+			fmt.Fprintf(stdout, "  gaps: %v", fs.Gaps)
+		}
+		fmt.Fprintln(stdout)
+	}
+	fmt.Fprintf(stdout, "  recommendation: %s\n", best.Platform)
+	return nil
+}

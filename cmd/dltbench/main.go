@@ -1,0 +1,66 @@
+// Command dltbench regenerates the paper's tables and figures: Table 1 from
+// live capability probes, the Figure 1 decision-tree enumeration, the
+// letter-of-credit walkthrough with its leakage matrix, and the per-platform
+// §5 claims. Scalability series (E7) live in the root bench_test.go and run
+// with `go test -bench=.`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dltprivacy/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "dltbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("dltbench", flag.ContinueOnError)
+	var (
+		table1  = fs.Bool("table1", false, "regenerate Table 1 (E1)")
+		figure1 = fs.Bool("figure1", false, "enumerate Figure 1 (E2)")
+		locRun  = fs.Bool("loc", false, "run the §4 letter-of-credit scenario (E3)")
+		fabricR = fs.Bool("fabric", false, "demonstrate §5 Fabric claims (E4)")
+		cordaR  = fs.Bool("corda", false, "demonstrate §5 Corda claims (E5)")
+		quorumR = fs.Bool("quorum", false, "demonstrate §5 Quorum claims (E6)")
+		scaling = fs.Bool("scaling", false, "run the abbreviated §3.4 scalability series (E7)")
+		all     = fs.Bool("all", false, "run every report")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !(*table1 || *figure1 || *locRun || *fabricR || *cordaR || *quorumR || *scaling) {
+		*all = true
+	}
+
+	type report struct {
+		enabled bool
+		gen     func() (string, error)
+	}
+	reports := []report{
+		{*all || *table1, experiments.Table1Report},
+		{*all || *figure1, func() (string, error) { return experiments.Figure1Report(), nil }},
+		{*all || *locRun, experiments.LetterOfCreditReport},
+		{*all || *fabricR, experiments.FabricReport},
+		{*all || *cordaR, experiments.CordaReport},
+		{*all || *quorumR, experiments.QuorumReport},
+		{*all || *scaling, experiments.ScalingReport},
+	}
+	for _, r := range reports {
+		if !r.enabled {
+			continue
+		}
+		out, err := r.gen()
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+// Letter of credit (§4 of the paper) via the public API: the design-guide
+// engine derives the architecture, the application runs the full lifecycle,
+// and a GDPR deletion request is honoured at the end.
+package main
+
+import (
+	"fmt"
+	"math/big"
+	"os"
+
+	"dltprivacy/internal/loc"
+	"dltprivacy/internal/zkp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "letterofcredit:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	app, err := loc.NewApp(loc.Config{
+		Bank:   "FirstTradeBank",
+		Buyer:  "OutbackImports",
+		Seller: "PacificMills",
+	})
+	if err != nil {
+		return err
+	}
+
+	// The buyer proves it can cover the letter without revealing its
+	// balance (zero-knowledge sufficient-funds proof, §2.2).
+	balance := big.NewInt(5_000_000)
+	comm, blinding, err := zkp.CommitValue(balance)
+	if err != nil {
+		return err
+	}
+	id, err := app.Apply("2000 bales of wool", 1_200_000,
+		[]byte("director passport PA9911223"), balance, comm, blinding)
+	if err != nil {
+		return err
+	}
+	fmt.Println("applied:", id)
+
+	for _, step := range []struct {
+		name string
+		fn   func() error
+	}{
+		{"issue", func() error { return app.Issue(id) }},
+		{"ship", func() error { return app.Ship(id, "BL-2026-0612") }},
+		{"present", func() error { return app.Present(id) }},
+		{"pay", func() error { return app.Pay(id) }},
+	} {
+		if err := step.fn(); err != nil {
+			return fmt.Errorf("%s: %w", step.name, err)
+		}
+		fmt.Println("completed:", step.name)
+	}
+
+	letter, err := app.Get("PacificMills", id)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("final state: %s %s for %d cents (%s)\n",
+		letter.ID, letter.Status, letter.AmountCents, letter.Goods)
+
+	// GDPR: the director asks for their passport data to be erased.
+	if err := app.DeletePII(id); err != nil {
+		return err
+	}
+	fmt.Println("PII deleted on request; the ledger keeps only the hash anchor")
+	return nil
+}

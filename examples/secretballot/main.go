@@ -1,0 +1,75 @@
+// Secret ballot: the paper's motivating example for multiparty computation
+// (§2.2 / Figure 1 "Collective computation?"). Five consortium members vote
+// on admitting a new member; nobody learns anyone else's vote, every member
+// computes the same tally, and the tally is committed to a shared ledger.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"dltprivacy/internal/ledger"
+	"dltprivacy/internal/mpc"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "secretballot:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	votes := map[string]bool{
+		"BankA":     true,
+		"BankB":     false,
+		"SellerCo":  true,
+		"BuyerInc":  true,
+		"Logistics": false,
+	}
+	yes, res, err := mpc.SecretBallot(votes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ballot closed: %d yes of %d votes\n", yes, len(votes))
+
+	// Privacy evidence: the transcript contains only uniformly random
+	// shares and aggregated partial sums.
+	shares, partials := 0, 0
+	for _, m := range res.Transcript {
+		switch m.Kind {
+		case mpc.KindShare:
+			shares++
+		case mpc.KindPartialSum:
+			partials++
+		}
+	}
+	fmt.Printf("transcript: %d share messages, %d partial-sum messages, 0 raw votes\n",
+		shares, partials)
+
+	// Every member computed the same value; commit it to a ledger.
+	for member, v := range res.PerParty {
+		if v.Cmp(res.Value) != 0 {
+			return fmt.Errorf("member %s diverged: %v", member, v)
+		}
+	}
+	l := ledger.New("governance")
+	tx := ledger.Transaction{
+		Channel:   "governance",
+		Creator:   "BankA",
+		Payload:   []byte("ballot: admit NewMember"),
+		Writes:    []ledger.Write{{Key: "ballot/admit-newmember", Value: []byte(strconv.Itoa(yes))}},
+		Timestamp: time.Now().UTC(),
+	}
+	if err := l.Append(l.CutBlock([]ledger.Transaction{tx})); err != nil {
+		return err
+	}
+	v, err := l.Get("ballot/admit-newmember")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("committed tally on ledger: %s yes votes (block %d)\n", v.Value, v.BlockNum)
+	return nil
+}

@@ -1,0 +1,228 @@
+package anoncred
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"dltprivacy/internal/zkp"
+)
+
+var bankAttrs = []string{"role=bank", "jurisdiction=AU"}
+
+func setup(t *testing.T) (*Issuer, *Wallet, zkp.Point) {
+	t.Helper()
+	issuer := NewIssuer("ConsortiumCA")
+	key, err := issuer.RegisterAttributeSet(bankAttrs)
+	if err != nil {
+		t.Fatalf("RegisterAttributeSet: %v", err)
+	}
+	wallet, err := NewWallet()
+	if err != nil {
+		t.Fatalf("NewWallet: %v", err)
+	}
+	return issuer, wallet, key
+}
+
+func TestIssueAndPresent(t *testing.T) {
+	issuer, wallet, key := setup(t)
+	if err := wallet.RequestTokens(issuer, bankAttrs, 3); err != nil {
+		t.Fatalf("RequestTokens: %v", err)
+	}
+	if got := wallet.TokensLeft(bankAttrs); got != 3 {
+		t.Fatalf("TokensLeft = %d, want 3", got)
+	}
+	p, err := wallet.Present(bankAttrs, "channel-trade-1")
+	if err != nil {
+		t.Fatalf("Present: %v", err)
+	}
+	if err := VerifyPresentation(p, key); err != nil {
+		t.Fatalf("VerifyPresentation: %v", err)
+	}
+	if got := wallet.TokensLeft(bankAttrs); got != 2 {
+		t.Fatalf("TokensLeft after present = %d, want 2", got)
+	}
+}
+
+func TestPresentationRejectsWrongIssuerKey(t *testing.T) {
+	issuer, wallet, _ := setup(t)
+	if err := wallet.RequestTokens(issuer, bankAttrs, 1); err != nil {
+		t.Fatalf("RequestTokens: %v", err)
+	}
+	p, err := wallet.Present(bankAttrs, "ctx")
+	if err != nil {
+		t.Fatalf("Present: %v", err)
+	}
+	otherIssuer := NewIssuer("Evil")
+	otherKey, _ := otherIssuer.RegisterAttributeSet(bankAttrs)
+	if err := VerifyPresentation(p, otherKey); !errors.Is(err, ErrBadCredential) {
+		t.Fatalf("wrong issuer key = %v, want ErrBadCredential", err)
+	}
+}
+
+func TestPresentationContextBinding(t *testing.T) {
+	issuer, wallet, key := setup(t)
+	if err := wallet.RequestTokens(issuer, bankAttrs, 1); err != nil {
+		t.Fatalf("RequestTokens: %v", err)
+	}
+	p, _ := wallet.Present(bankAttrs, "ctx-A")
+	p.Context = "ctx-B" // replay into a different context
+	if err := VerifyPresentation(p, key); !errors.Is(err, ErrBadCredential) {
+		t.Fatalf("context replay = %v, want ErrBadCredential", err)
+	}
+}
+
+func TestPresentationTamperedNym(t *testing.T) {
+	issuer, wallet, key := setup(t)
+	if err := wallet.RequestTokens(issuer, bankAttrs, 1); err != nil {
+		t.Fatalf("RequestTokens: %v", err)
+	}
+	p, _ := wallet.Present(bankAttrs, "ctx")
+	x, _ := zkp.RandScalar()
+	p.Nym = zkp.MulBase(x)
+	if err := VerifyPresentation(p, key); !errors.Is(err, ErrBadCredential) {
+		t.Fatalf("tampered nym = %v, want ErrBadCredential", err)
+	}
+}
+
+func TestScopeExclusivePseudonyms(t *testing.T) {
+	issuer, wallet, key := setup(t)
+	if err := wallet.RequestTokens(issuer, bankAttrs, 2); err != nil {
+		t.Fatalf("RequestTokens: %v", err)
+	}
+	p1, _ := wallet.Present(bankAttrs, "audit-scope")
+	p2, _ := wallet.Present(bankAttrs, "audit-scope")
+	if err := VerifyPresentation(p1, key); err != nil {
+		t.Fatalf("p1: %v", err)
+	}
+	if err := VerifyPresentation(p2, key); err != nil {
+		t.Fatalf("p2: %v", err)
+	}
+	// Same wallet, same scope: pseudonyms match (controlled linkability).
+	if p1.NymString() != p2.NymString() {
+		t.Fatal("same-scope presentations must share a pseudonym")
+	}
+	// Different tokens: commitments differ (unlinkable token material).
+	if p1.Comm.Equal(p2.Comm) {
+		t.Fatal("one-show tokens must not repeat commitments")
+	}
+}
+
+func TestCrossContextUnlinkability(t *testing.T) {
+	issuer, wallet, _ := setup(t)
+	if err := wallet.RequestTokens(issuer, bankAttrs, 2); err != nil {
+		t.Fatalf("RequestTokens: %v", err)
+	}
+	p1, _ := wallet.Present(bankAttrs, "channel-1")
+	p2, _ := wallet.Present(bankAttrs, "channel-2")
+	if p1.NymString() == p2.NymString() {
+		t.Fatal("cross-context pseudonyms must differ")
+	}
+	if p1.Comm.Equal(p2.Comm) {
+		t.Fatal("cross-context commitments must differ")
+	}
+}
+
+func TestTwoWalletsDistinctNyms(t *testing.T) {
+	issuer := NewIssuer("CA")
+	if _, err := issuer.RegisterAttributeSet(bankAttrs); err != nil {
+		t.Fatalf("RegisterAttributeSet: %v", err)
+	}
+	w1, _ := NewWallet()
+	w2, _ := NewWallet()
+	if err := w1.RequestTokens(issuer, bankAttrs, 1); err != nil {
+		t.Fatalf("RequestTokens w1: %v", err)
+	}
+	if err := w2.RequestTokens(issuer, bankAttrs, 1); err != nil {
+		t.Fatalf("RequestTokens w2: %v", err)
+	}
+	p1, _ := w1.Present(bankAttrs, "scope")
+	p2, _ := w2.Present(bankAttrs, "scope")
+	if p1.NymString() == p2.NymString() {
+		t.Fatal("different wallets must have different pseudonyms in the same scope")
+	}
+}
+
+func TestNoTokens(t *testing.T) {
+	_, wallet, _ := setup(t)
+	if _, err := wallet.Present(bankAttrs, "ctx"); !errors.Is(err, ErrNoTokens) {
+		t.Fatalf("Present without tokens = %v, want ErrNoTokens", err)
+	}
+}
+
+func TestUnknownAttributeSet(t *testing.T) {
+	issuer, wallet, _ := setup(t)
+	ghost := []string{"role=ghost"}
+	if err := wallet.RequestTokens(issuer, ghost, 1); !errors.Is(err, ErrUnknownAttributeSet) {
+		t.Fatalf("RequestTokens unknown attrs = %v, want ErrUnknownAttributeSet", err)
+	}
+	if _, _, err := issuer.BeginIssuance(ghost); !errors.Is(err, ErrUnknownAttributeSet) {
+		t.Fatalf("BeginIssuance unknown attrs = %v, want ErrUnknownAttributeSet", err)
+	}
+	if _, err := issuer.FinishIssuance(ghost, 1, big.NewInt(1)); !errors.Is(err, ErrUnknownAttributeSet) {
+		t.Fatalf("FinishIssuance unknown attrs = %v, want ErrUnknownAttributeSet", err)
+	}
+}
+
+func TestSigningSessionSingleUse(t *testing.T) {
+	issuer, _, key := setup(t)
+	id, r, err := issuer.BeginIssuance(bankAttrs)
+	if err != nil {
+		t.Fatalf("BeginIssuance: %v", err)
+	}
+	req, c, err := blind(key, r, []byte("msg"))
+	if err != nil {
+		t.Fatalf("blind: %v", err)
+	}
+	if _, err := issuer.FinishIssuance(bankAttrs, id, c); err != nil {
+		t.Fatalf("FinishIssuance: %v", err)
+	}
+	if _, err := issuer.FinishIssuance(bankAttrs, id, c); !errors.Is(err, ErrUnknownSession) {
+		t.Fatalf("session replay = %v, want ErrUnknownSession", err)
+	}
+	_ = req
+}
+
+func TestIssuerCannotLinkTokens(t *testing.T) {
+	// Blind issuance: the challenge the issuer sees is independent of the
+	// final signature's challenge. We verify structurally that the values
+	// the issuer observes (R, c) differ from the presentation values
+	// (R', c'), which is the linkage surface.
+	issuer, wallet, _ := setup(t)
+	id, r, err := issuer.BeginIssuance(bankAttrs)
+	if err != nil {
+		t.Fatalf("BeginIssuance: %v", err)
+	}
+	key, _ := issuer.AttributeKey(bankAttrs)
+	req, c, err := blind(key, r, []byte("token-commitment"))
+	if err != nil {
+		t.Fatalf("blind: %v", err)
+	}
+	s, err := issuer.FinishIssuance(bankAttrs, id, c)
+	if err != nil {
+		t.Fatalf("FinishIssuance: %v", err)
+	}
+	sig := unblind(req, s)
+	if sig.R.Equal(r) {
+		t.Fatal("unblinded R' must differ from issuer-visible R")
+	}
+	if sig.S.Cmp(s) == 0 {
+		t.Fatal("unblinded s' must differ from issuer-visible s")
+	}
+	_ = wallet
+}
+
+func TestRegisterAttributeSetIdempotent(t *testing.T) {
+	issuer := NewIssuer("CA")
+	k1, err := issuer.RegisterAttributeSet(bankAttrs)
+	if err != nil {
+		t.Fatalf("RegisterAttributeSet: %v", err)
+	}
+	k2, err := issuer.RegisterAttributeSet([]string{"jurisdiction=AU", "role=bank"}) // order-insensitive
+	if err != nil {
+		t.Fatalf("RegisterAttributeSet: %v", err)
+	}
+	if !k1.Equal(k2) {
+		t.Fatal("attribute sets must be canonicalized order-insensitively")
+	}
+}

@@ -1,0 +1,56 @@
+package anoncred
+
+import (
+	"errors"
+	"sync"
+
+	"dltprivacy/internal/zkp"
+)
+
+// ErrDoubleShow is returned when a one-show credential token is presented
+// twice.
+var ErrDoubleShow = errors.New("anoncred: credential token already shown")
+
+// ShowRegistry is verifier-side double-show detection: honest wallets
+// consume each token once, but nothing stops a malicious wallet from
+// replaying a token, so relying parties track the token commitments they
+// have accepted. Tracking commitments does not harm unlinkability — each
+// token carries a fresh commitment by construction.
+type ShowRegistry struct {
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+// NewShowRegistry creates an empty registry.
+func NewShowRegistry() *ShowRegistry {
+	return &ShowRegistry{seen: make(map[string]bool)}
+}
+
+// Accept verifies the presentation against the issuer's attribute key and
+// enforces one-show semantics: the second presentation of the same token
+// fails with ErrDoubleShow.
+func (r *ShowRegistry) Accept(p Presentation, attrKey zkp.Point) error {
+	key := string(p.Comm.Bytes())
+	r.mu.Lock()
+	shown := r.seen[key]
+	r.mu.Unlock()
+	if shown {
+		return ErrDoubleShow
+	}
+	// Verify before recording, so a failed presentation does not burn the
+	// token commitment for its honest owner.
+	if err := VerifyPresentation(p, attrKey); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.seen[key] = true
+	r.mu.Unlock()
+	return nil
+}
+
+// Shown returns how many distinct tokens the registry has accepted.
+func (r *ShowRegistry) Shown() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.seen)
+}

@@ -1,0 +1,63 @@
+package anoncred
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestShowRegistryAccepts(t *testing.T) {
+	issuer, wallet, key := setup(t)
+	if err := wallet.RequestTokens(issuer, bankAttrs, 2); err != nil {
+		t.Fatalf("RequestTokens: %v", err)
+	}
+	reg := NewShowRegistry()
+	p1, _ := wallet.Present(bankAttrs, "ctx")
+	p2, _ := wallet.Present(bankAttrs, "ctx")
+	if err := reg.Accept(p1, key); err != nil {
+		t.Fatalf("Accept p1: %v", err)
+	}
+	if err := reg.Accept(p2, key); err != nil {
+		t.Fatalf("Accept p2: %v", err)
+	}
+	if reg.Shown() != 2 {
+		t.Fatalf("Shown = %d, want 2", reg.Shown())
+	}
+}
+
+func TestShowRegistryDetectsReplay(t *testing.T) {
+	issuer, wallet, key := setup(t)
+	if err := wallet.RequestTokens(issuer, bankAttrs, 1); err != nil {
+		t.Fatalf("RequestTokens: %v", err)
+	}
+	reg := NewShowRegistry()
+	p, _ := wallet.Present(bankAttrs, "ctx")
+	if err := reg.Accept(p, key); err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	// A malicious wallet replays the same presentation.
+	if err := reg.Accept(p, key); !errors.Is(err, ErrDoubleShow) {
+		t.Fatalf("replay = %v, want ErrDoubleShow", err)
+	}
+	if reg.Shown() != 1 {
+		t.Fatalf("Shown = %d, want 1", reg.Shown())
+	}
+}
+
+func TestShowRegistryRejectsInvalidWithoutBurning(t *testing.T) {
+	issuer, wallet, key := setup(t)
+	if err := wallet.RequestTokens(issuer, bankAttrs, 1); err != nil {
+		t.Fatalf("RequestTokens: %v", err)
+	}
+	reg := NewShowRegistry()
+	p, _ := wallet.Present(bankAttrs, "ctx")
+	bad := p
+	bad.Context = "other" // breaks the link proof
+	if err := reg.Accept(bad, key); err == nil {
+		t.Fatal("invalid presentation must be rejected")
+	}
+	// The honest presentation still goes through: the failed attempt did
+	// not burn the token.
+	if err := reg.Accept(p, key); err != nil {
+		t.Fatalf("Accept after failed attempt: %v", err)
+	}
+}

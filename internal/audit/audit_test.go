@@ -1,0 +1,122 @@
+package audit
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestRecordAndSaw(t *testing.T) {
+	l := NewLog()
+	l.Record("orderer", ClassTxMetadata, "tx-1")
+	if !l.Saw("orderer", ClassTxMetadata, "tx-1") {
+		t.Fatal("observation not recorded")
+	}
+	if l.Saw("orderer", ClassTxData, "tx-1") {
+		t.Fatal("wrong class must not match")
+	}
+	if l.Saw("peer", ClassTxMetadata, "tx-1") {
+		t.Fatal("wrong observer must not match")
+	}
+}
+
+func TestDuplicatesCollapse(t *testing.T) {
+	l := NewLog()
+	l.Record("o", ClassTxData, "x")
+	l.Record("o", ClassTxData, "x")
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+}
+
+func TestItemsSeenSorted(t *testing.T) {
+	l := NewLog()
+	l.Record("o", ClassIdentity, "b")
+	l.Record("o", ClassIdentity, "a")
+	l.Record("o", ClassTxData, "z")
+	got := l.ItemsSeen("o", ClassIdentity)
+	if !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("ItemsSeen = %v, want [a b]", got)
+	}
+}
+
+func TestObservers(t *testing.T) {
+	l := NewLog()
+	l.Record("p2", ClassTxData, "tx")
+	l.Record("p1", ClassTxData, "tx")
+	got := l.Observers(ClassTxData, "tx")
+	if !reflect.DeepEqual(got, []string{"p1", "p2"}) {
+		t.Fatalf("Observers = %v, want [p1 p2]", got)
+	}
+}
+
+func TestSawAny(t *testing.T) {
+	l := NewLog()
+	l.Record("eve", ClassPII, "ssn")
+	if !l.SawAny("eve", ClassPII) {
+		t.Fatal("SawAny must be true")
+	}
+	if l.SawAny("eve", ClassTxData) {
+		t.Fatal("SawAny wrong class must be false")
+	}
+}
+
+func TestViolations(t *testing.T) {
+	l := NewLog()
+	l.Record("member", ClassTxData, "tx-1")
+	l.Record("outsider", ClassTxData, "tx-1")
+	policy := func(o Observation) bool { return o.Observer == "member" }
+	v := l.Violations(policy)
+	if len(v) != 1 || v[0].Observer != "outsider" {
+		t.Fatalf("Violations = %v, want one outsider entry", v)
+	}
+}
+
+func TestMatrix(t *testing.T) {
+	l := NewLog()
+	l.Record("a", ClassTxData, "t2")
+	l.Record("a", ClassTxData, "t1")
+	l.Record("b", ClassTxData, "t1")
+	l.Record("b", ClassTxHash, "t9")
+	m := l.Matrix(ClassTxData)
+	want := map[string][]string{"a": {"t1", "t2"}, "b": {"t1"}}
+	if !reflect.DeepEqual(m, want) {
+		t.Fatalf("Matrix = %v, want %v", m, want)
+	}
+}
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Record("x", ClassTxData, "y") // must not panic
+	if l.Saw("x", ClassTxData, "y") || l.Len() != 0 || l.All() != nil {
+		t.Fatal("nil log must behave as empty")
+	}
+	if l.SawAny("x", ClassTxData) || l.ItemsSeen("x", ClassTxData) != nil || l.Observers(ClassTxData, "y") != nil {
+		t.Fatal("nil log queries must be empty")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Record("obs", ClassTxData, string(rune('a'+n)))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if l.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", l.Len())
+	}
+}
+
+func TestObservationString(t *testing.T) {
+	o := Observation{Observer: "orderer", Class: ClassTxMetadata, Item: "tx-1"}
+	if o.String() != `orderer saw txmeta "tx-1"` {
+		t.Fatalf("String = %q", o.String())
+	}
+}

@@ -1,0 +1,235 @@
+// Package dcrypto provides the cryptographic primitives shared by every
+// substrate in the library: ECDSA identity keys, one-time (pseudonymous)
+// keys, AES-GCM symmetric encryption, ECIES-style hybrid encryption, and
+// hashing helpers.
+//
+// All primitives are built from the Go standard library only. The package is
+// named dcrypto ("distributed-ledger crypto") to avoid colliding with the
+// standard library's crypto package.
+package dcrypto
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// Errors returned by key operations.
+var (
+	// ErrInvalidSignature is returned when signature verification fails.
+	ErrInvalidSignature = errors.New("dcrypto: invalid signature")
+	// ErrInvalidPublicKey is returned when a serialized public key cannot
+	// be decoded onto the curve.
+	ErrInvalidPublicKey = errors.New("dcrypto: invalid public key")
+	// ErrInvalidPrivateKey is returned when a serialized private key is
+	// out of range for the curve order.
+	ErrInvalidPrivateKey = errors.New("dcrypto: invalid private key")
+)
+
+// curve is the elliptic curve used for all signing keys in the library.
+func curve() elliptic.Curve { return elliptic.P256() }
+
+// PrivateKey is an ECDSA P-256 signing key.
+type PrivateKey struct {
+	key *ecdsa.PrivateKey
+}
+
+// PublicKey is an ECDSA P-256 verification key. Its string form doubles as
+// an address: ownership of assets is recorded against it (§2.1 of the
+// paper, "One-time public keys").
+type PublicKey struct {
+	X, Y *big.Int
+}
+
+// GenerateKey creates a fresh random private key.
+func GenerateKey() (*PrivateKey, error) {
+	k, err := ecdsa.GenerateKey(curve(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("generate ecdsa key: %w", err)
+	}
+	return &PrivateKey{key: k}, nil
+}
+
+// DeriveKey deterministically derives a private key from a secret seed and a
+// context label. It is used for hierarchical one-time key derivation: the
+// holder of the seed can re-derive every one-time key it has ever handed
+// out, while observers cannot link them.
+func DeriveKey(seed []byte, context string) (*PrivateKey, error) {
+	if len(seed) == 0 {
+		return nil, errors.New("dcrypto: empty seed")
+	}
+	// Hash-to-scalar with rejection sampling over a counter, so the result
+	// is uniform in [1, N-1].
+	n := curve().Params().N
+	for ctr := 0; ctr < 256; ctr++ {
+		h := sha256.New()
+		h.Write(seed)
+		h.Write([]byte{0x00})
+		h.Write([]byte(context))
+		h.Write([]byte{byte(ctr)})
+		d := new(big.Int).SetBytes(h.Sum(nil))
+		if d.Sign() > 0 && d.Cmp(n) < 0 {
+			return fromScalar(d)
+		}
+	}
+	return nil, errors.New("dcrypto: key derivation failed to produce a valid scalar")
+}
+
+func fromScalar(d *big.Int) (*PrivateKey, error) {
+	n := curve().Params().N
+	if d.Sign() <= 0 || d.Cmp(n) >= 0 {
+		return nil, ErrInvalidPrivateKey
+	}
+	priv := new(ecdsa.PrivateKey)
+	priv.Curve = curve()
+	priv.D = new(big.Int).Set(d)
+	priv.PublicKey.X, priv.PublicKey.Y = curve().ScalarBaseMult(d.Bytes())
+	return &PrivateKey{key: priv}, nil
+}
+
+// Public returns the verification key for p.
+func (p *PrivateKey) Public() PublicKey {
+	return PublicKey{
+		X: new(big.Int).Set(p.key.PublicKey.X),
+		Y: new(big.Int).Set(p.key.PublicKey.Y),
+	}
+}
+
+// D returns a copy of the private scalar. It is exposed for the zkp and
+// anoncred packages, which need to prove statements about identity keys.
+func (p *PrivateKey) D() *big.Int { return new(big.Int).Set(p.key.D) }
+
+// Sign produces an ECDSA signature over the SHA-256 digest of msg.
+func (p *PrivateKey) Sign(msg []byte) (Signature, error) {
+	digest := sha256.Sum256(msg)
+	r, s, err := ecdsa.Sign(rand.Reader, p.key, digest[:])
+	if err != nil {
+		return Signature{}, fmt.Errorf("ecdsa sign: %w", err)
+	}
+	return Signature{R: r, S: s}, nil
+}
+
+// Signature is an ECDSA signature.
+type Signature struct {
+	R, S *big.Int
+}
+
+// Bytes returns a fixed-width serialization of the signature.
+func (s Signature) Bytes() []byte {
+	out := make([]byte, 64)
+	s.R.FillBytes(out[:32])
+	s.S.FillBytes(out[32:])
+	return out
+}
+
+// ParseSignature decodes a signature produced by Bytes.
+func ParseSignature(b []byte) (Signature, error) {
+	if len(b) != 64 {
+		return Signature{}, fmt.Errorf("dcrypto: signature must be 64 bytes, got %d", len(b))
+	}
+	return Signature{
+		R: new(big.Int).SetBytes(b[:32]),
+		S: new(big.Int).SetBytes(b[32:]),
+	}, nil
+}
+
+// Verify checks sig over msg against the public key. It returns
+// ErrInvalidSignature on mismatch.
+func (pk PublicKey) Verify(msg []byte, sig Signature) error {
+	if pk.X == nil || pk.Y == nil {
+		return ErrInvalidPublicKey
+	}
+	pub := ecdsa.PublicKey{Curve: curve(), X: pk.X, Y: pk.Y}
+	digest := sha256.Sum256(msg)
+	if !ecdsa.Verify(&pub, digest[:], sig.R, sig.S) {
+		return ErrInvalidSignature
+	}
+	return nil
+}
+
+// Bytes returns the uncompressed SEC1 encoding of the public key.
+func (pk PublicKey) Bytes() []byte {
+	if pk.X == nil || pk.Y == nil {
+		return nil
+	}
+	out := make([]byte, 65)
+	out[0] = 0x04
+	pk.X.FillBytes(out[1:33])
+	pk.Y.FillBytes(out[33:])
+	return out
+}
+
+// ParsePublicKey decodes an uncompressed SEC1 public key.
+func ParsePublicKey(b []byte) (PublicKey, error) {
+	if len(b) != 65 || b[0] != 0x04 {
+		return PublicKey{}, ErrInvalidPublicKey
+	}
+	x := new(big.Int).SetBytes(b[1:33])
+	y := new(big.Int).SetBytes(b[33:])
+	if !curve().IsOnCurve(x, y) {
+		return PublicKey{}, ErrInvalidPublicKey
+	}
+	return PublicKey{X: x, Y: y}, nil
+}
+
+// Equal reports whether two public keys are identical.
+func (pk PublicKey) Equal(other PublicKey) bool {
+	if pk.X == nil || other.X == nil {
+		return pk.X == other.X && pk.Y == other.Y
+	}
+	return pk.X.Cmp(other.X) == 0 && pk.Y.Cmp(other.Y) == 0
+}
+
+// Address returns a short hex identifier derived from the public key, used
+// as the on-ledger address form.
+func (pk PublicKey) Address() string {
+	sum := sha256.Sum256(pk.Bytes())
+	return hex.EncodeToString(sum[:20])
+}
+
+// String implements fmt.Stringer.
+func (pk PublicKey) String() string { return pk.Address() }
+
+// IsZero reports whether the key is the zero value.
+func (pk PublicKey) IsZero() bool { return pk.X == nil && pk.Y == nil }
+
+// Hash returns the SHA-256 digest of data. It is the canonical hash used
+// throughout the library for transaction IDs, Merkle leaves, and anchors.
+func Hash(data []byte) [32]byte { return sha256.Sum256(data) }
+
+// HashConcat hashes the concatenation of the given byte slices with
+// unambiguous length prefixes.
+func HashConcat(parts ...[]byte) [32]byte {
+	h := sha256.New()
+	var lenbuf [8]byte
+	for _, p := range parts {
+		putUint64(lenbuf[:], uint64(len(p)))
+		h.Write(lenbuf[:])
+		h.Write(p)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// RandomBytes returns n cryptographically random bytes.
+func RandomBytes(n int) ([]byte, error) {
+	b := make([]byte, n)
+	if _, err := io.ReadFull(rand.Reader, b); err != nil {
+		return nil, fmt.Errorf("read random: %w", err)
+	}
+	return b, nil
+}

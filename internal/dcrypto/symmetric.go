@@ -1,0 +1,141 @@
+package dcrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the symmetric and hybrid encryption helpers.
+var (
+	// ErrDecrypt is returned when a ciphertext fails authentication or is
+	// malformed. The cause is deliberately opaque.
+	ErrDecrypt = errors.New("dcrypto: decryption failed")
+	// ErrBadKeySize is returned for symmetric keys that are not 32 bytes.
+	ErrBadKeySize = errors.New("dcrypto: symmetric key must be 32 bytes")
+)
+
+// SymmetricKeySize is the AES-256 key length in bytes.
+const SymmetricKeySize = 32
+
+// NewSymmetricKey generates a fresh AES-256 key. The paper's "Symmetric key
+// encryption" mechanism (§2.2) encrypts transaction data under a key shared
+// between parties via PKI.
+func NewSymmetricKey() ([]byte, error) {
+	return RandomBytes(SymmetricKeySize)
+}
+
+// EncryptSymmetric encrypts plaintext under an AES-256-GCM key. The nonce is
+// generated randomly and prepended to the ciphertext. The associated data
+// binds the ciphertext to a context (for example a transaction ID) so it
+// cannot be replayed elsewhere.
+func EncryptSymmetric(key, plaintext, associatedData []byte) ([]byte, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce, err := RandomBytes(aead.NonceSize())
+	if err != nil {
+		return nil, err
+	}
+	out := aead.Seal(nonce, nonce, plaintext, associatedData)
+	return out, nil
+}
+
+// DecryptSymmetric reverses EncryptSymmetric.
+func DecryptSymmetric(key, ciphertext, associatedData []byte) ([]byte, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(ciphertext) < aead.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	nonce, body := ciphertext[:aead.NonceSize()], ciphertext[aead.NonceSize():]
+	pt, err := aead.Open(nil, nonce, body, associatedData)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	if len(key) != SymmetricKeySize {
+		return nil, ErrBadKeySize
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("new aes cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("new gcm: %w", err)
+	}
+	return aead, nil
+}
+
+// HybridCiphertext is the result of ECIES-style encryption to a recipient
+// public key: an ephemeral public key plus an AES-GCM ciphertext under the
+// shared secret. It is how symmetric keys "commonly get shared over the
+// network using PKI" (§2.2).
+type HybridCiphertext struct {
+	EphemeralPub []byte `json:"ephemeralPub"`
+	Ciphertext   []byte `json:"ciphertext"`
+}
+
+// EncryptHybrid encrypts plaintext to the holder of recipient's private key
+// using ephemeral ECDH over P-256 followed by AES-256-GCM.
+func EncryptHybrid(recipient PublicKey, plaintext, associatedData []byte) (HybridCiphertext, error) {
+	ecdhCurve := ecdh.P256()
+	eph, err := ecdhCurve.GenerateKey(rand.Reader)
+	if err != nil {
+		return HybridCiphertext{}, fmt.Errorf("generate ephemeral key: %w", err)
+	}
+	recipECDH, err := ecdhCurve.NewPublicKey(recipient.Bytes())
+	if err != nil {
+		return HybridCiphertext{}, fmt.Errorf("recipient key: %w", ErrInvalidPublicKey)
+	}
+	shared, err := eph.ECDH(recipECDH)
+	if err != nil {
+		return HybridCiphertext{}, fmt.Errorf("ecdh: %w", err)
+	}
+	key := deriveAEADKey(shared, eph.PublicKey().Bytes())
+	ct, err := EncryptSymmetric(key, plaintext, associatedData)
+	if err != nil {
+		return HybridCiphertext{}, err
+	}
+	return HybridCiphertext{EphemeralPub: eph.PublicKey().Bytes(), Ciphertext: ct}, nil
+}
+
+// DecryptHybrid reverses EncryptHybrid with the recipient's private key.
+func DecryptHybrid(recipient *PrivateKey, ct HybridCiphertext, associatedData []byte) ([]byte, error) {
+	ecdhCurve := ecdh.P256()
+	priv, err := ecdhCurve.NewPrivateKey(recipient.key.D.FillBytes(make([]byte, 32)))
+	if err != nil {
+		return nil, fmt.Errorf("recipient private key: %w", err)
+	}
+	ephPub, err := ecdhCurve.NewPublicKey(ct.EphemeralPub)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	shared, err := priv.ECDH(ephPub)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	key := deriveAEADKey(shared, ct.EphemeralPub)
+	return DecryptSymmetric(key, ct.Ciphertext, associatedData)
+}
+
+// deriveAEADKey is a single-block HKDF-like expansion binding the shared
+// secret to the ephemeral public key.
+func deriveAEADKey(shared, ephPub []byte) []byte {
+	h := sha256.New()
+	h.Write([]byte("dltprivacy/ecies/v1"))
+	h.Write(shared)
+	h.Write(ephPub)
+	return h.Sum(nil)
+}

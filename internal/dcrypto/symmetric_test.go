@@ -1,0 +1,125 @@
+package dcrypto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymmetricRoundTrip(t *testing.T) {
+	key, err := NewSymmetricKey()
+	if err != nil {
+		t.Fatalf("NewSymmetricKey: %v", err)
+	}
+	pt := []byte("trade secret: unit price 4.20")
+	ad := []byte("tx-1")
+	ct, err := EncryptSymmetric(key, pt, ad)
+	if err != nil {
+		t.Fatalf("EncryptSymmetric: %v", err)
+	}
+	got, err := DecryptSymmetric(key, ct, ad)
+	if err != nil {
+		t.Fatalf("DecryptSymmetric: %v", err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip = %q, want %q", got, pt)
+	}
+}
+
+func TestSymmetricWrongKeyFails(t *testing.T) {
+	k1, _ := NewSymmetricKey()
+	k2, _ := NewSymmetricKey()
+	ct, err := EncryptSymmetric(k1, []byte("secret"), nil)
+	if err != nil {
+		t.Fatalf("EncryptSymmetric: %v", err)
+	}
+	if _, err := DecryptSymmetric(k2, ct, nil); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("decrypt with wrong key = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestSymmetricWrongAADFails(t *testing.T) {
+	key, _ := NewSymmetricKey()
+	ct, err := EncryptSymmetric(key, []byte("secret"), []byte("tx-1"))
+	if err != nil {
+		t.Fatalf("EncryptSymmetric: %v", err)
+	}
+	if _, err := DecryptSymmetric(key, ct, []byte("tx-2")); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("decrypt with wrong aad = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestSymmetricTamperedCiphertextFails(t *testing.T) {
+	key, _ := NewSymmetricKey()
+	ct, err := EncryptSymmetric(key, []byte("secret"), nil)
+	if err != nil {
+		t.Fatalf("EncryptSymmetric: %v", err)
+	}
+	ct[len(ct)-1] ^= 0x01
+	if _, err := DecryptSymmetric(key, ct, nil); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("decrypt tampered = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestSymmetricBadKeySize(t *testing.T) {
+	if _, err := EncryptSymmetric([]byte("short"), []byte("x"), nil); !errors.Is(err, ErrBadKeySize) {
+		t.Fatalf("short key = %v, want ErrBadKeySize", err)
+	}
+}
+
+func TestSymmetricTruncatedCiphertext(t *testing.T) {
+	key, _ := NewSymmetricKey()
+	if _, err := DecryptSymmetric(key, []byte{1, 2, 3}, nil); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("truncated ciphertext = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestHybridRoundTrip(t *testing.T) {
+	recipient, err := GenerateKey()
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	pt := []byte("shared symmetric key material")
+	ct, err := EncryptHybrid(recipient.Public(), pt, []byte("channel-A"))
+	if err != nil {
+		t.Fatalf("EncryptHybrid: %v", err)
+	}
+	got, err := DecryptHybrid(recipient, ct, []byte("channel-A"))
+	if err != nil {
+		t.Fatalf("DecryptHybrid: %v", err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatal("hybrid round trip mismatch")
+	}
+}
+
+func TestHybridWrongRecipientFails(t *testing.T) {
+	alice, _ := GenerateKey()
+	eve, _ := GenerateKey()
+	ct, err := EncryptHybrid(alice.Public(), []byte("secret"), nil)
+	if err != nil {
+		t.Fatalf("EncryptHybrid: %v", err)
+	}
+	if _, err := DecryptHybrid(eve, ct, nil); err == nil {
+		t.Fatal("decryption by non-recipient must fail")
+	}
+}
+
+func TestHybridPropertyRoundTrip(t *testing.T) {
+	recipient, err := GenerateKey()
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	f := func(pt []byte) bool {
+		ct, err := EncryptHybrid(recipient.Public(), pt, nil)
+		if err != nil {
+			return false
+		}
+		got, err := DecryptHybrid(recipient, ct, nil)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

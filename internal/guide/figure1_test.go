@@ -1,0 +1,204 @@
+package guide
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFigure1LabelledOutcomes checks the eight labelled leaves of Figure 1:
+// each known requirement profile reaches the paper's stated mechanism.
+func TestFigure1LabelledOutcomes(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Requirements
+		want Mechanism
+	}{
+		{
+			name: "not confidential -> single ledger",
+			req:  Requirements{},
+			want: MechSingleLedger,
+		},
+		{
+			name: "deletion required -> off-chain data with public hash",
+			req:  Requirements{DataConfidential: true, DeletionRequired: true},
+			want: MechOffChainHash,
+		},
+		{
+			name: "no encrypted sharing, whole tx shared -> separation of ledgers",
+			req:  Requirements{DataConfidential: true},
+			want: MechSeparateLedgers,
+		},
+		{
+			name: "no encrypted sharing, parts hidden from participants -> tear-offs",
+			req:  Requirements{DataConfidential: true, PartsPrivateToSubset: true},
+			want: MechTearOffs,
+		},
+		{
+			name: "validators blind, logic hidden -> TEE",
+			req: Requirements{DataConfidential: true, EncryptedSharingAllowed: true,
+				HideBusinessLogic: true},
+			want: MechTEE,
+		},
+		{
+			name: "validators blind, logic open -> homomorphic computation",
+			req:  Requirements{DataConfidential: true, EncryptedSharingAllowed: true},
+			want: MechHomomorphic,
+		},
+		{
+			name: "owner-only data, boolean proof enough -> ZKP",
+			req: Requirements{DataConfidential: true, EncryptedSharingAllowed: true,
+				ValidatorsMayRead: true, PrivateToOwnerOnly: true, BooleanProofsEnough: true},
+			want: MechZKPData,
+		},
+		{
+			name: "owner-only data, collective computation -> MPC",
+			req: Requirements{DataConfidential: true, EncryptedSharingAllowed: true,
+				ValidatorsMayRead: true, PrivateToOwnerOnly: true, CollectiveComputation: true},
+			want: MechMPC,
+		},
+		{
+			name: "shareable data, validators read -> separation of ledgers",
+			req: Requirements{DataConfidential: true, EncryptedSharingAllowed: true,
+				ValidatorsMayRead: true},
+			want: MechSeparateLedgers,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Decide(tc.req)
+			if got.Primary != tc.want {
+				t.Fatalf("Decide = %q, want %q\npath: %s",
+					got.Primary, tc.want, strings.Join(got.Path, "\n      "))
+			}
+		})
+	}
+}
+
+// TestFigure1Total: the decision procedure is total and every leaf is a
+// mechanism from the catalog (or the single-ledger null mechanism).
+func TestFigure1Total(t *testing.T) {
+	valid := map[Mechanism]bool{MechSingleLedger: true}
+	for _, info := range Catalog() {
+		valid[info.Mechanism] = true
+	}
+	reqs := EnumerateRequirements()
+	if len(reqs) != 1024 {
+		t.Fatalf("enumeration size = %d, want 1024", len(reqs))
+	}
+	leaves := make(map[Mechanism]int)
+	for _, r := range reqs {
+		d := Decide(r)
+		if !valid[d.Primary] {
+			t.Fatalf("Decide(%+v) returned unknown mechanism %q", r, d.Primary)
+		}
+		if len(d.Path) == 0 {
+			t.Fatalf("Decide(%+v) produced no path", r)
+		}
+		leaves[d.Primary]++
+	}
+	// Every Figure 1 outcome is reachable.
+	for _, m := range []Mechanism{
+		MechSingleLedger, MechOffChainHash, MechSeparateLedgers, MechTearOffs,
+		MechTEE, MechHomomorphic, MechZKPData, MechMPC,
+	} {
+		if leaves[m] == 0 {
+			t.Errorf("leaf %q unreachable", m)
+		}
+	}
+}
+
+func TestUntrustedAdminAddsEncryption(t *testing.T) {
+	d := Decide(Requirements{DataConfidential: true, UntrustedNodeAdmin: true})
+	found := false
+	for _, m := range d.Additional {
+		if m == MechSymmetricKeys {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("untrusted node admin must add symmetric encryption")
+	}
+	// TEE already hides data from the admin: no encryption needed.
+	d = Decide(Requirements{DataConfidential: true, EncryptedSharingAllowed: true,
+		HideBusinessLogic: true, UntrustedNodeAdmin: true})
+	for _, m := range d.Additional {
+		if m == MechSymmetricKeys {
+			t.Fatal("TEE branch must not add symmetric encryption")
+		}
+	}
+}
+
+func TestMaturityNotes(t *testing.T) {
+	d := Decide(Requirements{DataConfidential: true, EncryptedSharingAllowed: true})
+	if d.Primary != MechHomomorphic || len(d.Notes) == 0 {
+		t.Fatalf("homomorphic decision must carry a maturity note, got %+v", d)
+	}
+	d = Decide(Requirements{DataConfidential: true, EncryptedSharingAllowed: true,
+		ValidatorsMayRead: true, PrivateToOwnerOnly: true, BooleanProofsEnough: true})
+	if len(d.Notes) == 0 {
+		t.Fatal("ZKP decision must carry a scenario-specific note")
+	}
+}
+
+func TestDecideInteractions(t *testing.T) {
+	got := DecideInteractions(InteractionRequirements{})
+	if len(got) != 1 || got[0] != MechSingleLedger {
+		t.Fatalf("no requirements = %v", got)
+	}
+	got = DecideInteractions(InteractionRequirements{
+		GroupPrivate: true, SubgroupUnlinkable: true, IndividualAnonymous: true,
+	})
+	want := []Mechanism{MechSeparateLedgers, MechOneTimeKeys, MechZKPIdentity}
+	if len(got) != 3 {
+		t.Fatalf("all requirements = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDecideLogic(t *testing.T) {
+	d := DecideLogic(LogicRequirements{HideFromNodeAdmin: true})
+	if d.Primary != MechTEE || !d.Criteria.HidesDataFromAdmin {
+		t.Fatalf("admin-hiding = %+v", d)
+	}
+	d = DecideLogic(LogicRequirements{NeedAnyLanguage: true, NeedBuiltInVersioning: true})
+	if d.Primary != MechOffChainEngine {
+		t.Fatalf("language freedom = %+v", d)
+	}
+	if len(d.Notes) == 0 {
+		t.Fatal("off-chain engine with versioning requirement must warn")
+	}
+	if d.Criteria.InBuiltVersioning {
+		t.Fatal("off-chain engine must not claim in-built versioning")
+	}
+	d = DecideLogic(LogicRequirements{})
+	if d.Primary != MechInstallOnInvolved || !d.Criteria.KeepsLogicPrivate {
+		t.Fatalf("default = %+v", d)
+	}
+}
+
+func TestCriteriaFor(t *testing.T) {
+	if _, ok := CriteriaFor(MechMPC); ok {
+		t.Fatal("non-logic mechanism must have no criteria")
+	}
+	c, ok := CriteriaFor(MechTEE)
+	if !ok || !c.KeepsLogicPrivate || !c.HidesDataFromAdmin {
+		t.Fatalf("TEE criteria = %+v", c)
+	}
+}
+
+func TestCatalogLookup(t *testing.T) {
+	if len(Catalog()) != 12 {
+		t.Fatalf("catalog size = %d, want 12", len(Catalog()))
+	}
+	info, ok := Lookup(MechTearOffs)
+	if !ok || info.Maturity != MaturityProduction {
+		t.Fatalf("Lookup tear-offs = %+v, %v", info, ok)
+	}
+	if _, ok := Lookup("nonsense"); ok {
+		t.Fatal("unknown mechanism must not resolve")
+	}
+}

@@ -1,0 +1,125 @@
+package guide
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Platform-fit scoring extends the paper's guide: given the mechanisms a
+// use case needs (from Decide, DecideInteractions, and DecideLogic), score
+// each platform by how well Table 1 says it supports them. The paper leaves
+// this final step to the reader ("assessing DLT platforms with respect to
+// their ability to meet specific enterprise requirements", §3); here it is
+// executable.
+
+// mechanismRows maps catalog mechanisms to their Table 1 rows. Mechanisms
+// appearing in two categories (separation of ledgers) map to both rows.
+func mechanismRows(m Mechanism) []Row {
+	switch m {
+	case MechSeparateLedgers, MechSingleLedger:
+		return []Row{
+			{"Parties", "Separation of ledgers"},
+			{"Transactions", "Separation of ledgers"},
+		}
+	case MechOneTimeKeys:
+		return []Row{{"Parties", "One-time public key"}}
+	case MechZKPIdentity:
+		return []Row{{"Parties", "Zero knowledge proof of identity"}}
+	case MechOffChainHash:
+		return []Row{{"Transactions", "Off-chain peer data"}}
+	case MechSymmetricKeys:
+		return []Row{{"Transactions", "Symmetric keys"}}
+	case MechTearOffs:
+		return []Row{{"Transactions", "Merkle trees and tear-offs"}}
+	case MechZKPData:
+		return []Row{{"Transactions", "Zero-knowledge proofs"}}
+	case MechMPC:
+		return []Row{{"Transactions", "Multiparty computation"}}
+	case MechHomomorphic:
+		return []Row{{"Transactions", "Homomorphic encryption"}}
+	case MechTEE:
+		return []Row{{"Logic", "Trusted execution environments"}}
+	case MechInstallOnInvolved:
+		return []Row{{"Logic", "Install contract on involved nodes"}}
+	case MechOffChainEngine:
+		return []Row{{"Logic", "Off-chain execution engine"}}
+	default:
+		return nil
+	}
+}
+
+// FitScore is one platform's suitability for a mechanism set.
+type FitScore struct {
+	Platform Platform
+	// Native, Implementable, Rewrite count required mechanisms by their
+	// Table 1 support level on this platform.
+	Native        int
+	Implementable int
+	Rewrite       int
+	// Score is 2*Native + 1*Implementable - 2*Rewrite: higher is better.
+	Score int
+	// Gaps lists required mechanisms the platform only supports with
+	// substantial rewriting.
+	Gaps []string
+}
+
+// RankPlatforms scores every platform against the required mechanisms using
+// the paper's Table 1 ratings, best first.
+func RankPlatforms(required []Mechanism) []FitScore {
+	paper := PaperTable1()
+	scores := make([]FitScore, 0, len(Platforms()))
+	for _, platform := range Platforms() {
+		fs := FitScore{Platform: platform}
+		seen := map[Row]bool{}
+		for _, m := range required {
+			for _, row := range mechanismRows(m) {
+				if seen[row] {
+					continue
+				}
+				seen[row] = true
+				switch paper[row][platform] {
+				case SupportNative, SupportNA:
+					// N/A counts as satisfied: the platform meets the
+					// goal structurally (e.g. Corda has no on-ledger
+					// contract distribution to restrict).
+					fs.Native++
+				case SupportImplementable:
+					fs.Implementable++
+				case SupportRewrite:
+					fs.Rewrite++
+					fs.Gaps = append(fs.Gaps, fmt.Sprintf("%s (%s)", row.Mechanism, row.Category))
+				}
+			}
+		}
+		fs.Score = 2*fs.Native + fs.Implementable - 2*fs.Rewrite
+		sort.Strings(fs.Gaps)
+		scores = append(scores, fs)
+	}
+	sort.SliceStable(scores, func(i, j int) bool { return scores[i].Score > scores[j].Score })
+	return scores
+}
+
+// RecommendPlatform runs the full §3 pipeline: derive mechanisms from the
+// three requirement dimensions, then rank platforms against them.
+func RecommendPlatform(data Requirements, inter InteractionRequirements, logic LogicRequirements) (best FitScore, required []Mechanism, ranking []FitScore) {
+	d := Decide(data)
+	required = append(required, d.Primary)
+	required = append(required, d.Additional...)
+	required = append(required, DecideInteractions(inter)...)
+	required = append(required, DecideLogic(logic).Primary)
+	required = dedupeMechanisms(required)
+	ranking = RankPlatforms(required)
+	return ranking[0], required, ranking
+}
+
+func dedupeMechanisms(in []Mechanism) []Mechanism {
+	seen := make(map[Mechanism]bool, len(in))
+	out := make([]Mechanism, 0, len(in))
+	for _, m := range in {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}

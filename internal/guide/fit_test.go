@@ -1,0 +1,100 @@
+package guide
+
+import (
+	"testing"
+)
+
+func TestRankPlatformsIdemixFavorsFabric(t *testing.T) {
+	ranking := RankPlatforms([]Mechanism{MechZKPIdentity, MechSeparateLedgers})
+	if ranking[0].Platform != HLF {
+		t.Fatalf("ZKP-identity use case should rank HLF first, got %v", ranking)
+	}
+	// Corda and Quorum carry a rewrite gap.
+	for _, fs := range ranking[1:] {
+		if fs.Rewrite == 0 {
+			t.Fatalf("%s should have a rewrite gap for ZKP identity", fs.Platform)
+		}
+		if len(fs.Gaps) == 0 {
+			t.Fatalf("%s should list its gap", fs.Platform)
+		}
+	}
+}
+
+func TestRankPlatformsTearOffsFavorCorda(t *testing.T) {
+	ranking := RankPlatforms([]Mechanism{MechTearOffs, MechOneTimeKeys})
+	if ranking[0].Platform != Corda {
+		t.Fatalf("tear-off + one-time-key use case should rank Corda first, got %+v", ranking)
+	}
+	if ranking[0].Native != 2 {
+		t.Fatalf("Corda natives = %d, want 2", ranking[0].Native)
+	}
+}
+
+func TestRankPlatformsSharedRowsNotDoubleCounted(t *testing.T) {
+	// Single ledger and separate ledgers share Table 1 rows; requiring
+	// both must not double count.
+	r1 := RankPlatforms([]Mechanism{MechSeparateLedgers})
+	r2 := RankPlatforms([]Mechanism{MechSeparateLedgers, MechSingleLedger})
+	for i := range r1 {
+		if r1[i].Score != r2[i].Score {
+			t.Fatalf("double counting: %+v vs %+v", r1[i], r2[i])
+		}
+	}
+}
+
+func TestRecommendPlatformLetterOfCredit(t *testing.T) {
+	// The §4 requirements: deletable PII forces off-chain peer data;
+	// group privacy forces ledger separation. Fabric supports both
+	// natively (channels + PDC) and should win.
+	best, required, ranking := RecommendPlatform(
+		Requirements{DataConfidential: true, DeletionRequired: true},
+		InteractionRequirements{GroupPrivate: true},
+		LogicRequirements{},
+	)
+	if best.Platform != HLF {
+		t.Fatalf("letter-of-credit best = %s, want HLF\nranking: %+v", best.Platform, ranking)
+	}
+	if len(required) == 0 {
+		t.Fatal("required mechanisms empty")
+	}
+	hasOffChain := false
+	for _, m := range required {
+		if m == MechOffChainHash {
+			hasOffChain = true
+		}
+	}
+	if !hasOffChain {
+		t.Fatalf("required = %v, must include off-chain data", required)
+	}
+}
+
+func TestRecommendPlatformLanguageFreedom(t *testing.T) {
+	// Off-chain execution engine (DSL requirement) is native in Corda
+	// only.
+	best, _, _ := RecommendPlatform(
+		Requirements{},
+		InteractionRequirements{},
+		LogicRequirements{NeedAnyLanguage: true},
+	)
+	if best.Platform != Corda {
+		t.Fatalf("language-freedom best = %s, want Corda", best.Platform)
+	}
+}
+
+func TestMechanismRowsCoverCatalog(t *testing.T) {
+	for _, info := range Catalog() {
+		if rows := mechanismRows(info.Mechanism); len(rows) == 0 {
+			t.Errorf("mechanism %q has no Table 1 rows", info.Mechanism)
+		}
+	}
+	if rows := mechanismRows("nonsense"); rows != nil {
+		t.Error("unknown mechanism must map to no rows")
+	}
+}
+
+func TestDedupeMechanisms(t *testing.T) {
+	got := dedupeMechanisms([]Mechanism{MechMPC, MechZKPData, MechMPC})
+	if len(got) != 2 {
+		t.Fatalf("dedupe = %v", got)
+	}
+}

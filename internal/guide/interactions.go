@@ -1,0 +1,104 @@
+package guide
+
+// InteractionRequirements captures §3.1: privacy of interactions at three
+// granularities.
+type InteractionRequirements struct {
+	// GroupPrivate: a group of parties that know each other wishes to
+	// interact privately from the main network.
+	GroupPrivate bool
+	// SubgroupUnlinkable: within a ledger, a sub-group does not want to
+	// reveal that they are transacting.
+	SubgroupUnlinkable bool
+	// IndividualAnonymous: an individual party must sign or commit while
+	// remaining entirely private.
+	IndividualAnonymous bool
+}
+
+// DecideInteractions maps §3.1 requirements to mechanisms: a separate
+// ledger for private groups, one-time public keys for unlinkable sub-group
+// interactions, and zero-knowledge proof of identity for fully anonymous
+// individuals.
+func DecideInteractions(r InteractionRequirements) []Mechanism {
+	var out []Mechanism
+	if r.GroupPrivate {
+		out = append(out, MechSeparateLedgers)
+	}
+	if r.SubgroupUnlinkable {
+		out = append(out, MechOneTimeKeys)
+	}
+	if r.IndividualAnonymous {
+		out = append(out, MechZKPIdentity)
+	}
+	if len(out) == 0 {
+		out = append(out, MechSingleLedger)
+	}
+	return out
+}
+
+// LogicRequirements captures §3.3: the four criteria an architect weighs for
+// business-logic confidentiality.
+type LogicRequirements struct {
+	// HideFromNodeAdmin: contract code needs access to confidential data
+	// on a node whose administrator must not see either.
+	HideFromNodeAdmin bool
+	// NeedAnyLanguage: business logic must be writable in any programming
+	// language (domain-specific languages).
+	NeedAnyLanguage bool
+	// NeedBuiltInVersioning: the deployment depends on the platform
+	// guaranteeing all nodes run the same contract version.
+	NeedBuiltInVersioning bool
+}
+
+// LogicDecision is the §3.3 recommendation with the four-criteria scorecard.
+type LogicDecision struct {
+	Primary Mechanism
+	// Criteria reports, for the chosen mechanism: (1) keeps logic
+	// private, (2) in-built versioning, (3) hides data from node admin,
+	// (4) any programming language.
+	Criteria LogicCriteria
+	Notes    []string
+}
+
+// LogicCriteria is the §3.3 four-criteria scorecard for a mechanism.
+type LogicCriteria struct {
+	KeepsLogicPrivate  bool
+	InBuiltVersioning  bool
+	HidesDataFromAdmin bool
+	AnyLanguage        bool
+}
+
+// CriteriaFor returns the scorecard of each business-logic mechanism.
+func CriteriaFor(m Mechanism) (LogicCriteria, bool) {
+	switch m {
+	case MechInstallOnInvolved:
+		return LogicCriteria{KeepsLogicPrivate: true, InBuiltVersioning: true}, true
+	case MechOffChainEngine:
+		return LogicCriteria{KeepsLogicPrivate: true, AnyLanguage: true}, true
+	case MechTEE:
+		return LogicCriteria{KeepsLogicPrivate: true, InBuiltVersioning: true, HidesDataFromAdmin: true}, true
+	default:
+		return LogicCriteria{}, false
+	}
+}
+
+// DecideLogic walks §3.3: TEEs when the node administrator must not see
+// data or logic; an off-chain engine when language freedom matters (with a
+// version-control caveat); otherwise installation on involved nodes only.
+func DecideLogic(r LogicRequirements) LogicDecision {
+	var d LogicDecision
+	switch {
+	case r.HideFromNodeAdmin:
+		d.Primary = MechTEE
+		d.Notes = append(d.Notes, "TEE integrations in major platforms are experimental (§5)")
+	case r.NeedAnyLanguage:
+		d.Primary = MechOffChainEngine
+		if r.NeedBuiltInVersioning {
+			d.Notes = append(d.Notes,
+				"off-chain engines lose the platform's version guarantee; version control must be managed outside the DLT layer (§3.3)")
+		}
+	default:
+		d.Primary = MechInstallOnInvolved
+	}
+	d.Criteria, _ = CriteriaFor(d.Primary)
+	return d
+}

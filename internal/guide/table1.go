@@ -1,0 +1,198 @@
+package guide
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Platform identifies one of the three DLTs compared in Table 1.
+type Platform string
+
+// Platforms.
+const (
+	HLF    Platform = "HLF"
+	Corda  Platform = "Corda"
+	Quorum Platform = "Quorum"
+)
+
+// Platforms returns the Table 1 column order.
+func Platforms() []Platform { return []Platform{HLF, Corda, Quorum} }
+
+// Support is the three-level rating of Table 1.
+type Support int
+
+// Support levels, matching the paper's legend: ✓ native support, ? not
+// native but implementable, — requires substantial rewriting, N/A not
+// applicable.
+const (
+	SupportNative Support = iota + 1
+	SupportImplementable
+	SupportRewrite
+	SupportNA
+)
+
+// Symbol renders the support level with the paper's notation.
+func (s Support) Symbol() string {
+	switch s {
+	case SupportNative:
+		return "✓"
+	case SupportImplementable:
+		return "?"
+	case SupportRewrite:
+		return "—"
+	case SupportNA:
+		return "N/A"
+	default:
+		return "??"
+	}
+}
+
+// Row is one Table 1 row.
+type Row struct {
+	Category  string // Parties, Transactions, Logic, Misc.
+	Mechanism string
+}
+
+// Rows returns the Table 1 rows in the paper's order.
+func Rows() []Row {
+	return []Row{
+		{"Parties", "Separation of ledgers"},
+		{"Parties", "One-time public key"},
+		{"Parties", "Zero knowledge proof of identity"},
+		{"Transactions", "Separation of ledgers"},
+		{"Transactions", "Off-chain peer data"},
+		{"Transactions", "Symmetric keys"},
+		{"Transactions", "Merkle trees and tear-offs"},
+		{"Transactions", "Zero-knowledge proofs"},
+		{"Transactions", "Multiparty computation"},
+		{"Transactions", "Homomorphic encryption"},
+		{"Logic", "Install contract on involved nodes"},
+		{"Logic", "Off-chain execution engine"},
+		{"Logic", "Trusted execution environments"},
+		{"Misc.", "Private sequencing service possible"},
+		{"Misc.", "Open source"},
+	}
+}
+
+// PaperTable1 returns the published Table 1 ratings.
+func PaperTable1() map[Row]map[Platform]Support {
+	n, i, r, na := SupportNative, SupportImplementable, SupportRewrite, SupportNA
+	rows := Rows()
+	ratings := [][3]Support{
+		{n, n, n},  // Parties: separation of ledgers
+		{r, n, i},  // Parties: one-time public key
+		{n, r, r},  // Parties: ZKP of identity
+		{n, n, n},  // Tx: separation of ledgers
+		{n, i, r},  // Tx: off-chain peer data
+		{n, n, n},  // Tx: symmetric keys
+		{i, n, r},  // Tx: merkle trees and tear-offs
+		{i, i, i},  // Tx: ZKPs
+		{i, i, i},  // Tx: MPC
+		{i, i, i},  // Tx: homomorphic encryption
+		{n, na, n}, // Logic: install on involved nodes
+		{i, n, r},  // Logic: off-chain execution engine
+		{r, r, r},  // Logic: TEEs
+		{n, n, n},  // Misc: private sequencing
+		{n, n, n},  // Misc: open source
+	}
+	out := make(map[Row]map[Platform]Support, len(rows))
+	for idx, row := range rows {
+		out[row] = map[Platform]Support{
+			HLF:    ratings[idx][0],
+			Corda:  ratings[idx][1],
+			Quorum: ratings[idx][2],
+		}
+	}
+	return out
+}
+
+// Cell is one regenerated Table 1 entry: the support rating plus whether a
+// live probe demonstrated the mechanism on the platform model.
+type Cell struct {
+	Support      Support
+	Demonstrated bool
+	Evidence     string
+}
+
+// Matrix is the regenerated Table 1.
+type Matrix map[Row]map[Platform]Cell
+
+// Probe is one live capability check.
+type Probe struct {
+	Row      Row
+	Platform Platform
+	// Expected is the paper's rating for this cell.
+	Expected Support
+	// Demo exercises the mechanism on the platform model (native cells)
+	// or composes it from the substrate libraries on top of the platform
+	// (implementable cells). Nil for rewrite/N-A cells, where the rating
+	// is justified by Rationale instead.
+	Demo func() error
+	// Rationale documents why no demonstration exists.
+	Rationale string
+}
+
+// RunProbes executes every probe and assembles the regenerated matrix.
+// A probe whose demo fails yields an error: the reproduction does not get to
+// claim support levels its own code cannot demonstrate.
+func RunProbes(probes []Probe) (Matrix, error) {
+	m := make(Matrix)
+	for _, p := range probes {
+		if _, ok := m[p.Row]; !ok {
+			m[p.Row] = make(map[Platform]Cell)
+		}
+		cell := Cell{Support: p.Expected, Evidence: p.Rationale}
+		if p.Demo != nil {
+			if err := p.Demo(); err != nil {
+				return nil, fmt.Errorf("probe %s/%s on %s: %w", p.Row.Category, p.Row.Mechanism, p.Platform, err)
+			}
+			cell.Demonstrated = true
+			if cell.Evidence == "" {
+				cell.Evidence = "demonstrated by live probe"
+			}
+		}
+		m[p.Row][p.Platform] = cell
+	}
+	return m, nil
+}
+
+// Diff compares a regenerated matrix against the paper's ratings and returns
+// human-readable mismatches.
+func (m Matrix) Diff(paper map[Row]map[Platform]Support) []string {
+	var out []string
+	for _, row := range Rows() {
+		for _, platform := range Platforms() {
+			want, okW := paper[row][platform]
+			got, okG := m[row][platform]
+			switch {
+			case okW && !okG:
+				out = append(out, fmt.Sprintf("%s / %s / %s: missing from regenerated matrix", row.Category, row.Mechanism, platform))
+			case okW && okG && got.Support != want:
+				out = append(out, fmt.Sprintf("%s / %s / %s: got %s, paper says %s",
+					row.Category, row.Mechanism, platform, got.Support.Symbol(), want.Symbol()))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Render prints the matrix in the paper's layout.
+func (m Matrix) Render() string {
+	out := fmt.Sprintf("%-14s %-36s %-6s %-6s %-6s\n", "Category", "Mechanism", "HLF", "Corda", "Quorum")
+	for _, row := range Rows() {
+		cells := m[row]
+		line := fmt.Sprintf("%-14s %-36s", row.Category, row.Mechanism)
+		for _, p := range Platforms() {
+			c := cells[p]
+			marker := c.Support.Symbol()
+			if c.Demonstrated {
+				marker += "*"
+			}
+			line += fmt.Sprintf(" %-6s", marker)
+		}
+		out += line + "\n"
+	}
+	out += "\n✓ native, ? implementable, — requires rewrite; * demonstrated by live probe\n"
+	return out
+}

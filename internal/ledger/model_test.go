@@ -1,0 +1,83 @@
+package ledger
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestLedgerMatchesMapModel is a model-based property test: a random
+// sequence of writes, deletes, and prunes applied to the ledger must leave
+// the world state identical to a plain map model, and the chain must verify
+// after every operation batch.
+func TestLedgerMatchesMapModel(t *testing.T) {
+	const (
+		seeds     = 8
+		opsPerRun = 120
+		keySpace  = 12
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			l := New("model")
+			model := make(map[string]string)
+			for op := 0; op < opsPerRun; op++ {
+				key := fmt.Sprintf("k%d", rng.Intn(keySpace))
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4, 5: // write
+					value := fmt.Sprintf("v%d-%d", op, rng.Intn(1000))
+					commit(t, l, Write{Key: key, Value: []byte(value)})
+					model[key] = value
+				case 6, 7: // delete
+					if _, ok := model[key]; !ok {
+						continue
+					}
+					commit(t, l, Write{Key: key, Delete: true})
+					delete(model, key)
+				case 8: // prune a random prefix
+					if l.Height() > 1 {
+						upTo := uint64(rng.Intn(int(l.Height())))
+						if _, err := l.Prune(upTo); err != nil {
+							t.Fatalf("Prune(%d): %v", upTo, err)
+						}
+					}
+				case 9: // verify mid-run
+					if err := l.VerifyChain(); err != nil {
+						t.Fatalf("VerifyChain: %v", err)
+					}
+				}
+			}
+			// Final equivalence check.
+			if got, want := len(l.Keys()), len(model); got != want {
+				t.Fatalf("key count = %d, model = %d", got, want)
+			}
+			for key, want := range model {
+				v, err := l.Get(key)
+				if err != nil {
+					t.Fatalf("Get(%s): %v", key, err)
+				}
+				if string(v.Value) != want {
+					t.Fatalf("Get(%s) = %q, model %q", key, v.Value, want)
+				}
+			}
+			if err := l.VerifyChain(); err != nil {
+				t.Fatalf("final VerifyChain: %v", err)
+			}
+		})
+	}
+}
+
+func commit(t *testing.T, l *Ledger, w Write) {
+	t.Helper()
+	tx := Transaction{
+		Channel:   "model",
+		Creator:   "modeler",
+		Writes:    []Write{w},
+		Timestamp: time.Unix(1700000000, 0).UTC(),
+	}
+	if err := l.Append(l.CutBlock([]Transaction{tx})); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package ledger implements the append-only block ledger substrate: signed
+// transactions with read/write sets, hash-chained blocks, a versioned world
+// state, a validation pipeline, and the pruning/archiving behaviour the paper
+// notes in §3.2 ("some ledger implementations offer the ability to 'prune'
+// the chain … archived entries are generally still available to parties on
+// request").
+package ledger
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"dltprivacy/internal/dcrypto"
+)
+
+// Errors returned by transaction handling.
+var (
+	// ErrBadTx is returned when a transaction fails structural checks.
+	ErrBadTx = errors.New("ledger: invalid transaction")
+	// ErrBadSignature is returned when an endorsement signature does not
+	// verify.
+	ErrBadSignature = errors.New("ledger: endorsement signature invalid")
+)
+
+// Write is one world-state mutation.
+type Write struct {
+	Key    string `json:"key"`
+	Value  []byte `json:"value,omitempty"`
+	Delete bool   `json:"delete,omitempty"`
+}
+
+// Endorsement is a party's signature over the transaction digest.
+type Endorsement struct {
+	Party     string            `json:"party"`
+	PublicKey []byte            `json:"publicKey"`
+	Sig       dcrypto.Signature `json:"sig"`
+}
+
+// Transaction is a proposed ledger update. Payload carries application
+// content (possibly encrypted or hashed, depending on the confidentiality
+// mechanism in force); Writes carries the world-state effect.
+type Transaction struct {
+	Channel   string            `json:"channel"`
+	Creator   string            `json:"creator"`
+	Contract  string            `json:"contract,omitempty"`
+	Payload   []byte            `json:"payload,omitempty"`
+	Writes    []Write           `json:"writes,omitempty"`
+	Meta      map[string]string `json:"meta,omitempty"`
+	Timestamp time.Time         `json:"timestamp"`
+
+	Endorsements []Endorsement `json:"endorsements,omitempty"`
+}
+
+// Digest returns the signed content of the transaction (everything except
+// the endorsements).
+func (tx Transaction) Digest() [32]byte {
+	clone := tx
+	clone.Endorsements = nil
+	b, err := json.Marshal(clone)
+	if err != nil {
+		return [32]byte{}
+	}
+	return dcrypto.Hash(b)
+}
+
+// ID returns the transaction identifier, the hex form of the digest.
+func (tx Transaction) ID() string {
+	d := tx.Digest()
+	return hex.EncodeToString(d[:16])
+}
+
+// Endorse appends a signature by the given party over the tx digest.
+func (tx *Transaction) Endorse(party string, key interface {
+	Sign([]byte) (dcrypto.Signature, error)
+	Public() dcrypto.PublicKey
+}) error {
+	d := tx.Digest()
+	sig, err := key.Sign(d[:])
+	if err != nil {
+		return fmt.Errorf("endorse tx %s: %w", tx.ID(), err)
+	}
+	tx.Endorsements = append(tx.Endorsements, Endorsement{
+		Party:     party,
+		PublicKey: key.Public().Bytes(),
+		Sig:       sig,
+	})
+	return nil
+}
+
+// VerifyEndorsements checks every endorsement signature.
+func (tx Transaction) VerifyEndorsements() error {
+	d := tx.Digest()
+	for _, e := range tx.Endorsements {
+		pub, err := dcrypto.ParsePublicKey(e.PublicKey)
+		if err != nil {
+			return fmt.Errorf("endorsement by %s: %w", e.Party, ErrBadSignature)
+		}
+		if err := pub.Verify(d[:], e.Sig); err != nil {
+			return fmt.Errorf("endorsement by %s: %w", e.Party, ErrBadSignature)
+		}
+	}
+	return nil
+}
+
+// EndorsedBy reports whether the named party endorsed the transaction.
+func (tx Transaction) EndorsedBy(party string) bool {
+	for _, e := range tx.Endorsements {
+		if e.Party == party {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate performs structural checks.
+func (tx Transaction) Validate() error {
+	if tx.Channel == "" {
+		return fmt.Errorf("%w: missing channel", ErrBadTx)
+	}
+	if tx.Creator == "" {
+		return fmt.Errorf("%w: missing creator", ErrBadTx)
+	}
+	for _, w := range tx.Writes {
+		if w.Key == "" {
+			return fmt.Errorf("%w: write with empty key", ErrBadTx)
+		}
+		if w.Delete && len(w.Value) > 0 {
+			return fmt.Errorf("%w: delete write carries a value", ErrBadTx)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package merkle
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func leaves(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return out
+}
+
+func TestNewEmpty(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrEmptyTree) {
+		t.Fatalf("New(nil) = %v, want ErrEmptyTree", err)
+	}
+}
+
+func TestRootDeterministic(t *testing.T) {
+	t1, err := New(leaves(7))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t2, _ := New(leaves(7))
+	if t1.Root() != t2.Root() {
+		t.Fatal("same leaves must give same root")
+	}
+}
+
+func TestRootSensitiveToLeafChange(t *testing.T) {
+	l := leaves(5)
+	t1, _ := New(l)
+	l[3] = []byte("mutated")
+	t2, _ := New(l)
+	if t1.Root() == t2.Root() {
+		t.Fatal("root must change when a leaf changes")
+	}
+}
+
+func TestTreeCopiesLeaves(t *testing.T) {
+	l := leaves(3)
+	tr, _ := New(l)
+	root := tr.Root()
+	l[0][0] = 'X' // mutate caller's slice
+	if tr.Root() != root {
+		t.Fatal("tree must copy leaves at the boundary")
+	}
+}
+
+func TestProveVerifyAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 13, 16, 33} {
+		tr, err := New(leaves(n))
+		if err != nil {
+			t.Fatalf("New(%d): %v", n, err)
+		}
+		for i := 0; i < n; i++ {
+			p, err := tr.Prove(i)
+			if err != nil {
+				t.Fatalf("Prove(%d/%d): %v", i, n, err)
+			}
+			if err := VerifyProof(tr.Root(), p); err != nil {
+				t.Fatalf("VerifyProof(%d/%d): %v", i, n, err)
+			}
+		}
+	}
+}
+
+func TestVerifyProofRejectsTamperedLeaf(t *testing.T) {
+	tr, _ := New(leaves(8))
+	p, _ := tr.Prove(2)
+	p.LeafData = []byte("forged")
+	if err := VerifyProof(tr.Root(), p); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("tampered proof = %v, want ErrBadProof", err)
+	}
+}
+
+func TestVerifyProofRejectsWrongRoot(t *testing.T) {
+	tr, _ := New(leaves(8))
+	other, _ := New(leaves(9))
+	p, _ := tr.Prove(0)
+	if err := VerifyProof(other.Root(), p); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("wrong-root proof = %v, want ErrBadProof", err)
+	}
+}
+
+func TestProveOutOfRange(t *testing.T) {
+	tr, _ := New(leaves(4))
+	for _, i := range []int{-1, 4, 100} {
+		if _, err := tr.Prove(i); !errors.Is(err, ErrIndexRange) {
+			t.Fatalf("Prove(%d) = %v, want ErrIndexRange", i, err)
+		}
+	}
+}
+
+func TestTearOffRootMatches(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8, 11} {
+		tr, _ := New(leaves(n))
+		to, err := tr.TearOffVisible([]int{0})
+		if err != nil {
+			t.Fatalf("TearOffVisible(n=%d): %v", n, err)
+		}
+		if err := to.Verify(tr.Root()); err != nil {
+			t.Fatalf("tear-off verify (n=%d): %v", n, err)
+		}
+	}
+}
+
+func TestTearOffHidesAndReveals(t *testing.T) {
+	tr, _ := New(leaves(6))
+	to, err := tr.TearOffVisible([]int{1, 4})
+	if err != nil {
+		t.Fatalf("TearOffVisible: %v", err)
+	}
+	if got, err := to.Leaf(1); err != nil || string(got) != "leaf-1" {
+		t.Fatalf("visible leaf = %q, %v", got, err)
+	}
+	if _, err := to.Leaf(0); !errors.Is(err, ErrLeafHidden) {
+		t.Fatalf("hidden leaf = %v, want ErrLeafHidden", err)
+	}
+	if _, err := to.Leaf(9); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("out of range leaf = %v, want ErrIndexRange", err)
+	}
+	if got := len(to.VisibleIndices()); got != 2 {
+		t.Fatalf("VisibleIndices len = %d, want 2", got)
+	}
+}
+
+func TestTearOffDetectsSubstitutedDigest(t *testing.T) {
+	tr, _ := New(leaves(4))
+	to, _ := tr.TearOffVisible([]int{0})
+	// Attacker substitutes a hidden digest.
+	to.HiddenDigests[2] = LeafHash([]byte("evil"))
+	if err := to.Verify(tr.Root()); !errors.Is(err, ErrBadTearOff) {
+		t.Fatalf("substituted digest = %v, want ErrBadTearOff", err)
+	}
+}
+
+func TestTearOffDetectsSubstitutedVisibleLeaf(t *testing.T) {
+	tr, _ := New(leaves(4))
+	to, _ := tr.TearOffVisible([]int{0})
+	to.Visible[0] = []byte("evil")
+	if err := to.Verify(tr.Root()); !errors.Is(err, ErrBadTearOff) {
+		t.Fatalf("substituted leaf = %v, want ErrBadTearOff", err)
+	}
+}
+
+func TestTearOffMissingEntry(t *testing.T) {
+	tr, _ := New(leaves(4))
+	to, _ := tr.TearOffVisible([]int{0})
+	delete(to.HiddenDigests, 3)
+	if _, err := to.Root(); !errors.Is(err, ErrBadTearOff) {
+		t.Fatalf("missing entry = %v, want ErrBadTearOff", err)
+	}
+}
+
+func TestTearOffBadIndex(t *testing.T) {
+	tr, _ := New(leaves(4))
+	if _, err := tr.TearOffVisible([]int{7}); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("TearOffVisible(7) = %v, want ErrIndexRange", err)
+	}
+}
+
+func TestLeafAccess(t *testing.T) {
+	tr, _ := New(leaves(3))
+	got, err := tr.Leaf(2)
+	if err != nil || string(got) != "leaf-2" {
+		t.Fatalf("Leaf(2) = %q, %v", got, err)
+	}
+	if _, err := tr.Leaf(3); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("Leaf(3) = %v, want ErrIndexRange", err)
+	}
+}
+
+// Property: every leaf of every randomly sized tree proves against the root,
+// and a tear-off hiding all but one leaf still reproduces the root.
+func TestMerkleProperties(t *testing.T) {
+	f := func(raw [][]byte, pick uint8) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true // out of modelled domain
+		}
+		tr, err := New(raw)
+		if err != nil {
+			return false
+		}
+		i := int(pick) % len(raw)
+		p, err := tr.Prove(i)
+		if err != nil || VerifyProof(tr.Root(), p) != nil {
+			return false
+		}
+		to, err := tr.TearOffVisible([]int{i})
+		if err != nil {
+			return false
+		}
+		return to.Verify(tr.Root()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	// A single-leaf tree whose leaf equals an interior node encoding of
+	// another tree must not collide, thanks to prefixes.
+	inner, _ := New([][]byte{[]byte("a"), []byte("b")})
+	root := inner.Root()
+	outer, _ := New([][]byte{root[:]})
+	if outer.Root() == inner.Root() {
+		t.Fatal("leaf/interior domain separation violated")
+	}
+}

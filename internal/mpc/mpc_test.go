@@ -1,0 +1,195 @@
+package mpc
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestShareReconstruct(t *testing.T) {
+	secret := big.NewInt(123456789)
+	shares, err := Share(secret, 5)
+	if err != nil {
+		t.Fatalf("Share: %v", err)
+	}
+	got, err := Reconstruct(shares)
+	if err != nil {
+		t.Fatalf("Reconstruct: %v", err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Fatalf("Reconstruct = %v, want %v", got, secret)
+	}
+}
+
+func TestShareSubsetIsUseless(t *testing.T) {
+	secret := big.NewInt(42)
+	shares, _ := Share(secret, 3)
+	partial, err := Reconstruct(shares[:2])
+	if err != nil {
+		t.Fatalf("Reconstruct subset: %v", err)
+	}
+	if partial.Cmp(secret) == 0 {
+		t.Fatal("a strict subset of shares must not reconstruct the secret (overwhelming probability)")
+	}
+}
+
+func TestShareErrors(t *testing.T) {
+	if _, err := Share(big.NewInt(1), 1); !errors.Is(err, ErrTooFewParties) {
+		t.Fatalf("Share(n=1) = %v, want ErrTooFewParties", err)
+	}
+	if _, err := Share(big.NewInt(-1), 3); !errors.Is(err, ErrInputRange) {
+		t.Fatalf("Share(-1) = %v, want ErrInputRange", err)
+	}
+	if _, err := Share(FieldPrime(), 3); !errors.Is(err, ErrInputRange) {
+		t.Fatalf("Share(p) = %v, want ErrInputRange", err)
+	}
+	if _, err := Reconstruct([]*big.Int{big.NewInt(1)}); !errors.Is(err, ErrShareCount) {
+		t.Fatalf("Reconstruct(1 share) = %v, want ErrShareCount", err)
+	}
+	if _, err := Reconstruct([]*big.Int{big.NewInt(1), nil}); !errors.Is(err, ErrShareCount) {
+		t.Fatalf("Reconstruct(nil share) = %v, want ErrShareCount", err)
+	}
+}
+
+func TestSecureSum(t *testing.T) {
+	inputs := map[string]*big.Int{
+		"BankA":    big.NewInt(100),
+		"SellerCo": big.NewInt(250),
+		"BuyerInc": big.NewInt(7),
+	}
+	res, err := SecureSum(inputs)
+	if err != nil {
+		t.Fatalf("SecureSum: %v", err)
+	}
+	if res.Value.Int64() != 357 {
+		t.Fatalf("sum = %v, want 357", res.Value)
+	}
+	// Consistency: every party computed the same value (the paper: "one
+	// consistent value that can be committed to the ledger").
+	for name, v := range res.PerParty {
+		if v.Cmp(res.Value) != 0 {
+			t.Fatalf("party %s computed %v, want %v", name, v, res.Value)
+		}
+	}
+}
+
+func TestSecureSumPrivacy(t *testing.T) {
+	inputs := map[string]*big.Int{
+		"A": big.NewInt(1111),
+		"B": big.NewInt(2222),
+		"C": big.NewInt(3333),
+	}
+	res, err := SecureSum(inputs)
+	if err != nil {
+		t.Fatalf("SecureSum: %v", err)
+	}
+	if ObservedRawInput(res, inputs) {
+		t.Fatal("a raw input leaked in the transcript")
+	}
+	// No message other than shares and partial sums may travel.
+	for _, m := range res.Transcript {
+		if m.Kind != KindShare && m.Kind != KindPartialSum {
+			t.Fatalf("unexpected message kind %d", m.Kind)
+		}
+		if m.From == m.To {
+			t.Fatal("self-messages must not be recorded")
+		}
+	}
+}
+
+func TestSecureSumErrors(t *testing.T) {
+	if _, err := SecureSum(map[string]*big.Int{"A": big.NewInt(1)}); !errors.Is(err, ErrTooFewParties) {
+		t.Fatalf("one party = %v, want ErrTooFewParties", err)
+	}
+	if _, err := SecureSum(map[string]*big.Int{"A": big.NewInt(1), "B": nil}); !errors.Is(err, ErrMissingInput) {
+		t.Fatalf("nil input = %v, want ErrMissingInput", err)
+	}
+	if _, err := SecureSum(map[string]*big.Int{"A": big.NewInt(1), "B": big.NewInt(-2)}); !errors.Is(err, ErrInputRange) {
+		t.Fatalf("negative input = %v, want ErrInputRange", err)
+	}
+}
+
+func TestSecureMean(t *testing.T) {
+	inputs := map[string]*big.Int{
+		"A": big.NewInt(10),
+		"B": big.NewInt(20),
+		"C": big.NewInt(31),
+	}
+	res, err := SecureMean(inputs)
+	if err != nil {
+		t.Fatalf("SecureMean: %v", err)
+	}
+	if res.Value.Int64() != 20 { // floor(61/3)
+		t.Fatalf("mean = %v, want 20", res.Value)
+	}
+}
+
+func TestSecretBallot(t *testing.T) {
+	votes := map[string]bool{
+		"A": true,
+		"B": false,
+		"C": true,
+		"D": true,
+		"E": false,
+	}
+	yes, res, err := SecretBallot(votes)
+	if err != nil {
+		t.Fatalf("SecretBallot: %v", err)
+	}
+	if yes != 3 {
+		t.Fatalf("yes = %d, want 3", yes)
+	}
+	// Ballot privacy: no share message reveals a 0/1 vote directly — all
+	// shares are field elements; check transcript values are not all tiny.
+	small := 0
+	for _, m := range res.Transcript {
+		if m.Kind == KindShare && m.Value.BitLen() <= 1 {
+			small++
+		}
+	}
+	if small > len(res.Transcript)/4 {
+		t.Fatalf("suspiciously many small shares: %d of %d", small, len(res.Transcript))
+	}
+}
+
+func TestSecureSumProperty(t *testing.T) {
+	f := func(a, b, c uint32) bool {
+		inputs := map[string]*big.Int{
+			"A": big.NewInt(int64(a)),
+			"B": big.NewInt(int64(b)),
+			"C": big.NewInt(int64(c)),
+		}
+		res, err := SecureSum(inputs)
+		if err != nil {
+			return false
+		}
+		want := int64(a) + int64(b) + int64(c)
+		return res.Value.Int64() == want && !ObservedRawInput(res, inputs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSecureSumManyParties(t *testing.T) {
+	inputs := make(map[string]*big.Int, 20)
+	want := int64(0)
+	for i := 0; i < 20; i++ {
+		v := int64(i * 13)
+		inputs[string(rune('A'+i))] = big.NewInt(v)
+		want += v
+	}
+	res, err := SecureSum(inputs)
+	if err != nil {
+		t.Fatalf("SecureSum: %v", err)
+	}
+	if res.Value.Int64() != want {
+		t.Fatalf("sum = %v, want %d", res.Value, want)
+	}
+	// n parties, each sends n-1 shares and n-1 partials.
+	wantMsgs := 2 * 20 * 19
+	if len(res.Transcript) != wantMsgs {
+		t.Fatalf("transcript = %d messages, want %d", len(res.Transcript), wantMsgs)
+	}
+}

@@ -1,0 +1,167 @@
+package mpc
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/big"
+	"sync"
+
+	"dltprivacy/internal/transport"
+)
+
+// Networked execution: the same secure-sum protocol running over the
+// transport substrate, one endpoint per party, so that experiments can
+// inject partitions and observe that the protocol aborts rather than leaks
+// or diverges.
+
+// ErrProtocolAborted is returned when a networked run cannot complete (for
+// example because a partition blocked share delivery).
+var ErrProtocolAborted = errors.New("mpc: protocol aborted")
+
+// wireMessage is the on-the-wire share/partial-sum format.
+type wireMessage struct {
+	Kind  MessageKind `json:"kind"`
+	Value []byte      `json:"value"`
+}
+
+// networkParty is one participant's protocol state.
+type networkParty struct {
+	name string
+
+	mu       sync.Mutex
+	shares   []*big.Int
+	partials map[string]*big.Int
+}
+
+func (p *networkParty) handle(msg transport.Message) ([]byte, error) {
+	var wm wireMessage
+	if err := json.Unmarshal(msg.Payload, &wm); err != nil {
+		return nil, fmt.Errorf("decode mpc message: %w", err)
+	}
+	v := new(big.Int).SetBytes(wm.Value)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch wm.Kind {
+	case KindShare:
+		p.shares = append(p.shares, v)
+	case KindPartialSum:
+		p.partials[msg.From] = v
+	default:
+		return nil, fmt.Errorf("mpc: unknown message kind %d", wm.Kind)
+	}
+	return nil, nil
+}
+
+// NetworkedSecureSum runs secure sum over a transport network. Each party
+// gets an endpoint named "mpc/<party>"; shares and partial sums travel as
+// network messages, so partitions and crashes surface as delivery errors
+// and abort the protocol before anything is revealed.
+func NetworkedSecureSum(net *transport.Network, inputs map[string]*big.Int) (*Result, error) {
+	names := sortedNames(inputs)
+	if len(names) < 2 {
+		return nil, ErrTooFewParties
+	}
+	parties := make(map[string]*networkParty, len(names))
+	for _, name := range names {
+		if inputs[name] == nil {
+			return nil, fmt.Errorf("party %q: %w", name, ErrMissingInput)
+		}
+		p := &networkParty{name: name, partials: make(map[string]*big.Int)}
+		parties[name] = p
+		if err := net.Register(endpoint(name), p.handle); err != nil {
+			return nil, fmt.Errorf("register %s: %w", name, err)
+		}
+	}
+
+	send := func(from, to string, kind MessageKind, v *big.Int) error {
+		payload, err := json.Marshal(wireMessage{Kind: kind, Value: v.Bytes()})
+		if err != nil {
+			return err
+		}
+		_, err = net.Send(transport.Message{
+			From:    endpoint(from),
+			To:      endpoint(to),
+			Topic:   "mpc",
+			Payload: payload,
+		})
+		return err
+	}
+
+	var transcript []Message
+	// Round 1: distribute shares.
+	for _, from := range names {
+		shares, err := Share(inputs[from], len(names))
+		if err != nil {
+			return nil, fmt.Errorf("share input of %q: %w", from, err)
+		}
+		for j, to := range names {
+			if to == from {
+				p := parties[from]
+				p.mu.Lock()
+				p.shares = append(p.shares, shares[j])
+				p.mu.Unlock()
+				continue
+			}
+			if err := send(from, to, KindShare, shares[j]); err != nil {
+				return nil, fmt.Errorf("%w: share %s->%s: %v", ErrProtocolAborted, from, to, err)
+			}
+			transcript = append(transcript, Message{
+				From: from, To: to, Kind: KindShare, Value: new(big.Int).Set(shares[j]),
+			})
+		}
+	}
+	// Round 2: broadcast partial sums.
+	for _, name := range names {
+		p := parties[name]
+		p.mu.Lock()
+		sum := new(big.Int)
+		for _, s := range p.shares {
+			sum.Add(sum, s)
+		}
+		sum.Mod(sum, fieldPrime)
+		p.partials[endpoint(name)] = sum
+		p.mu.Unlock()
+		for _, to := range names {
+			if to == name {
+				continue
+			}
+			if err := send(name, to, KindPartialSum, sum); err != nil {
+				return nil, fmt.Errorf("%w: partial %s->%s: %v", ErrProtocolAborted, name, to, err)
+			}
+			transcript = append(transcript, Message{
+				From: name, To: to, Kind: KindPartialSum, Value: new(big.Int).Set(sum),
+			})
+		}
+	}
+	// Round 3: every party totals the partials.
+	perParty := make(map[string]*big.Int, len(names))
+	for _, name := range names {
+		p := parties[name]
+		p.mu.Lock()
+		if len(p.partials) != len(names) {
+			p.mu.Unlock()
+			return nil, fmt.Errorf("%w: %s holds %d partials, want %d",
+				ErrProtocolAborted, name, len(p.partials), len(names))
+		}
+		total := new(big.Int)
+		for _, v := range p.partials {
+			total.Add(total, v)
+		}
+		perParty[name] = total.Mod(total, fieldPrime)
+		p.mu.Unlock()
+	}
+	first := perParty[names[0]]
+	for name, v := range perParty {
+		if v.Cmp(first) != 0 {
+			return nil, fmt.Errorf("%w: %s diverged", ErrProtocolAborted, name)
+		}
+	}
+	return &Result{
+		Value:      new(big.Int).Set(first),
+		PerParty:   perParty,
+		Transcript: transcript,
+	}, nil
+}
+
+func endpoint(party string) string { return "mpc/" + party }

@@ -1,0 +1,82 @@
+package mpc
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+
+	"dltprivacy/internal/transport"
+)
+
+func TestNetworkedSecureSum(t *testing.T) {
+	net := transport.New()
+	inputs := map[string]*big.Int{
+		"A": big.NewInt(100),
+		"B": big.NewInt(42),
+		"C": big.NewInt(8),
+	}
+	res, err := NetworkedSecureSum(net, inputs)
+	if err != nil {
+		t.Fatalf("NetworkedSecureSum: %v", err)
+	}
+	if res.Value.Int64() != 150 {
+		t.Fatalf("sum = %v, want 150", res.Value)
+	}
+	for name, v := range res.PerParty {
+		if v.Cmp(res.Value) != 0 {
+			t.Fatalf("party %s diverged: %v", name, v)
+		}
+	}
+	if ObservedRawInput(res, inputs) {
+		t.Fatal("raw input leaked over the network")
+	}
+	msgs, _ := net.Stats()
+	// n(n-1) shares + n(n-1) partials.
+	if want := 2 * 3 * 2; msgs != want {
+		t.Fatalf("network messages = %d, want %d", msgs, want)
+	}
+}
+
+func TestNetworkedSecureSumAbortsOnPartition(t *testing.T) {
+	net := transport.New()
+	net.Partition("mpc/A", "mpc/B")
+	inputs := map[string]*big.Int{
+		"A": big.NewInt(1),
+		"B": big.NewInt(2),
+		"C": big.NewInt(3),
+	}
+	_, err := NetworkedSecureSum(net, inputs)
+	if !errors.Is(err, ErrProtocolAborted) {
+		t.Fatalf("partitioned run = %v, want ErrProtocolAborted", err)
+	}
+}
+
+func TestNetworkedSecureSumValidation(t *testing.T) {
+	net := transport.New()
+	if _, err := NetworkedSecureSum(net, map[string]*big.Int{"A": big.NewInt(1)}); !errors.Is(err, ErrTooFewParties) {
+		t.Fatalf("one party = %v, want ErrTooFewParties", err)
+	}
+	if _, err := NetworkedSecureSum(net, map[string]*big.Int{"X": big.NewInt(1), "Y": nil}); !errors.Is(err, ErrMissingInput) {
+		t.Fatalf("nil input = %v, want ErrMissingInput", err)
+	}
+}
+
+func TestNetworkedMatchesInProcess(t *testing.T) {
+	inputs := map[string]*big.Int{
+		"A": big.NewInt(11),
+		"B": big.NewInt(22),
+		"C": big.NewInt(33),
+		"D": big.NewInt(44),
+	}
+	inProc, err := SecureSum(inputs)
+	if err != nil {
+		t.Fatalf("SecureSum: %v", err)
+	}
+	networked, err := NetworkedSecureSum(transport.New(), inputs)
+	if err != nil {
+		t.Fatalf("NetworkedSecureSum: %v", err)
+	}
+	if inProc.Value.Cmp(networked.Value) != 0 {
+		t.Fatalf("results differ: %v vs %v", inProc.Value, networked.Value)
+	}
+}

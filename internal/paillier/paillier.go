@@ -1,0 +1,219 @@
+// Package paillier implements the Paillier cryptosystem, the canonical
+// partially (additively) homomorphic encryption scheme. The paper (§2.2,
+// "Homomorphic computation") notes that homomorphic methods enable only "a
+// very limited set of operations" and are infeasible for current systems;
+// this package both demonstrates the capability (ciphertext addition and
+// plaintext-scalar multiplication) and, through the benchmark harness,
+// quantifies the cost underlying the paper's infeasibility claim.
+package paillier
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Errors returned by the cryptosystem.
+var (
+	// ErrMessageRange is returned when a plaintext is outside [0, N).
+	ErrMessageRange = errors.New("paillier: message out of range")
+	// ErrBadCiphertext is returned for ciphertexts outside the valid
+	// group.
+	ErrBadCiphertext = errors.New("paillier: invalid ciphertext")
+	// ErrKeySize is returned for modulus sizes that are too small to be
+	// meaningful even in tests.
+	ErrKeySize = errors.New("paillier: key size must be at least 256 bits")
+)
+
+// PublicKey is a Paillier encryption key.
+type PublicKey struct {
+	N  *big.Int // modulus
+	N2 *big.Int // N^2, cached
+	G  *big.Int // generator, N+1
+}
+
+// PrivateKey is a Paillier decryption key.
+type PrivateKey struct {
+	PublicKey
+	lambda *big.Int // lcm(p-1, q-1)
+	mu     *big.Int // (L(g^lambda mod N^2))^-1 mod N
+}
+
+// GenerateKey creates a key pair with an n-bit modulus. 2048 bits is a
+// realistic production size; tests use smaller moduli for speed.
+func GenerateKey(bits int) (*PrivateKey, error) {
+	if bits < 256 {
+		return nil, ErrKeySize
+	}
+	for {
+		p, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("generate prime: %w", err)
+		}
+		q, err := rand.Prime(rand.Reader, bits/2)
+		if err != nil {
+			return nil, fmt.Errorf("generate prime: %w", err)
+		}
+		if p.Cmp(q) == 0 {
+			continue
+		}
+		n := new(big.Int).Mul(p, q)
+		if n.BitLen() != bits {
+			continue
+		}
+		pm1 := new(big.Int).Sub(p, big.NewInt(1))
+		qm1 := new(big.Int).Sub(q, big.NewInt(1))
+		gcd := new(big.Int).GCD(nil, nil, pm1, qm1)
+		lambda := new(big.Int).Mul(pm1, qm1)
+		lambda.Div(lambda, gcd)
+
+		n2 := new(big.Int).Mul(n, n)
+		g := new(big.Int).Add(n, big.NewInt(1))
+
+		// mu = (L(g^lambda mod n^2))^-1 mod n
+		gl := new(big.Int).Exp(g, lambda, n2)
+		l := lFunc(gl, n)
+		mu := new(big.Int).ModInverse(l, n)
+		if mu == nil {
+			continue
+		}
+		return &PrivateKey{
+			PublicKey: PublicKey{N: n, N2: n2, G: g},
+			lambda:    lambda,
+			mu:        mu,
+		}, nil
+	}
+}
+
+// lFunc computes L(x) = (x - 1) / n.
+func lFunc(x, n *big.Int) *big.Int {
+	out := new(big.Int).Sub(x, big.NewInt(1))
+	return out.Div(out, n)
+}
+
+// Ciphertext is a Paillier ciphertext.
+type Ciphertext struct {
+	C *big.Int
+}
+
+// Encrypt encrypts m in [0, N) under the public key.
+func (pk *PublicKey) Encrypt(m *big.Int) (Ciphertext, error) {
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return Ciphertext{}, ErrMessageRange
+	}
+	r, err := pk.randomUnit()
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	// c = g^m * r^N mod N^2; with g = N+1, g^m = 1 + m*N mod N^2.
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, big.NewInt(1))
+	gm.Mod(gm, pk.N2)
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := new(big.Int).Mul(gm, rn)
+	c.Mod(c, pk.N2)
+	return Ciphertext{C: c}, nil
+}
+
+func (pk *PublicKey) randomUnit() (*big.Int, error) {
+	for {
+		r, err := rand.Int(rand.Reader, pk.N)
+		if err != nil {
+			return nil, fmt.Errorf("sample randomizer: %w", err)
+		}
+		if r.Sign() == 0 {
+			continue
+		}
+		if new(big.Int).GCD(nil, nil, r, pk.N).Cmp(big.NewInt(1)) == 0 {
+			return r, nil
+		}
+	}
+}
+
+// Decrypt recovers the plaintext.
+func (sk *PrivateKey) Decrypt(ct Ciphertext) (*big.Int, error) {
+	if err := sk.validate(ct); err != nil {
+		return nil, err
+	}
+	cl := new(big.Int).Exp(ct.C, sk.lambda, sk.N2)
+	m := lFunc(cl, sk.N)
+	m.Mul(m, sk.mu)
+	m.Mod(m, sk.N)
+	return m, nil
+}
+
+func (pk *PublicKey) validate(ct Ciphertext) error {
+	if ct.C == nil || ct.C.Sign() <= 0 || ct.C.Cmp(pk.N2) >= 0 {
+		return ErrBadCiphertext
+	}
+	return nil
+}
+
+// Add returns the encryption of the sum of the two plaintexts.
+func (pk *PublicKey) Add(a, b Ciphertext) (Ciphertext, error) {
+	if err := pk.validate(a); err != nil {
+		return Ciphertext{}, err
+	}
+	if err := pk.validate(b); err != nil {
+		return Ciphertext{}, err
+	}
+	c := new(big.Int).Mul(a.C, b.C)
+	c.Mod(c, pk.N2)
+	return Ciphertext{C: c}, nil
+}
+
+// AddPlain returns the encryption of (plaintext of ct) + m.
+func (pk *PublicKey) AddPlain(ct Ciphertext, m *big.Int) (Ciphertext, error) {
+	if err := pk.validate(ct); err != nil {
+		return Ciphertext{}, err
+	}
+	if m.Sign() < 0 || m.Cmp(pk.N) >= 0 {
+		return Ciphertext{}, ErrMessageRange
+	}
+	gm := new(big.Int).Mul(m, pk.N)
+	gm.Add(gm, big.NewInt(1))
+	gm.Mod(gm, pk.N2)
+	c := new(big.Int).Mul(ct.C, gm)
+	c.Mod(c, pk.N2)
+	return Ciphertext{C: c}, nil
+}
+
+// MulScalar returns the encryption of k times the plaintext.
+func (pk *PublicKey) MulScalar(ct Ciphertext, k *big.Int) (Ciphertext, error) {
+	if err := pk.validate(ct); err != nil {
+		return Ciphertext{}, err
+	}
+	if k.Sign() < 0 {
+		return Ciphertext{}, ErrMessageRange
+	}
+	return Ciphertext{C: new(big.Int).Exp(ct.C, k, pk.N2)}, nil
+}
+
+// Sub returns the encryption of (plaintext of a) - (plaintext of b),
+// computed homomorphically as a + (N-1)*b. The result decrypts to the
+// difference mod N; callers wanting signed semantics must know a >= b, the
+// usual Paillier caveat.
+func (pk *PublicKey) Sub(a, b Ciphertext) (Ciphertext, error) {
+	negB, err := pk.MulScalar(b, new(big.Int).Sub(pk.N, big.NewInt(1)))
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	return pk.Add(a, negB)
+}
+
+// Rerandomize refreshes a ciphertext so it is unlinkable to its origin while
+// preserving the plaintext.
+func (pk *PublicKey) Rerandomize(ct Ciphertext) (Ciphertext, error) {
+	if err := pk.validate(ct); err != nil {
+		return Ciphertext{}, err
+	}
+	r, err := pk.randomUnit()
+	if err != nil {
+		return Ciphertext{}, err
+	}
+	rn := new(big.Int).Exp(r, pk.N, pk.N2)
+	c := new(big.Int).Mul(ct.C, rn)
+	c.Mod(c, pk.N2)
+	return Ciphertext{C: c}, nil
+}

@@ -1,0 +1,203 @@
+package paillier
+
+import (
+	"errors"
+	"math/big"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// testKey caches one key pair across tests: generation dominates runtime.
+var (
+	testKeyOnce sync.Once
+	testKey     *PrivateKey
+)
+
+func key(t *testing.T) *PrivateKey {
+	t.Helper()
+	testKeyOnce.Do(func() {
+		k, err := GenerateKey(512)
+		if err != nil {
+			t.Fatalf("GenerateKey: %v", err)
+		}
+		testKey = k
+	})
+	return testKey
+}
+
+func TestEncryptDecrypt(t *testing.T) {
+	sk := key(t)
+	for _, m := range []int64{0, 1, 42, 1 << 30} {
+		pt := big.NewInt(m)
+		ct, err := sk.Encrypt(pt)
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		got, err := sk.Decrypt(ct)
+		if err != nil {
+			t.Fatalf("Decrypt(%d): %v", m, err)
+		}
+		if got.Cmp(pt) != 0 {
+			t.Fatalf("Decrypt = %v, want %v", got, pt)
+		}
+	}
+}
+
+func TestEncryptRejectsOutOfRange(t *testing.T) {
+	sk := key(t)
+	if _, err := sk.Encrypt(big.NewInt(-1)); !errors.Is(err, ErrMessageRange) {
+		t.Fatalf("Encrypt(-1) = %v, want ErrMessageRange", err)
+	}
+	if _, err := sk.Encrypt(new(big.Int).Set(sk.N)); !errors.Is(err, ErrMessageRange) {
+		t.Fatalf("Encrypt(N) = %v, want ErrMessageRange", err)
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	sk := key(t)
+	a, _ := sk.Encrypt(big.NewInt(1200))
+	b, _ := sk.Encrypt(big.NewInt(34))
+	sum, err := sk.Add(a, b)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	got, err := sk.Decrypt(sum)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if got.Int64() != 1234 {
+		t.Fatalf("homomorphic add = %v, want 1234", got)
+	}
+}
+
+func TestHomomorphicAddPlain(t *testing.T) {
+	sk := key(t)
+	a, _ := sk.Encrypt(big.NewInt(100))
+	sum, err := sk.AddPlain(a, big.NewInt(23))
+	if err != nil {
+		t.Fatalf("AddPlain: %v", err)
+	}
+	got, _ := sk.Decrypt(sum)
+	if got.Int64() != 123 {
+		t.Fatalf("AddPlain = %v, want 123", got)
+	}
+}
+
+func TestHomomorphicMulScalar(t *testing.T) {
+	sk := key(t)
+	a, _ := sk.Encrypt(big.NewInt(7))
+	prod, err := sk.MulScalar(a, big.NewInt(6))
+	if err != nil {
+		t.Fatalf("MulScalar: %v", err)
+	}
+	got, _ := sk.Decrypt(prod)
+	if got.Int64() != 42 {
+		t.Fatalf("MulScalar = %v, want 42", got)
+	}
+}
+
+func TestHomomorphicSub(t *testing.T) {
+	sk := key(t)
+	a, _ := sk.Encrypt(big.NewInt(1000))
+	b, _ := sk.Encrypt(big.NewInt(58))
+	diff, err := sk.Sub(a, b)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	got, err := sk.Decrypt(diff)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if got.Int64() != 942 {
+		t.Fatalf("Sub = %v, want 942", got)
+	}
+}
+
+func TestHomomorphicSubUnderflowWraps(t *testing.T) {
+	// a < b wraps mod N — documented Paillier behaviour.
+	sk := key(t)
+	a, _ := sk.Encrypt(big.NewInt(1))
+	b, _ := sk.Encrypt(big.NewInt(2))
+	diff, err := sk.Sub(a, b)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	got, _ := sk.Decrypt(diff)
+	want := new(big.Int).Sub(sk.N, big.NewInt(1))
+	if got.Cmp(want) != 0 {
+		t.Fatalf("underflow = %v, want N-1", got)
+	}
+}
+
+func TestRerandomizePreservesPlaintext(t *testing.T) {
+	sk := key(t)
+	ct, _ := sk.Encrypt(big.NewInt(99))
+	fresh, err := sk.Rerandomize(ct)
+	if err != nil {
+		t.Fatalf("Rerandomize: %v", err)
+	}
+	if fresh.C.Cmp(ct.C) == 0 {
+		t.Fatal("rerandomized ciphertext must differ")
+	}
+	got, _ := sk.Decrypt(fresh)
+	if got.Int64() != 99 {
+		t.Fatalf("rerandomized plaintext = %v, want 99", got)
+	}
+}
+
+func TestCiphertextsProbabilistic(t *testing.T) {
+	sk := key(t)
+	a, _ := sk.Encrypt(big.NewInt(5))
+	b, _ := sk.Encrypt(big.NewInt(5))
+	if a.C.Cmp(b.C) == 0 {
+		t.Fatal("two encryptions of the same plaintext must differ")
+	}
+}
+
+func TestBadCiphertextRejected(t *testing.T) {
+	sk := key(t)
+	bad := Ciphertext{C: new(big.Int).Set(sk.N2)}
+	if _, err := sk.Decrypt(bad); !errors.Is(err, ErrBadCiphertext) {
+		t.Fatalf("Decrypt(N^2) = %v, want ErrBadCiphertext", err)
+	}
+	if _, err := sk.Decrypt(Ciphertext{}); !errors.Is(err, ErrBadCiphertext) {
+		t.Fatalf("Decrypt(nil) = %v, want ErrBadCiphertext", err)
+	}
+	good, _ := sk.Encrypt(big.NewInt(1))
+	if _, err := sk.Add(good, bad); !errors.Is(err, ErrBadCiphertext) {
+		t.Fatalf("Add(bad) = %v, want ErrBadCiphertext", err)
+	}
+}
+
+func TestGenerateKeyTooSmall(t *testing.T) {
+	if _, err := GenerateKey(128); !errors.Is(err, ErrKeySize) {
+		t.Fatalf("GenerateKey(128) = %v, want ErrKeySize", err)
+	}
+}
+
+func TestHomomorphismProperty(t *testing.T) {
+	sk := key(t)
+	f := func(a, b uint32) bool {
+		ca, err := sk.Encrypt(big.NewInt(int64(a)))
+		if err != nil {
+			return false
+		}
+		cb, err := sk.Encrypt(big.NewInt(int64(b)))
+		if err != nil {
+			return false
+		}
+		sum, err := sk.Add(ca, cb)
+		if err != nil {
+			return false
+		}
+		got, err := sk.Decrypt(sum)
+		if err != nil {
+			return false
+		}
+		return got.Int64() == int64(a)+int64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

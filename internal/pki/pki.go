@@ -1,0 +1,250 @@
+// Package pki implements the public key infrastructure the paper assumes for
+// every enterprise DLT (§2.1): a certificate authority that verifies party
+// identities during onboarding and issues certificates mapping public keys to
+// identities, plus certificates for one-time (pseudonymous) keys that reveal
+// the link only to parties that need to verify signatures.
+package pki
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dltprivacy/internal/dcrypto"
+)
+
+// Errors returned by certificate operations.
+var (
+	// ErrBadCertificate is returned when a certificate signature does not
+	// verify against the issuing CA.
+	ErrBadCertificate = errors.New("pki: certificate verification failed")
+	// ErrRevoked is returned when the certificate has been revoked.
+	ErrRevoked = errors.New("pki: certificate revoked")
+	// ErrExpired is returned when the certificate validity window has
+	// passed.
+	ErrExpired = errors.New("pki: certificate expired")
+	// ErrUnknownIdentity is returned when an identity has not been
+	// enrolled with the CA.
+	ErrUnknownIdentity = errors.New("pki: unknown identity")
+)
+
+// CertKind distinguishes long-term identity certificates from one-time-key
+// certificates.
+type CertKind int
+
+// Certificate kinds.
+const (
+	// KindIdentity binds a party's legal identity to its long-term key.
+	KindIdentity CertKind = iota + 1
+	// KindOneTime binds a pseudonymous one-time key to an identity; it is
+	// disclosed only to counterparties that must verify signatures
+	// (§2.1, "One-time public keys").
+	KindOneTime
+)
+
+// Certificate binds a public key to an identity, signed by a CA.
+type Certificate struct {
+	Serial    uint64            `json:"serial"`
+	Kind      CertKind          `json:"kind"`
+	Identity  string            `json:"identity"`
+	PublicKey []byte            `json:"publicKey"`
+	Issuer    string            `json:"issuer"`
+	NotBefore time.Time         `json:"notBefore"`
+	NotAfter  time.Time         `json:"notAfter"`
+	Sig       dcrypto.Signature `json:"sig"`
+}
+
+// payload returns the canonical signed content of the certificate.
+func (c Certificate) payload() []byte {
+	clone := c
+	clone.Sig = dcrypto.Signature{}
+	b, err := json.Marshal(clone)
+	if err != nil {
+		// Marshal of a plain struct with no cycles cannot fail; keep the
+		// signature path total anyway.
+		return nil
+	}
+	return b
+}
+
+// Key parses the certified public key.
+func (c Certificate) Key() (dcrypto.PublicKey, error) {
+	return dcrypto.ParsePublicKey(c.PublicKey)
+}
+
+// CA is a certificate authority. It verifies identities of parties
+// onboarded to the platform and optionally exposes a global membership list
+// so that parties may establish relationships (§2.1).
+type CA struct {
+	name string
+	key  *dcrypto.PrivateKey
+	now  func() time.Time
+
+	mu         sync.Mutex
+	serial     uint64
+	enrolled   map[string]Certificate // identity -> identity cert
+	revoked    map[uint64]bool
+	exposeList bool
+}
+
+// Option configures a CA.
+type Option func(*CA)
+
+// WithClock overrides the CA's time source (for tests).
+func WithClock(now func() time.Time) Option {
+	return func(ca *CA) { ca.now = now }
+}
+
+// WithMembershipList makes the CA expose the global membership list.
+// Platforms that want member privacy leave it off.
+func WithMembershipList() Option {
+	return func(ca *CA) { ca.exposeList = true }
+}
+
+// NewCA creates a certificate authority with a fresh signing key.
+func NewCA(name string, opts ...Option) (*CA, error) {
+	key, err := dcrypto.GenerateKey()
+	if err != nil {
+		return nil, fmt.Errorf("ca key: %w", err)
+	}
+	ca := &CA{
+		name:     name,
+		key:      key,
+		now:      time.Now,
+		enrolled: make(map[string]Certificate),
+		revoked:  make(map[uint64]bool),
+	}
+	for _, opt := range opts {
+		opt(ca)
+	}
+	return ca, nil
+}
+
+// Name returns the CA's name.
+func (ca *CA) Name() string { return ca.name }
+
+// PublicKey returns the CA verification key that relying parties pin.
+func (ca *CA) PublicKey() dcrypto.PublicKey { return ca.key.Public() }
+
+// certValidity is the default certificate lifetime.
+const certValidity = 365 * 24 * time.Hour
+
+// Enroll verifies an identity (out of band, as in any enterprise onboarding
+// process) and issues its long-term identity certificate.
+func (ca *CA) Enroll(identity string, pub dcrypto.PublicKey) (Certificate, error) {
+	if identity == "" {
+		return Certificate{}, errors.New("pki: empty identity")
+	}
+	cert, err := ca.issue(KindIdentity, identity, pub)
+	if err != nil {
+		return Certificate{}, err
+	}
+	ca.mu.Lock()
+	ca.enrolled[identity] = cert
+	ca.mu.Unlock()
+	return cert, nil
+}
+
+// IssueOneTime certifies a pseudonymous one-time key for an already enrolled
+// identity. The resulting certificate is shared only with parties that must
+// link the pseudonym to the identity.
+func (ca *CA) IssueOneTime(identity string, pub dcrypto.PublicKey) (Certificate, error) {
+	ca.mu.Lock()
+	_, ok := ca.enrolled[identity]
+	ca.mu.Unlock()
+	if !ok {
+		return Certificate{}, fmt.Errorf("issue one-time cert for %q: %w", identity, ErrUnknownIdentity)
+	}
+	return ca.issue(KindOneTime, identity, pub)
+}
+
+func (ca *CA) issue(kind CertKind, identity string, pub dcrypto.PublicKey) (Certificate, error) {
+	ca.mu.Lock()
+	ca.serial++
+	serial := ca.serial
+	ca.mu.Unlock()
+
+	now := ca.now()
+	cert := Certificate{
+		Serial:    serial,
+		Kind:      kind,
+		Identity:  identity,
+		PublicKey: pub.Bytes(),
+		Issuer:    ca.name,
+		NotBefore: now,
+		NotAfter:  now.Add(certValidity),
+	}
+	sig, err := ca.key.Sign(cert.payload())
+	if err != nil {
+		return Certificate{}, fmt.Errorf("sign certificate: %w", err)
+	}
+	cert.Sig = sig
+	return cert, nil
+}
+
+// Revoke invalidates a certificate by serial number.
+func (ca *CA) Revoke(serial uint64) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	ca.revoked[serial] = true
+}
+
+// Verify checks a certificate's signature, validity window, and revocation
+// status against this CA.
+func (ca *CA) Verify(cert Certificate) error {
+	if err := VerifyCertificate(cert, ca.PublicKey(), ca.now()); err != nil {
+		return err
+	}
+	ca.mu.Lock()
+	revoked := ca.revoked[cert.Serial]
+	ca.mu.Unlock()
+	if revoked {
+		return ErrRevoked
+	}
+	return nil
+}
+
+// VerifyCertificate validates a certificate against a pinned CA key without
+// consulting revocation state. Relying parties that only hold the CA public
+// key use this form.
+func VerifyCertificate(cert Certificate, caKey dcrypto.PublicKey, at time.Time) error {
+	if at.Before(cert.NotBefore) || at.After(cert.NotAfter) {
+		return ErrExpired
+	}
+	if err := caKey.Verify(cert.payload(), cert.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadCertificate, err)
+	}
+	return nil
+}
+
+// Members returns the global membership list if the CA exposes one, or
+// ErrMembershipHidden otherwise.
+func (ca *CA) Members() ([]string, error) {
+	if !ca.exposeList {
+		return nil, ErrMembershipHidden
+	}
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	out := make([]string, 0, len(ca.enrolled))
+	for id := range ca.enrolled {
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// ErrMembershipHidden is returned when the CA does not expose a global
+// membership list.
+var ErrMembershipHidden = errors.New("pki: membership list not exposed")
+
+// CertificateOf returns the identity certificate for an enrolled party.
+func (ca *CA) CertificateOf(identity string) (Certificate, error) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	cert, ok := ca.enrolled[identity]
+	if !ok {
+		return Certificate{}, ErrUnknownIdentity
+	}
+	return cert, nil
+}

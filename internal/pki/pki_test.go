@@ -1,0 +1,187 @@
+package pki
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dltprivacy/internal/dcrypto"
+)
+
+func newTestCA(t *testing.T, opts ...Option) *CA {
+	t.Helper()
+	ca, err := NewCA("TestCA", opts...)
+	if err != nil {
+		t.Fatalf("NewCA: %v", err)
+	}
+	return ca
+}
+
+func TestEnrollAndVerify(t *testing.T) {
+	ca := newTestCA(t)
+	key, _ := dcrypto.GenerateKey()
+	cert, err := ca.Enroll("BankA", key.Public())
+	if err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	if err := ca.Verify(cert); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if cert.Identity != "BankA" || cert.Kind != KindIdentity {
+		t.Fatalf("unexpected cert fields: %+v", cert)
+	}
+}
+
+func TestEnrollEmptyIdentity(t *testing.T) {
+	ca := newTestCA(t)
+	key, _ := dcrypto.GenerateKey()
+	if _, err := ca.Enroll("", key.Public()); err == nil {
+		t.Fatal("empty identity must be rejected")
+	}
+}
+
+func TestVerifyRejectsForgedCert(t *testing.T) {
+	ca := newTestCA(t)
+	key, _ := dcrypto.GenerateKey()
+	cert, err := ca.Enroll("BankA", key.Public())
+	if err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	cert.Identity = "Mallory" // tamper
+	if err := ca.Verify(cert); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("Verify tampered = %v, want ErrBadCertificate", err)
+	}
+}
+
+func TestVerifyRejectsOtherCA(t *testing.T) {
+	ca1 := newTestCA(t)
+	ca2 := newTestCA(t)
+	key, _ := dcrypto.GenerateKey()
+	cert, err := ca1.Enroll("BankA", key.Public())
+	if err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	if err := ca2.Verify(cert); !errors.Is(err, ErrBadCertificate) {
+		t.Fatalf("Verify against other CA = %v, want ErrBadCertificate", err)
+	}
+}
+
+func TestRevocation(t *testing.T) {
+	ca := newTestCA(t)
+	key, _ := dcrypto.GenerateKey()
+	cert, err := ca.Enroll("BankA", key.Public())
+	if err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	ca.Revoke(cert.Serial)
+	if err := ca.Verify(cert); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("Verify revoked = %v, want ErrRevoked", err)
+	}
+}
+
+func TestExpiry(t *testing.T) {
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	clock := func() time.Time { return now }
+	ca := newTestCA(t, WithClock(clock))
+	key, _ := dcrypto.GenerateKey()
+	cert, err := ca.Enroll("BankA", key.Public())
+	if err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	now = now.Add(2 * 365 * 24 * time.Hour)
+	if err := ca.Verify(cert); !errors.Is(err, ErrExpired) {
+		t.Fatalf("Verify expired = %v, want ErrExpired", err)
+	}
+}
+
+func TestOneTimeCertRequiresEnrollment(t *testing.T) {
+	ca := newTestCA(t)
+	key, _ := dcrypto.GenerateKey()
+	if _, err := ca.IssueOneTime("Ghost", key.Public()); !errors.Is(err, ErrUnknownIdentity) {
+		t.Fatalf("IssueOneTime unenrolled = %v, want ErrUnknownIdentity", err)
+	}
+}
+
+func TestOneTimeCertLinksPseudonym(t *testing.T) {
+	ca := newTestCA(t)
+	idKey, _ := dcrypto.GenerateKey()
+	if _, err := ca.Enroll("SellerCo", idKey.Public()); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	chain, _ := dcrypto.NewOneTimeKeyChain([]byte("seller-seed-0123456789"))
+	oneTime, _ := chain.Next()
+	cert, err := ca.IssueOneTime("SellerCo", oneTime)
+	if err != nil {
+		t.Fatalf("IssueOneTime: %v", err)
+	}
+	if cert.Kind != KindOneTime || cert.Identity != "SellerCo" {
+		t.Fatalf("unexpected one-time cert: %+v", cert)
+	}
+	if err := ca.Verify(cert); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	certKey, err := cert.Key()
+	if err != nil {
+		t.Fatalf("Key: %v", err)
+	}
+	if !certKey.Equal(oneTime) {
+		t.Fatal("certificate must carry the pseudonymous key")
+	}
+}
+
+func TestMembershipListHiddenByDefault(t *testing.T) {
+	ca := newTestCA(t)
+	key, _ := dcrypto.GenerateKey()
+	if _, err := ca.Enroll("BankA", key.Public()); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	if _, err := ca.Members(); !errors.Is(err, ErrMembershipHidden) {
+		t.Fatalf("Members = %v, want ErrMembershipHidden", err)
+	}
+}
+
+func TestMembershipListExposedWhenOpted(t *testing.T) {
+	ca := newTestCA(t, WithMembershipList())
+	key, _ := dcrypto.GenerateKey()
+	if _, err := ca.Enroll("BankA", key.Public()); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	members, err := ca.Members()
+	if err != nil {
+		t.Fatalf("Members: %v", err)
+	}
+	if len(members) != 1 || members[0] != "BankA" {
+		t.Fatalf("Members = %v, want [BankA]", members)
+	}
+}
+
+func TestCertificateOf(t *testing.T) {
+	ca := newTestCA(t)
+	key, _ := dcrypto.GenerateKey()
+	want, err := ca.Enroll("BankA", key.Public())
+	if err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	got, err := ca.CertificateOf("BankA")
+	if err != nil {
+		t.Fatalf("CertificateOf: %v", err)
+	}
+	if got.Serial != want.Serial {
+		t.Fatalf("CertificateOf serial = %d, want %d", got.Serial, want.Serial)
+	}
+	if _, err := ca.CertificateOf("Nobody"); !errors.Is(err, ErrUnknownIdentity) {
+		t.Fatalf("CertificateOf unknown = %v, want ErrUnknownIdentity", err)
+	}
+}
+
+func TestVerifyCertificatePinnedKey(t *testing.T) {
+	ca := newTestCA(t)
+	key, _ := dcrypto.GenerateKey()
+	cert, err := ca.Enroll("BankA", key.Public())
+	if err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	if err := VerifyCertificate(cert, ca.PublicKey(), time.Now()); err != nil {
+		t.Fatalf("VerifyCertificate: %v", err)
+	}
+}

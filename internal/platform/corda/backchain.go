@@ -1,0 +1,131 @@
+package corda
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dltprivacy/internal/dcrypto"
+)
+
+// Backchain resolution: when a Corda party receives a state, it verifies the
+// full provenance chain back to issuance — every transaction in the chain
+// must recompute its Merkle root and carry a valid notary signature. This is
+// the mechanism that makes per-transaction data distribution trustworthy
+// without a global ledger, and it is also the privacy trade-off Corda
+// documents: receiving a state means receiving (and seeing) its history.
+
+// ErrBrokenBackchain is returned when provenance verification fails.
+var ErrBrokenBackchain = errors.New("corda: broken backchain")
+
+// VerifyBackchain walks the provenance of a state ref held by the party:
+// for each transaction from the current one back to issuance it checks that
+// the party holds the transaction, that the transaction's Merkle root is
+// consistent, and that the notary signed the root. It returns the number of
+// transactions verified.
+func (n *Network) VerifyBackchain(partyName, ref string) (int, error) {
+	p, err := n.Party(partyName)
+	if err != nil {
+		return 0, err
+	}
+	verified := 0
+	visited := make(map[string]bool)
+	queue := []string{ref}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		txID, _, ok := splitRef(cur)
+		if !ok {
+			return verified, fmt.Errorf("%w: malformed ref %q", ErrBrokenBackchain, cur)
+		}
+		if visited[txID] {
+			continue
+		}
+		visited[txID] = true
+
+		p.mu.Lock()
+		rec, okTx := p.records[txID]
+		p.mu.Unlock()
+		if !okTx {
+			return verified, fmt.Errorf("%w: missing transaction %s", ErrBrokenBackchain, txID)
+		}
+		root, err := rec.tx.Root()
+		if err != nil {
+			return verified, fmt.Errorf("%w: %v", ErrBrokenBackchain, err)
+		}
+		gotID, err := rec.tx.ID()
+		if err != nil || gotID != txID {
+			return verified, fmt.Errorf("%w: transaction %s does not match its id", ErrBrokenBackchain, txID)
+		}
+		if err := n.notary.PublicKey().Verify(root[:], rec.notarySig); err != nil {
+			return verified, fmt.Errorf("%w: notary signature invalid for %s", ErrBrokenBackchain, txID)
+		}
+		// Every recorded participant signature must verify against the
+		// party's enrolled key.
+		for signer, sig := range rec.partySigs {
+			sp, err := n.Party(signer)
+			if err != nil {
+				return verified, fmt.Errorf("%w: unknown signer %s on %s", ErrBrokenBackchain, signer, txID)
+			}
+			if err := sp.key.Public().Verify(root[:], sig); err != nil {
+				return verified, fmt.Errorf("%w: signature of %s invalid on %s", ErrBrokenBackchain, signer, txID)
+			}
+		}
+		// Spender authorization: every consumed input must carry a valid
+		// signature under the one-time key of the state it consumes. The
+		// producing transaction travels in the backchain, so the verifier
+		// can extract the owner key from its outputs.
+		for _, inRef := range rec.tx.Inputs {
+			if err := n.verifyOwnerSig(p, rec, inRef, root); err != nil {
+				return verified, err
+			}
+		}
+		verified++
+		queue = append(queue, rec.tx.Inputs...)
+	}
+	return verified, nil
+}
+
+// verifyOwnerSig checks the one-time-key signature authorizing consumption
+// of input inRef within the transaction whose root is given.
+func (n *Network) verifyOwnerSig(p *Party, rec *txRecord, inRef string, root [32]byte) error {
+	sig, ok := rec.ownerSigs[inRef]
+	if !ok {
+		return fmt.Errorf("%w: no owner signature for input %s", ErrBrokenBackchain, inRef)
+	}
+	priorID, idxStr, ok := splitRef(inRef)
+	if !ok {
+		return fmt.Errorf("%w: malformed input ref %q", ErrBrokenBackchain, inRef)
+	}
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil {
+		return fmt.Errorf("%w: bad output index in %q", ErrBrokenBackchain, inRef)
+	}
+	p.mu.Lock()
+	prior, okPrior := p.records[priorID]
+	p.mu.Unlock()
+	if !okPrior {
+		return fmt.Errorf("%w: missing producer %s of input %s", ErrBrokenBackchain, priorID, inRef)
+	}
+	if idx < 0 || idx >= len(prior.tx.Outputs) {
+		return fmt.Errorf("%w: input %s points past producer outputs", ErrBrokenBackchain, inRef)
+	}
+	ownerKey, err := dcrypto.ParsePublicKey(prior.tx.Outputs[idx].OwnerKey)
+	if err != nil {
+		return fmt.Errorf("%w: bad owner key on %s", ErrBrokenBackchain, inRef)
+	}
+	if err := ownerKey.Verify(root[:], sig); err != nil {
+		return fmt.Errorf("%w: owner signature invalid for input %s", ErrBrokenBackchain, inRef)
+	}
+	return nil
+}
+
+// splitRef splits "txID:index".
+func splitRef(ref string) (txID string, index string, ok bool) {
+	i := strings.LastIndexByte(ref, ':')
+	if i <= 0 || i == len(ref)-1 {
+		return "", "", false
+	}
+	return ref[:i], ref[i+1:], true
+}

@@ -1,0 +1,159 @@
+package corda
+
+import (
+	"errors"
+	"testing"
+
+	"dltprivacy/internal/dcrypto"
+)
+
+func TestBackchainVerifiesTransferHistory(t *testing.T) {
+	n := newNet(t, Config{})
+	if _, err := n.Issue("BankA", "SellerCo", []byte("asset"), []string{"BankA", "SellerCo"}); err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	seller, _ := n.Party("SellerCo")
+	if _, err := n.Transfer("SellerCo", seller.Vault()[0], "BuyerInc", nil, nil); err != nil {
+		t.Fatalf("Transfer 1: %v", err)
+	}
+	buyer, _ := n.Party("BuyerInc")
+	if _, err := n.Transfer("BuyerInc", buyer.Vault()[0], "Outsider", nil, nil); err != nil {
+		t.Fatalf("Transfer 2: %v", err)
+	}
+	last, _ := n.Party("Outsider")
+	ref := last.Vault()[0]
+	depth, err := n.VerifyBackchain("Outsider", ref)
+	if err != nil {
+		t.Fatalf("VerifyBackchain: %v", err)
+	}
+	if depth != 3 { // issue + two transfers
+		t.Fatalf("backchain depth = %d, want 3", depth)
+	}
+}
+
+func TestBackchainMissingHistory(t *testing.T) {
+	n := newNet(t, Config{})
+	if _, err := n.Issue("BankA", "SellerCo", []byte("asset"), []string{"BankA", "SellerCo"}); err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	seller, _ := n.Party("SellerCo")
+	ref := seller.Vault()[0]
+	// A party that never received the transaction cannot verify it.
+	if _, err := n.VerifyBackchain("BuyerInc", ref); !errors.Is(err, ErrBrokenBackchain) {
+		t.Fatalf("missing history = %v, want ErrBrokenBackchain", err)
+	}
+}
+
+func TestBackchainRejectsForgedNotarySig(t *testing.T) {
+	n := newNet(t, Config{})
+	if _, err := n.Issue("BankA", "SellerCo", []byte("asset"), []string{"BankA", "SellerCo"}); err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	seller, _ := n.Party("SellerCo")
+	ref := seller.Vault()[0]
+	txID, _, _ := splitRef(ref)
+	// Replace the notary signature with one from a rogue key.
+	rogue, _ := dcrypto.GenerateKey()
+	forged, err := rogue.Sign([]byte("whatever"))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	seller.mu.Lock()
+	rec := seller.records[txID]
+	tampered := *rec
+	tampered.notarySig = forged
+	seller.records[txID] = &tampered
+	seller.mu.Unlock()
+	if _, err := n.VerifyBackchain("SellerCo", ref); !errors.Is(err, ErrBrokenBackchain) {
+		t.Fatalf("forged sig = %v, want ErrBrokenBackchain", err)
+	}
+}
+
+func TestBackchainRejectsForgedParticipantSig(t *testing.T) {
+	n := newNet(t, Config{})
+	if _, err := n.Issue("BankA", "SellerCo", []byte("asset"), []string{"BankA", "SellerCo"}); err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	seller, _ := n.Party("SellerCo")
+	ref := seller.Vault()[0]
+	txID, _, _ := splitRef(ref)
+	rogue, _ := dcrypto.GenerateKey()
+	forged, err := rogue.Sign([]byte("x"))
+	if err != nil {
+		t.Fatalf("Sign: %v", err)
+	}
+	seller.mu.Lock()
+	rec := seller.records[txID]
+	tampered := *rec
+	tampered.partySigs = map[string]dcrypto.Signature{"BankA": forged}
+	seller.records[txID] = &tampered
+	seller.mu.Unlock()
+	if _, err := n.VerifyBackchain("SellerCo", ref); !errors.Is(err, ErrBrokenBackchain) {
+		t.Fatalf("forged participant sig = %v, want ErrBrokenBackchain", err)
+	}
+}
+
+func TestBackchainRejectsForgedOwnerSig(t *testing.T) {
+	n := newNet(t, Config{})
+	if _, err := n.Issue("BankA", "SellerCo", []byte("asset"), []string{"BankA", "SellerCo"}); err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	seller, _ := n.Party("SellerCo")
+	tid, err := n.Transfer("SellerCo", seller.Vault()[0], "BuyerInc", nil, nil)
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	buyer, _ := n.Party("BuyerInc")
+	ref := buyer.Vault()[0]
+	// Baseline: the chain verifies.
+	if _, err := n.VerifyBackchain("BuyerInc", ref); err != nil {
+		t.Fatalf("VerifyBackchain: %v", err)
+	}
+	// Forge the owner signature of the transfer's input.
+	rogue, _ := dcrypto.GenerateKey()
+	forged, _ := rogue.Sign([]byte("x"))
+	buyer.mu.Lock()
+	rec := buyer.records[tid]
+	tampered := *rec
+	tampered.ownerSigs = map[string]dcrypto.Signature{}
+	for k := range rec.ownerSigs {
+		tampered.ownerSigs[k] = forged
+	}
+	buyer.records[tid] = &tampered
+	buyer.mu.Unlock()
+	if _, err := n.VerifyBackchain("BuyerInc", ref); !errors.Is(err, ErrBrokenBackchain) {
+		t.Fatalf("forged owner sig = %v, want ErrBrokenBackchain", err)
+	}
+}
+
+func TestBackchainMalformedRef(t *testing.T) {
+	n := newNet(t, Config{})
+	if _, err := n.VerifyBackchain("BankA", "garbage"); !errors.Is(err, ErrBrokenBackchain) {
+		t.Fatalf("malformed ref = %v, want ErrBrokenBackchain", err)
+	}
+	if _, err := n.VerifyBackchain("Ghost", "a:0"); !errors.Is(err, ErrUnknownParty) {
+		t.Fatalf("unknown party = %v, want ErrUnknownParty", err)
+	}
+}
+
+func TestSplitRef(t *testing.T) {
+	cases := []struct {
+		in    string
+		txID  string
+		index string
+		ok    bool
+	}{
+		{"abc:0", "abc", "0", true},
+		{"a:b:2", "a:b", "2", true},
+		{"abc", "", "", false},
+		{":0", "", "", false},
+		{"abc:", "", "", false},
+	}
+	for _, c := range cases {
+		txID, index, ok := splitRef(c.in)
+		if txID != c.txID || index != c.index || ok != c.ok {
+			t.Errorf("splitRef(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.in, txID, index, ok, c.txID, c.index, c.ok)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package corda
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"dltprivacy/internal/audit"
+)
+
+func newNet(t *testing.T, cfg Config) *Network {
+	t.Helper()
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	for _, p := range []string{"BankA", "SellerCo", "BuyerInc", "Outsider"} {
+		if _, err := n.AddParty(p); err != nil {
+			t.Fatalf("AddParty(%s): %v", p, err)
+		}
+	}
+	return n
+}
+
+func TestIssueAndVault(t *testing.T) {
+	n := newNet(t, Config{})
+	id, err := n.Issue("BankA", "SellerCo", []byte("cash:100"), []string{"BankA", "SellerCo"})
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	seller, _ := n.Party("SellerCo")
+	refs := seller.Vault()
+	if len(refs) != 1 || !strings.HasPrefix(refs[0], id+":") {
+		t.Fatalf("vault = %v", refs)
+	}
+	st, err := seller.StateByRef(refs[0])
+	if err != nil || string(st.Data) != "cash:100" {
+		t.Fatalf("state = %+v, %v", st, err)
+	}
+}
+
+func TestP2PDistributionOnly(t *testing.T) {
+	n := newNet(t, Config{})
+	id, err := n.Issue("BankA", "SellerCo", []byte("secret deal"), []string{"BankA", "SellerCo"})
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	// Participants saw the transaction.
+	for _, p := range []string{"BankA", "SellerCo"} {
+		if !n.Log.Saw(p, audit.ClassTxData, id) {
+			t.Fatalf("%s must see the tx", p)
+		}
+	}
+	// Non-participants saw nothing — no global broadcast.
+	for _, p := range []string{"BuyerInc", "Outsider"} {
+		if n.Log.SawAny(p, audit.ClassTxData) {
+			t.Fatalf("%s must not see any tx data", p)
+		}
+		if n.Log.SawAny(p, audit.ClassRelationship) {
+			t.Fatalf("%s must not learn relationships", p)
+		}
+	}
+	// Non-participant vaults are empty.
+	buyer, _ := n.Party("BuyerInc")
+	if len(buyer.Vault()) != 0 {
+		t.Fatal("non-participant vault must be empty")
+	}
+}
+
+func TestTransferMovesOwnership(t *testing.T) {
+	n := newNet(t, Config{})
+	id, err := n.Issue("BankA", "SellerCo", []byte("asset"), []string{"BankA", "SellerCo"})
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	seller, _ := n.Party("SellerCo")
+	ref := seller.Vault()[0]
+	tid, err := n.Transfer("SellerCo", ref, "BuyerInc", nil, nil)
+	if err != nil {
+		t.Fatalf("Transfer: %v", err)
+	}
+	buyer, _ := n.Party("BuyerInc")
+	if len(buyer.Vault()) != 1 {
+		t.Fatalf("buyer vault = %v", buyer.Vault())
+	}
+	// The input is consumed from the seller's vault.
+	if _, err := seller.StateByRef(ref); !errors.Is(err, ErrUnknownState) {
+		t.Fatalf("consumed state still in vault: %v", err)
+	}
+	_ = id
+	_ = tid
+}
+
+func TestNotaryPreventsDoubleSpend(t *testing.T) {
+	n := newNet(t, Config{})
+	if _, err := n.Issue("BankA", "SellerCo", []byte("asset"), []string{"BankA", "SellerCo"}); err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	seller, _ := n.Party("SellerCo")
+	ref := seller.Vault()[0]
+	if _, err := n.Transfer("SellerCo", ref, "BuyerInc", nil, nil); err != nil {
+		t.Fatalf("first Transfer: %v", err)
+	}
+	// The state is gone from the vault; re-add a forged copy to try a
+	// double spend at the notary layer.
+	st := State{Ref: ref, Data: []byte("asset"), Participants: []string{"SellerCo", "BankA"}}
+	oneTime, _ := seller.chain.Next()
+	st.OwnerAddr = oneTime.Address()
+	st.OwnerKey = oneTime.Bytes()
+	seller.mu.Lock()
+	seller.vault[ref] = st
+	seller.mu.Unlock()
+	if _, err := n.Transfer("SellerCo", ref, "BankA", nil, nil); !errors.Is(err, ErrDoubleSpend) {
+		t.Fatalf("double spend = %v, want ErrDoubleSpend", err)
+	}
+}
+
+func TestSpendRequiresOwnerKey(t *testing.T) {
+	n := newNet(t, Config{})
+	if _, err := n.Issue("BankA", "SellerCo", []byte("asset"), []string{"BankA", "SellerCo"}); err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	seller, _ := n.Party("SellerCo")
+	ref := seller.Vault()[0]
+	st, _ := seller.StateByRef(ref)
+	// BankA holds the state too (participant) but does not own the
+	// one-time key; spending must fail.
+	bank, _ := n.Party("BankA")
+	bank.mu.Lock()
+	bank.vault[ref] = st
+	bank.mu.Unlock()
+	if _, err := n.Transfer("BankA", ref, "BuyerInc", nil, nil); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("non-owner spend = %v, want ErrNotOwner", err)
+	}
+}
+
+func TestOneTimeKeysConcealOwner(t *testing.T) {
+	n := newNet(t, Config{})
+	if _, err := n.Issue("BankA", "SellerCo", []byte("a1"), []string{"BankA", "SellerCo"}); err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	if _, err := n.Issue("BankA", "SellerCo", []byte("a2"), []string{"BankA", "SellerCo"}); err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	seller, _ := n.Party("SellerCo")
+	refs := seller.Vault()
+	s1, _ := seller.StateByRef(refs[0])
+	s2, _ := seller.StateByRef(refs[1])
+	if s1.OwnerAddr == s2.OwnerAddr {
+		t.Fatal("successive states must use fresh one-time keys")
+	}
+	if s1.OwnerAddr == "SellerCo" || strings.Contains(s1.OwnerAddr, "Seller") {
+		t.Fatal("owner address must not reveal identity")
+	}
+}
+
+func TestNonValidatingNotarySeesOnlyMetadata(t *testing.T) {
+	n := newNet(t, Config{})
+	id, err := n.Issue("BankA", "SellerCo", []byte("secret"), []string{"BankA", "SellerCo"})
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	if !n.Log.Saw("notary", audit.ClassTxMetadata, id) {
+		t.Fatal("notary must see tx metadata")
+	}
+	if n.Log.Saw("notary", audit.ClassTxData, id) {
+		t.Fatal("non-validating notary must not see tx data")
+	}
+	if n.Log.SawAny("notary", audit.ClassIdentity) {
+		t.Fatal("non-validating notary must not see identities")
+	}
+}
+
+func TestValidatingNotarySeesContent(t *testing.T) {
+	n, err := NewNetwork(Config{ValidatingNotary: true})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	for _, p := range []string{"BankA", "SellerCo"} {
+		if _, err := n.AddParty(p); err != nil {
+			t.Fatalf("AddParty: %v", err)
+		}
+	}
+	id, err := n.Issue("BankA", "SellerCo", []byte("secret"), []string{"BankA", "SellerCo"})
+	if err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	if !n.Log.Saw("notary", audit.ClassTxData, id) {
+		t.Fatal("validating notary must see tx data (§3.4 trade-off)")
+	}
+}
+
+func TestOffPlatformLogicRejects(t *testing.T) {
+	n := newNet(t, Config{})
+	if _, err := n.Issue("BankA", "SellerCo", []byte("asset"), []string{"BankA", "SellerCo"}); err != nil {
+		t.Fatalf("Issue: %v", err)
+	}
+	seller, _ := n.Party("SellerCo")
+	ref := seller.Vault()[0]
+	rejectAll := func(tx *Transaction) error { return errors.New("price too low") }
+	if _, err := n.Transfer("SellerCo", ref, "BuyerInc", nil, rejectAll); !errors.Is(err, ErrLogicRejected) {
+		t.Fatalf("rejected logic = %v, want ErrLogicRejected", err)
+	}
+	// State remains unconsumed after rejection.
+	if _, err := seller.StateByRef(ref); err != nil {
+		t.Fatalf("state must survive rejection: %v", err)
+	}
+}
+
+func TestOracleTearOff(t *testing.T) {
+	n := newNet(t, Config{})
+	if err := n.AddOracle("fx-oracle"); err != nil {
+		t.Fatalf("AddOracle: %v", err)
+	}
+	tx := &Transaction{
+		Outputs: []State{{
+			Data:         []byte("pay 100 USD at rate 1.52"),
+			OwnerAddr:    "addr",
+			Participants: []string{"BankA", "SellerCo"},
+		}},
+		Commands: []string{"rate:1.52"},
+	}
+	to, err := tx.CommandTearOff(0)
+	if err != nil {
+		t.Fatalf("CommandTearOff: %v", err)
+	}
+	att, err := n.OracleSign("fx-oracle", to, func(visible []byte) error {
+		if string(visible) != "rate:1.52" {
+			return errors.New("unexpected component")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("OracleSign: %v", err)
+	}
+	if err := n.VerifyOracleAttestation(att, tx); err != nil {
+		t.Fatalf("VerifyOracleAttestation: %v", err)
+	}
+	// The oracle saw only the command component, not the payload.
+	if !n.Log.Saw("fx-oracle", audit.ClassTxData, "component:rate:1.52") {
+		t.Fatal("oracle must see the visible component")
+	}
+	for _, item := range n.Log.ItemsSeen("fx-oracle", audit.ClassTxData) {
+		if bytes.Contains([]byte(item), []byte("pay 100 USD")) {
+			t.Fatal("oracle must not see hidden components")
+		}
+	}
+}
+
+func TestOracleRejectsBadComponent(t *testing.T) {
+	n := newNet(t, Config{})
+	if err := n.AddOracle("fx-oracle"); err != nil {
+		t.Fatalf("AddOracle: %v", err)
+	}
+	tx := &Transaction{
+		Outputs:  []State{{Data: []byte("x"), OwnerAddr: "a", Participants: []string{"BankA"}}},
+		Commands: []string{"rate:9.99"},
+	}
+	to, _ := tx.CommandTearOff(0)
+	_, err := n.OracleSign("fx-oracle", to, func(visible []byte) error {
+		return errors.New("rate unknown")
+	})
+	if err == nil {
+		t.Fatal("oracle must refuse to attest a bad component")
+	}
+}
+
+func TestUnknownPartyAndState(t *testing.T) {
+	n := newNet(t, Config{})
+	if _, err := n.Party("Ghost"); !errors.Is(err, ErrUnknownParty) {
+		t.Fatalf("Party ghost = %v, want ErrUnknownParty", err)
+	}
+	if _, err := n.Issue("BankA", "Ghost", nil, nil); !errors.Is(err, ErrUnknownParty) {
+		t.Fatalf("Issue to ghost = %v, want ErrUnknownParty", err)
+	}
+	if _, err := n.Transfer("BankA", "nope:0", "SellerCo", nil, nil); !errors.Is(err, ErrUnknownState) {
+		t.Fatalf("Transfer unknown state = %v, want ErrUnknownState", err)
+	}
+	tearTx := &Transaction{Commands: []string{"c"}}
+	to, err := tearTx.CommandTearOff(0)
+	if err != nil {
+		t.Fatalf("CommandTearOff: %v", err)
+	}
+	if _, err := n.OracleSign("nobody", to, nil); !errors.Is(err, ErrUnknownParty) {
+		t.Fatalf("OracleSign unknown oracle = %v, want ErrUnknownParty", err)
+	}
+}
+
+func TestDuplicateParty(t *testing.T) {
+	n := newNet(t, Config{})
+	if _, err := n.AddParty("BankA"); err == nil {
+		t.Fatal("duplicate party must fail")
+	}
+}
+
+func TestTransactionIDDeterministic(t *testing.T) {
+	tx1 := &Transaction{Outputs: []State{{Data: []byte("d"), OwnerAddr: "a"}}, Commands: []string{"c"}}
+	tx2 := &Transaction{Outputs: []State{{Data: []byte("d"), OwnerAddr: "a"}}, Commands: []string{"c"}}
+	id1, err := tx1.ID()
+	if err != nil {
+		t.Fatalf("ID: %v", err)
+	}
+	id2, _ := tx2.ID()
+	if id1 != id2 {
+		t.Fatal("identical txs must share IDs")
+	}
+}
+
+func TestEmptyTransactionRejected(t *testing.T) {
+	tx := &Transaction{}
+	if _, err := tx.ID(); !errors.Is(err, ErrBadTransaction) {
+		t.Fatalf("empty tx = %v, want ErrBadTransaction", err)
+	}
+}

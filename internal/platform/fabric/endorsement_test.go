@@ -1,0 +1,97 @@
+package fabric
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+
+	"dltprivacy/internal/contract"
+)
+
+// TestDivergentEndorsementsRejected: if endorsing peers run different
+// chaincode versions (or non-deterministic logic) and produce different
+// write sets, the proposal must fail rather than commit inconsistent state.
+// This is the in-built version guarantee the paper's §3.3 contrasts with
+// off-chain engines.
+func TestDivergentEndorsementsRejected(t *testing.T) {
+	n, err := NewNetwork(Config{})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	for _, org := range []string{"OrgA", "OrgB"} {
+		if _, err := n.AddOrg(org); err != nil {
+			t.Fatalf("AddOrg: %v", err)
+		}
+	}
+	policy := contract.Policy{Members: []string{"OrgA", "OrgB"}, Threshold: 1}
+	if err := n.CreateChannel("ch", []string{"OrgA", "OrgB"}, policy); err != nil {
+		t.Fatalf("CreateChannel: %v", err)
+	}
+	// Same contract name, divergent behaviour per version.
+	mk := func(version string, value string) contract.Contract {
+		return contract.Contract{
+			Name:    "pricing",
+			Version: version,
+			Funcs: map[string]contract.Func{
+				"quote": func(ctx *contract.Context, args [][]byte) ([]byte, error) {
+					ctx.Put("quote", []byte(value))
+					return nil, nil
+				},
+			},
+		}
+	}
+	if err := n.InstallChaincode("ch", mk("1", "100"), []string{"OrgA"}); err != nil {
+		t.Fatalf("InstallChaincode v1: %v", err)
+	}
+	if err := n.InstallChaincode("ch", mk("2", "999"), []string{"OrgB"}); err != nil {
+		t.Fatalf("InstallChaincode v2: %v", err)
+	}
+	_, err = n.Invoke("ch", "OrgA", "pricing", "quote", nil, []string{"OrgA", "OrgB"})
+	if !errors.Is(err, ErrEndorsementFailed) {
+		t.Fatalf("divergent endorsement = %v, want ErrEndorsementFailed", err)
+	}
+	// Neither replica committed anything.
+	for _, org := range []string{"OrgA", "OrgB"} {
+		if h, _ := n.Height("ch", org); h != 0 {
+			t.Fatalf("replica %s height = %d, want 0", org, h)
+		}
+	}
+}
+
+// TestNonDeterministicChaincodeCaught: logic whose output depends on
+// per-peer state diverges at endorsement time.
+func TestNonDeterministicChaincodeCaught(t *testing.T) {
+	n, err := NewNetwork(Config{})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	for _, org := range []string{"OrgA", "OrgB"} {
+		if _, err := n.AddOrg(org); err != nil {
+			t.Fatalf("AddOrg: %v", err)
+		}
+	}
+	policy := contract.Policy{Members: []string{"OrgA", "OrgB"}, Threshold: 1}
+	if err := n.CreateChannel("ch", []string{"OrgA", "OrgB"}, policy); err != nil {
+		t.Fatalf("CreateChannel: %v", err)
+	}
+	counter := 0
+	bad := contract.Contract{
+		Name:    "nondet",
+		Version: "1",
+		Funcs: map[string]contract.Func{
+			"next": func(ctx *contract.Context, args [][]byte) ([]byte, error) {
+				counter++ // shared across endorsements: each peer sees a different value
+				ctx.Put("n", []byte(strconv.Itoa(counter)))
+				return nil, nil
+			},
+		},
+	}
+	for _, org := range []string{"OrgA", "OrgB"} {
+		if err := n.InstallChaincode("ch", bad, []string{org}); err != nil {
+			t.Fatalf("InstallChaincode: %v", err)
+		}
+	}
+	if _, err := n.Invoke("ch", "OrgA", "nondet", "next", nil, []string{"OrgA", "OrgB"}); !errors.Is(err, ErrEndorsementFailed) {
+		t.Fatalf("non-deterministic chaincode = %v, want ErrEndorsementFailed", err)
+	}
+}

@@ -1,0 +1,156 @@
+package fabric
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"time"
+
+	"dltprivacy/internal/audit"
+	"dltprivacy/internal/dcrypto"
+	"dltprivacy/internal/ledger"
+)
+
+// This file implements two Figure 1 / §2.2 refinements on the channel
+// mechanism: publishing a hash of a confidential transaction on a shared
+// ledger ("If a public record of the existence of a transaction is
+// required, a hash of transaction data may optionally be published on a
+// shared ledger"), and late joining with block replay, which exercises the
+// ledger's catch-up path and extends the membership of a separation-of-
+// ledgers deployment.
+
+// Errors for the extensions.
+var (
+	// ErrAlreadyMember is returned when joining an org twice.
+	ErrAlreadyMember = errors.New("fabric: organization already a channel member")
+	// ErrNoReceipt is returned when existence verification fails.
+	ErrNoReceipt = errors.New("fabric: no receipt for transaction")
+)
+
+// sharedLedgerName is the network-wide receipts ledger every org can read.
+const sharedLedgerName = "system-receipts"
+
+// receiptKey derives the shared-ledger key for a channel transaction. The
+// channel name is folded into the hash, so the receipt reveals neither the
+// channel nor the parties — only someone already told (channel, txID) can
+// look it up.
+func receiptKey(channel, txID string) string {
+	sum := dcrypto.HashConcat([]byte("receipt"), []byte(channel), []byte(txID))
+	return "receipt/" + hex.EncodeToString(sum[:16])
+}
+
+// sharedLedger lazily creates the network-wide receipts ledger.
+func (n *Network) sharedLedger() *ledger.Ledger {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.receipts == nil {
+		n.receipts = ledger.New(sharedLedgerName)
+	}
+	return n.receipts
+}
+
+// PublishReceipt records, on the shared ledger, that a channel transaction
+// exists — without revealing channel, parties, or content. Any org
+// (member or not) observes only an opaque hash.
+func (n *Network) PublishReceipt(channelName, org, txID string) error {
+	ch, err := n.channelOf(channelName)
+	if err != nil {
+		return err
+	}
+	if !ch.members[org] {
+		return fmt.Errorf("%q on %q: %w", org, channelName, ErrNotMember)
+	}
+	shared := n.sharedLedger()
+	digest := dcrypto.HashConcat([]byte(channelName), []byte(txID))
+	tx := ledger.Transaction{
+		Channel:   sharedLedgerName,
+		Creator:   "receipt-publisher", // deliberately not the org: receipts are anonymous
+		Writes:    []ledger.Write{{Key: receiptKey(channelName, txID), Value: digest[:]}},
+		Timestamp: time.Now().UTC(),
+	}
+	if err := shared.Append(shared.CutBlock([]ledger.Transaction{tx})); err != nil {
+		return fmt.Errorf("publish receipt: %w", err)
+	}
+	// Every org can see that *some* receipt appeared; record it for the
+	// whole network as hash-class observations.
+	n.mu.Lock()
+	orgs := make([]string, 0, len(n.orgs))
+	for name := range n.orgs {
+		orgs = append(orgs, name)
+	}
+	n.mu.Unlock()
+	for _, o := range orgs {
+		n.Log.Record(o, audit.ClassTxHash, receiptKey(channelName, txID))
+	}
+	return nil
+}
+
+// VerifyReceipt lets any org confirm that the transaction identified by
+// (channel, txID) — both learned out of band from a counterparty — was
+// anchored on the shared ledger.
+func (n *Network) VerifyReceipt(channelName, txID string) error {
+	shared := n.sharedLedger()
+	v, err := shared.Get(receiptKey(channelName, txID))
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNoReceipt, err)
+	}
+	want := dcrypto.HashConcat([]byte(channelName), []byte(txID))
+	if len(v.Value) != len(want) || string(v.Value) != string(want[:]) {
+		return ErrNoReceipt
+	}
+	return nil
+}
+
+// JoinChannel adds an organization to an existing channel: its fresh
+// replica replays the channel history (catch-up), it subscribes to future
+// blocks, and — since a new member reads the whole history — the audit log
+// records its observation of every past transaction.
+func (n *Network) JoinChannel(channelName, org string) error {
+	ch, err := n.channelOf(channelName)
+	if err != nil {
+		return err
+	}
+	newOrg, err := n.Org(org)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if ch.members[org] {
+		n.mu.Unlock()
+		return fmt.Errorf("%q on %q: %w", org, channelName, ErrAlreadyMember)
+	}
+	history := make([]ledger.Block, len(ch.history))
+	copy(history, ch.history)
+	members := make([]string, 0, len(ch.members)+1)
+	for m := range ch.members {
+		members = append(members, m)
+	}
+	members = append(members, org)
+	n.mu.Unlock()
+
+	replica := ledger.New(channelName)
+	for _, b := range history {
+		if err := replica.Append(b); err != nil {
+			return fmt.Errorf("replay block %d: %w", b.Number, err)
+		}
+		for _, tx := range b.Txs {
+			n.Log.Record(org, audit.ClassTxData, tx.ID())
+			n.Log.Record(org, audit.ClassIdentity, tx.Creator)
+		}
+	}
+	newOrg.mu.Lock()
+	newOrg.ledgers[channelName] = replica
+	newOrg.mu.Unlock()
+	n.orderer.Subscribe(channelName, replica.Append)
+
+	n.mu.Lock()
+	ch.members[org] = true
+	n.mu.Unlock()
+	// Existing members and the new member learn the updated membership.
+	for _, m := range members {
+		n.Log.Record(m, audit.ClassIdentity, org)
+		n.Log.Record(org, audit.ClassIdentity, m)
+		n.Log.Record(m, audit.ClassRelationship, relationshipItem(channelName, members))
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package fabric
+
+import (
+	"errors"
+	"testing"
+
+	"dltprivacy/internal/audit"
+)
+
+func TestPublishAndVerifyReceipt(t *testing.T) {
+	n := newTradeNetwork(t)
+	id, err := n.Invoke("trade", "BankA", "trade", "record",
+		[][]byte{[]byte("lot-1"), []byte("secret")}, []string{"BankA", "SellerCo"})
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if err := n.PublishReceipt("trade", "BankA", id); err != nil {
+		t.Fatalf("PublishReceipt: %v", err)
+	}
+	// Any party told (channel, txID) can verify existence…
+	if err := n.VerifyReceipt("trade", id); err != nil {
+		t.Fatalf("VerifyReceipt: %v", err)
+	}
+	// …while an unpublished or wrong reference fails.
+	if err := n.VerifyReceipt("trade", "other-tx"); !errors.Is(err, ErrNoReceipt) {
+		t.Fatalf("VerifyReceipt other = %v, want ErrNoReceipt", err)
+	}
+	if err := n.VerifyReceipt("wrong-channel", id); !errors.Is(err, ErrNoReceipt) {
+		t.Fatalf("VerifyReceipt wrong channel = %v, want ErrNoReceipt", err)
+	}
+}
+
+func TestReceiptLeaksOnlyHash(t *testing.T) {
+	n := newTradeNetwork(t)
+	id, err := n.Invoke("trade", "BankA", "trade", "record",
+		[][]byte{[]byte("lot-1"), []byte("secret")}, []string{"BankA", "SellerCo"})
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if err := n.PublishReceipt("trade", "BankA", id); err != nil {
+		t.Fatalf("PublishReceipt: %v", err)
+	}
+	// Outsiders gained a hash-class observation and nothing else.
+	if !n.Log.SawAny("Outsider", audit.ClassTxHash) {
+		t.Fatal("outsider must see the receipt hash on the shared ledger")
+	}
+	if n.Log.Saw("Outsider", audit.ClassTxData, id) {
+		t.Fatal("receipt must not reveal transaction data")
+	}
+	if n.Log.SawAny("Outsider", audit.ClassRelationship) {
+		t.Fatal("receipt must not reveal relationships")
+	}
+}
+
+func TestPublishReceiptRequiresMembership(t *testing.T) {
+	n := newTradeNetwork(t)
+	if err := n.PublishReceipt("trade", "Outsider", "tx"); !errors.Is(err, ErrNotMember) {
+		t.Fatalf("outsider publish = %v, want ErrNotMember", err)
+	}
+	if err := n.PublishReceipt("ghost", "BankA", "tx"); !errors.Is(err, ErrUnknownChannel) {
+		t.Fatalf("unknown channel publish = %v, want ErrUnknownChannel", err)
+	}
+}
+
+func TestJoinChannelCatchUp(t *testing.T) {
+	n := newTradeNetwork(t)
+	// Commit history before the join.
+	for _, key := range []string{"a", "b", "c"} {
+		if _, err := n.Invoke("trade", "BankA", "trade", "record",
+			[][]byte{[]byte(key), []byte("v-" + key)}, []string{"BankA", "SellerCo"}); err != nil {
+			t.Fatalf("Invoke(%s): %v", key, err)
+		}
+	}
+	if err := n.JoinChannel("trade", "BuyerInc"); err != nil {
+		t.Fatalf("JoinChannel: %v", err)
+	}
+	// The new member replayed history…
+	for _, key := range []string{"a", "b", "c"} {
+		got, err := n.Query("trade", "BuyerInc", key)
+		if err != nil || string(got) != "v-"+key {
+			t.Fatalf("Query(%s) by joiner = %q, %v", key, got, err)
+		}
+	}
+	h, err := n.Height("trade", "BuyerInc")
+	if err != nil || h != 3 {
+		t.Fatalf("joiner height = %d, %v; want 3", h, err)
+	}
+	// …and receives future blocks.
+	if _, err := n.Invoke("trade", "BankA", "trade", "record",
+		[][]byte{[]byte("d"), []byte("v-d")}, []string{"BankA", "SellerCo"}); err != nil {
+		t.Fatalf("Invoke after join: %v", err)
+	}
+	got, err := n.Query("trade", "BuyerInc", "d")
+	if err != nil || string(got) != "v-d" {
+		t.Fatalf("post-join Query = %q, %v", got, err)
+	}
+}
+
+func TestJoinChannelRecordsHistoricalObservations(t *testing.T) {
+	n := newTradeNetwork(t)
+	id, err := n.Invoke("trade", "BankA", "trade", "record",
+		[][]byte{[]byte("k"), []byte("v")}, []string{"BankA", "SellerCo"})
+	if err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if n.Log.Saw("BuyerInc", audit.ClassTxData, id) {
+		t.Fatal("pre-join, BuyerInc must not see the tx")
+	}
+	if err := n.JoinChannel("trade", "BuyerInc"); err != nil {
+		t.Fatalf("JoinChannel: %v", err)
+	}
+	// Joining a channel reveals its full history: the audit log is honest
+	// about that.
+	if !n.Log.Saw("BuyerInc", audit.ClassTxData, id) {
+		t.Fatal("post-join, the replayed history is an observation")
+	}
+}
+
+func TestJoinChannelErrors(t *testing.T) {
+	n := newTradeNetwork(t)
+	if err := n.JoinChannel("trade", "BankA"); !errors.Is(err, ErrAlreadyMember) {
+		t.Fatalf("rejoin = %v, want ErrAlreadyMember", err)
+	}
+	if err := n.JoinChannel("ghost", "BuyerInc"); !errors.Is(err, ErrUnknownChannel) {
+		t.Fatalf("join ghost = %v, want ErrUnknownChannel", err)
+	}
+	if err := n.JoinChannel("trade", "Nobody"); !errors.Is(err, ErrUnknownOrg) {
+		t.Fatalf("join by unknown org = %v, want ErrUnknownOrg", err)
+	}
+}
+
+func TestJoinedMemberCanTransact(t *testing.T) {
+	n := newTradeNetwork(t)
+	if err := n.JoinChannel("trade", "BuyerInc"); err != nil {
+		t.Fatalf("JoinChannel: %v", err)
+	}
+	if err := n.InstallChaincode("trade", tradeChaincode(), []string{"BuyerInc"}); err != nil {
+		t.Fatalf("InstallChaincode: %v", err)
+	}
+	// Channel policy demands BankA+SellerCo endorsements; the joiner
+	// creates, the original members endorse.
+	if _, err := n.Invoke("trade", "BuyerInc", "trade", "record",
+		[][]byte{[]byte("from-joiner"), []byte("v")}, []string{"BankA", "SellerCo"}); err != nil {
+		t.Fatalf("Invoke by joiner: %v", err)
+	}
+	got, err := n.Query("trade", "BankA", "from-joiner")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("Query = %q, %v", got, err)
+	}
+}

@@ -1,0 +1,181 @@
+package quorum
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"dltprivacy/internal/audit"
+	"dltprivacy/internal/contract"
+	"dltprivacy/internal/ledger"
+)
+
+// Private smart contracts: Quorum's second §5 mechanism. A private contract
+// is deployed to a participant group; its code and state updates travel as
+// private transactions (payload hash public, content confined), and each
+// participant node executes the contract against its own private state —
+// "private state and smart contracts are updated through private
+// transactions".
+
+// Errors for contract execution.
+var (
+	// ErrUnknownContract is returned when a node has no deployment of the
+	// named contract.
+	ErrUnknownContract = errors.New("quorum: contract not deployed on this node")
+	// ErrStateDiverged is returned by CompareStates when participant
+	// nodes disagree on contract state.
+	ErrStateDiverged = errors.New("quorum: participant contract states diverged")
+)
+
+// deployment is one node's copy of a private contract.
+type deployment struct {
+	logic        contract.Contract
+	participants []string
+}
+
+// contractStore tracks per-node private contract deployments.
+type contractStore struct {
+	mu          sync.Mutex
+	deployments map[string]map[string]*deployment // node -> name -> deployment
+}
+
+func (n *Network) contracts() *contractStore {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cstore == nil {
+		n.cstore = &contractStore{deployments: make(map[string]map[string]*deployment)}
+	}
+	return n.cstore
+}
+
+// DeployPrivateContract distributes contract code to the participant group
+// via a private transaction: the public chain carries the code hash and the
+// participant list; only participants hold (and can see) the logic.
+func (n *Network) DeployPrivateContract(from string, participants []string, logic contract.Contract) (string, error) {
+	if logic.Name == "" {
+		return "", errors.New("quorum: contract needs a name")
+	}
+	id, err := n.SendPrivate(from, participants, "code/"+logic.Name, []byte(logic.Name+"@"+logic.Version))
+	if err != nil {
+		return "", err
+	}
+	group := append([]string{from}, participants...)
+	sort.Strings(group)
+	cs := n.contracts()
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	for _, node := range group {
+		byName, ok := cs.deployments[node]
+		if !ok {
+			byName = make(map[string]*deployment)
+			cs.deployments[node] = byName
+		}
+		byName[logic.Name] = &deployment{logic: logic, participants: group}
+		n.Log.Record(node, audit.ClassBusinessLogic, logic.Name)
+	}
+	return id, nil
+}
+
+// privateStateView adapts a node's private state to contract.StateView.
+type privateStateView struct{ node *Node }
+
+func (v privateStateView) Get(key string) ([]byte, error) {
+	b, ok := v.node.PrivateState(key)
+	if !ok {
+		return nil, fmt.Errorf("key %q: %w", key, ledger.ErrNotFound)
+	}
+	return b, nil
+}
+
+// InvokePrivateContract executes a private contract function. The sender
+// executes locally, then the resulting write set is distributed to every
+// participant as a private transaction, keeping the group's private states
+// aligned while the rest of the network sees only envelopes.
+func (n *Network) InvokePrivateContract(from, name, fn string, args [][]byte) (string, error) {
+	sender, err := n.Node(from)
+	if err != nil {
+		return "", err
+	}
+	cs := n.contracts()
+	cs.mu.Lock()
+	dep, ok := cs.deployments[from][name]
+	cs.mu.Unlock()
+	if !ok {
+		return "", fmt.Errorf("%s on %s: %w", name, from, ErrUnknownContract)
+	}
+	ctx := contract.NewContext("quorum-private", from, privateStateView{sender})
+	_, writes, err := dep.logic.Invoke(ctx, fn, args)
+	if err != nil {
+		return "", fmt.Errorf("invoke %s.%s: %w", name, fn, err)
+	}
+	others := make([]string, 0, len(dep.participants))
+	for _, p := range dep.participants {
+		if p != from {
+			others = append(others, p)
+		}
+	}
+	var lastID string
+	for _, w := range writes {
+		if w.Delete {
+			// Model deletion as an empty-value tombstone in private state.
+			w.Value = nil
+		}
+		id, err := n.SendPrivate(from, others, w.Key, w.Value)
+		if err != nil {
+			return "", fmt.Errorf("distribute write %q: %w", w.Key, err)
+		}
+		lastID = id
+	}
+	return lastID, nil
+}
+
+// ContractDeployedOn reports whether the node holds the contract code.
+func (n *Network) ContractDeployedOn(node, name string) bool {
+	cs := n.contracts()
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	_, ok := cs.deployments[node][name]
+	return ok
+}
+
+// CompareStates checks that all participant nodes of a contract agree on
+// the given keys, returning ErrStateDiverged with details otherwise. A
+// global observer can run this; individual participants cannot (they do not
+// see other groups' private state), which is the §5 consistency caveat.
+func (n *Network) CompareStates(name string, keys []string) error {
+	cs := n.contracts()
+	cs.mu.Lock()
+	var group []string
+	for node, byName := range cs.deployments {
+		if _, ok := byName[name]; ok {
+			group = append(group, node)
+		}
+	}
+	cs.mu.Unlock()
+	sort.Strings(group)
+	var diverged []string
+	for _, key := range keys {
+		values := make(map[string][]string)
+		for _, nodeName := range group {
+			nd, err := n.Node(nodeName)
+			if err != nil {
+				continue
+			}
+			v, ok := nd.PrivateState(key)
+			if !ok {
+				values["<absent>"] = append(values["<absent>"], nodeName)
+				continue
+			}
+			values[string(v)] = append(values[string(v)], nodeName)
+		}
+		if len(values) > 1 {
+			diverged = append(diverged, key)
+		}
+	}
+	if len(diverged) > 0 {
+		return fmt.Errorf("%w: keys %s", ErrStateDiverged, strings.Join(diverged, ", "))
+	}
+	return nil
+}

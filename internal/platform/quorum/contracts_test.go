@@ -1,0 +1,142 @@
+package quorum
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+
+	"dltprivacy/internal/audit"
+	"dltprivacy/internal/contract"
+	"dltprivacy/internal/ledger"
+)
+
+// counterContract increments a shared private counter.
+func counterContract() contract.Contract {
+	return contract.Contract{
+		Name:    "counter",
+		Version: "1",
+		Funcs: map[string]contract.Func{
+			"inc": func(ctx *contract.Context, args [][]byte) ([]byte, error) {
+				n := 0
+				if raw, err := ctx.Get("count"); err == nil {
+					v, err := strconv.Atoi(string(raw))
+					if err != nil {
+						return nil, err
+					}
+					n = v
+				} else if !errors.Is(err, ledger.ErrNotFound) {
+					return nil, err
+				}
+				out := []byte(strconv.Itoa(n + 1))
+				ctx.Put("count", out)
+				return out, nil
+			},
+		},
+	}
+}
+
+func TestDeployPrivateContract(t *testing.T) {
+	n := newNet(t)
+	id, err := n.DeployPrivateContract("A", []string{"B"}, counterContract())
+	if err != nil {
+		t.Fatalf("DeployPrivateContract: %v", err)
+	}
+	if !n.ContractDeployedOn("A", "counter") || !n.ContractDeployedOn("B", "counter") {
+		t.Fatal("participants must hold the contract")
+	}
+	if n.ContractDeployedOn("C", "counter") {
+		t.Fatal("non-participant must not hold the contract")
+	}
+	// Code confined, envelope public.
+	if _, err := n.ReadPrivate("C", id); !errors.Is(err, ErrNotParticipant) {
+		t.Fatalf("non-participant code read = %v, want ErrNotParticipant", err)
+	}
+	if !n.Log.Saw("C", audit.ClassTxHash, id) {
+		t.Fatal("deployment envelope must be public")
+	}
+	if n.Log.Saw("C", audit.ClassBusinessLogic, "counter") {
+		t.Fatal("logic observation must be confined to participants")
+	}
+}
+
+func TestInvokePrivateContractAlignsParticipants(t *testing.T) {
+	n := newNet(t)
+	if _, err := n.DeployPrivateContract("A", []string{"B"}, counterContract()); err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := n.InvokePrivateContract("A", "counter", "inc", nil); err != nil {
+			t.Fatalf("Invoke %d: %v", i, err)
+		}
+	}
+	for _, name := range []string{"A", "B"} {
+		nd, _ := n.Node(name)
+		v, ok := nd.PrivateState("count")
+		if !ok || string(v) != "3" {
+			t.Fatalf("node %s count = %q, %v; want 3", name, v, ok)
+		}
+	}
+	// Non-participant has no state.
+	c, _ := n.Node("C")
+	if _, ok := c.PrivateState("count"); ok {
+		t.Fatal("non-participant must not hold contract state")
+	}
+	// Group states agree.
+	if err := n.CompareStates("counter", []string{"count"}); err != nil {
+		t.Fatalf("CompareStates: %v", err)
+	}
+}
+
+func TestInvokeRequiresDeployment(t *testing.T) {
+	n := newNet(t)
+	if _, err := n.InvokePrivateContract("A", "ghost", "inc", nil); !errors.Is(err, ErrUnknownContract) {
+		t.Fatalf("undeployed invoke = %v, want ErrUnknownContract", err)
+	}
+}
+
+func TestInvokePropagatesBusinessErrors(t *testing.T) {
+	n := newNet(t)
+	bad := contract.Contract{
+		Name:    "bad",
+		Version: "1",
+		Funcs: map[string]contract.Func{
+			"boom": func(ctx *contract.Context, args [][]byte) ([]byte, error) {
+				return nil, errors.New("no")
+			},
+		},
+	}
+	if _, err := n.DeployPrivateContract("A", []string{"B"}, bad); err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if _, err := n.InvokePrivateContract("A", "bad", "boom", nil); err == nil {
+		t.Fatal("business error must propagate")
+	}
+}
+
+func TestCompareStatesDetectsDivergence(t *testing.T) {
+	n := newNet(t)
+	if _, err := n.DeployPrivateContract("A", []string{"B"}, counterContract()); err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if _, err := n.InvokePrivateContract("A", "counter", "inc", nil); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	// B's operator tampers with its private state out of band.
+	b, _ := n.Node("B")
+	b.mu.Lock()
+	b.privateState["count"] = []byte("999")
+	b.mu.Unlock()
+	if err := n.CompareStates("counter", []string{"count"}); !errors.Is(err, ErrStateDiverged) {
+		t.Fatalf("CompareStates = %v, want ErrStateDiverged", err)
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	n := newNet(t)
+	if _, err := n.DeployPrivateContract("A", []string{"B"}, contract.Contract{}); err == nil {
+		t.Fatal("unnamed contract must be rejected")
+	}
+	if _, err := n.DeployPrivateContract("Ghost", []string{"B"}, counterContract()); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown deployer = %v, want ErrUnknownNode", err)
+	}
+}

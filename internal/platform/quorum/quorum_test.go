@@ -1,0 +1,220 @@
+package quorum
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dltprivacy/internal/audit"
+)
+
+func newNet(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	for _, name := range []string{"A", "B", "C", "D"} {
+		if _, err := n.AddNode(name); err != nil {
+			t.Fatalf("AddNode(%s): %v", name, err)
+		}
+	}
+	return n
+}
+
+func TestPublicTxVisibleEverywhere(t *testing.T) {
+	n := newNet(t)
+	id, err := n.SendPublic("A", "greeting", []byte("hello"))
+	if err != nil {
+		t.Fatalf("SendPublic: %v", err)
+	}
+	for _, name := range []string{"A", "B", "C", "D"} {
+		nd, _ := n.Node(name)
+		v, ok := nd.PublicState("greeting")
+		if !ok || !bytes.Equal(v, []byte("hello")) {
+			t.Fatalf("node %s public state = %q, %v", name, v, ok)
+		}
+		if !n.Log.Saw(name, audit.ClassTxData, id) {
+			t.Fatalf("node %s must observe public tx data", name)
+		}
+	}
+}
+
+func TestPrivateTxPayloadConfined(t *testing.T) {
+	n := newNet(t)
+	id, err := n.SendPrivate("A", []string{"B"}, "deal", []byte("price=42"))
+	if err != nil {
+		t.Fatalf("SendPrivate: %v", err)
+	}
+	// Participants have the private state and payload.
+	for _, name := range []string{"A", "B"} {
+		nd, _ := n.Node(name)
+		v, ok := nd.PrivateState("deal")
+		if !ok || !bytes.Equal(v, []byte("price=42")) {
+			t.Fatalf("participant %s private state = %q, %v", name, v, ok)
+		}
+		payload, err := n.ReadPrivate(name, id)
+		if err != nil || !bytes.Contains(payload, []byte("price=42")) {
+			t.Fatalf("participant %s ReadPrivate = %q, %v", name, payload, err)
+		}
+	}
+	// Non-participants have neither.
+	for _, name := range []string{"C", "D"} {
+		nd, _ := n.Node(name)
+		if _, ok := nd.PrivateState("deal"); ok {
+			t.Fatalf("non-participant %s must not hold private state", name)
+		}
+		if _, err := n.ReadPrivate(name, id); !errors.Is(err, ErrNotParticipant) {
+			t.Fatalf("non-participant ReadPrivate = %v, want ErrNotParticipant", err)
+		}
+		if n.Log.Saw(name, audit.ClassTxData, id) {
+			t.Fatalf("non-participant %s must not observe payload", name)
+		}
+	}
+}
+
+func TestParticipantListLeaksToEveryone(t *testing.T) {
+	n := newNet(t)
+	id, err := n.SendPrivate("A", []string{"B"}, "deal", []byte("secret"))
+	if err != nil {
+		t.Fatalf("SendPrivate: %v", err)
+	}
+	// §5: every node learns who is interacting, and that a private tx
+	// exists, from the public chain.
+	for _, name := range []string{"A", "B", "C", "D"} {
+		if !n.Log.Saw(name, audit.ClassTxHash, id) {
+			t.Fatalf("node %s must see the private tx envelope", name)
+		}
+		if !n.Log.Saw(name, audit.ClassRelationship, "private-tx:A,B") {
+			t.Fatalf("node %s must see the participant list (documented leak)", name)
+		}
+		if !n.Log.Saw(name, audit.ClassIdentity, "A") {
+			t.Fatalf("node %s must see the sender", name)
+		}
+	}
+	// The chain itself carries the list.
+	chain := n.Chain()
+	last := chain[len(chain)-1]
+	if !last.IsPrivate || len(last.Participants) != 2 {
+		t.Fatalf("chain entry = %+v", last)
+	}
+	if len(last.Payload) != 0 {
+		t.Fatal("private tx must not carry the payload on chain")
+	}
+}
+
+func TestPrivateStateDivergesByDesign(t *testing.T) {
+	n := newNet(t)
+	if _, err := n.SendPrivate("A", []string{"B"}, "k", []byte("v1")); err != nil {
+		t.Fatalf("SendPrivate: %v", err)
+	}
+	if _, err := n.SendPrivate("A", []string{"C"}, "k", []byte("v2")); err != nil {
+		t.Fatalf("SendPrivate: %v", err)
+	}
+	b, _ := n.Node("B")
+	c, _ := n.Node("C")
+	vb, _ := b.PrivateState("k")
+	vc, _ := c.PrivateState("k")
+	if string(vb) != "v1" || string(vc) != "v2" {
+		t.Fatalf("views = %q, %q; want v1, v2", vb, vc)
+	}
+}
+
+func TestDoubleSpendWeakness(t *testing.T) {
+	n := newNet(t)
+	// A owns asset X, issued privately with B and C as observers of
+	// separate groups.
+	if _, err := n.IssuePrivateAsset("A", "X", "A", []string{"B"}); err != nil {
+		t.Fatalf("IssuePrivateAsset: %v", err)
+	}
+	if _, err := n.IssuePrivateAsset("A", "X", "A", []string{"C"}); err != nil {
+		t.Fatalf("IssuePrivateAsset: %v", err)
+	}
+	// First spend: A -> B within group {A, B}.
+	if _, err := n.TransferPrivateAsset("A", "X", "B", []string{"B"}); err != nil {
+		t.Fatalf("first transfer: %v", err)
+	}
+	// A's own view now says B owns it… but A simply re-issues its claim
+	// within group {A, C} — there is no global check. Reproduce the
+	// malicious sequence: A restores its private view then spends again.
+	a, _ := n.Node("A")
+	a.mu.Lock()
+	a.privateState["asset/X"] = []byte("A")
+	a.mu.Unlock()
+	if _, err := n.TransferPrivateAsset("A", "X", "C", []string{"C"}); err != nil {
+		t.Fatalf("second transfer: %v", err)
+	}
+	// Both B and C believe they own X: the documented double spend.
+	views := n.AssetViews("X")
+	if views["B"] != "B" || views["C"] != "C" {
+		t.Fatalf("views = %v; want B:B and C:C", views)
+	}
+	if !n.DoubleSpendDetected("X") {
+		t.Fatal("global observer must detect the conflicting views")
+	}
+}
+
+func TestNoDoubleSpendWithoutConflict(t *testing.T) {
+	n := newNet(t)
+	if _, err := n.IssuePrivateAsset("A", "Y", "A", []string{"B"}); err != nil {
+		t.Fatalf("IssuePrivateAsset: %v", err)
+	}
+	if _, err := n.TransferPrivateAsset("A", "Y", "B", []string{"B"}); err != nil {
+		t.Fatalf("transfer: %v", err)
+	}
+	if n.DoubleSpendDetected("Y") {
+		t.Fatal("single consistent transfer must not flag")
+	}
+}
+
+func TestTransferRequiresOwnership(t *testing.T) {
+	n := newNet(t)
+	if _, err := n.IssuePrivateAsset("A", "Z", "A", []string{"B"}); err != nil {
+		t.Fatalf("IssuePrivateAsset: %v", err)
+	}
+	// B sees the asset but is not the owner in its private view.
+	if _, err := n.TransferPrivateAsset("B", "Z", "C", []string{"C"}); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("non-owner transfer = %v, want ErrNotOwner", err)
+	}
+	// D has no view at all.
+	if _, err := n.TransferPrivateAsset("D", "Z", "C", []string{"C"}); !errors.Is(err, ErrNotOwner) {
+		t.Fatalf("no-view transfer = %v, want ErrNotOwner", err)
+	}
+}
+
+func TestUnknownNodes(t *testing.T) {
+	n := newNet(t)
+	if _, err := n.SendPublic("Ghost", "k", nil); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("SendPublic ghost = %v, want ErrUnknownNode", err)
+	}
+	if _, err := n.SendPrivate("A", []string{"Ghost"}, "k", nil); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("SendPrivate to ghost = %v, want ErrUnknownNode", err)
+	}
+	if _, err := n.Node("Ghost"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("Node ghost = %v, want ErrUnknownNode", err)
+	}
+	if _, err := n.AddNode("A"); err == nil {
+		t.Fatal("duplicate node must fail")
+	}
+}
+
+func TestReadPrivateUnknownTx(t *testing.T) {
+	n := newNet(t)
+	if _, err := n.ReadPrivate("A", "nope"); !errors.Is(err, ErrNotParticipant) {
+		t.Fatalf("ReadPrivate unknown = %v, want ErrNotParticipant", err)
+	}
+}
+
+func TestChainGrowsForBothKinds(t *testing.T) {
+	n := newNet(t)
+	if _, err := n.SendPublic("A", "k", []byte("v")); err != nil {
+		t.Fatalf("SendPublic: %v", err)
+	}
+	if _, err := n.SendPrivate("A", []string{"B"}, "k2", []byte("v2")); err != nil {
+		t.Fatalf("SendPrivate: %v", err)
+	}
+	chain := n.Chain()
+	if len(chain) != 2 {
+		t.Fatalf("chain length = %d, want 2", len(chain))
+	}
+	if chain[0].IsPrivate || !chain[1].IsPrivate {
+		t.Fatalf("chain kinds wrong: %+v", chain)
+	}
+}

@@ -1,0 +1,293 @@
+package tee
+
+import (
+	"bytes"
+	"errors"
+	"strconv"
+	"testing"
+
+	"dltprivacy/internal/dcrypto"
+)
+
+// counterProgram is confidential logic that adds its input to a running
+// total kept in sealed state.
+var counterProgram = Program{
+	Name:    "accumulator",
+	Version: "1.0",
+	Run: func(input, state []byte) ([]byte, []byte, error) {
+		total := 0
+		if len(state) > 0 {
+			v, err := strconv.Atoi(string(state))
+			if err != nil {
+				return nil, nil, err
+			}
+			total = v
+		}
+		add, err := strconv.Atoi(string(input))
+		if err != nil {
+			return nil, nil, err
+		}
+		total += add
+		out := []byte(strconv.Itoa(total))
+		return out, out, nil
+	},
+}
+
+func provision(t *testing.T) (*Manufacturer, *Enclave) {
+	t.Helper()
+	m, err := NewManufacturer()
+	if err != nil {
+		t.Fatalf("NewManufacturer: %v", err)
+	}
+	e, err := m.Provision()
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	return m, e
+}
+
+func TestExecuteWithAttestation(t *testing.T) {
+	m, e := provision(t)
+	if err := e.Load(counterProgram); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	out, att, err := e.Execute([]byte("5"))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if string(out) != "5" {
+		t.Fatalf("output = %q, want 5", out)
+	}
+	if err := VerifyAttestation(att, m.PublicKey(), counterProgram.Measurement()); err != nil {
+		t.Fatalf("VerifyAttestation: %v", err)
+	}
+}
+
+func TestStatePersistsAcrossCalls(t *testing.T) {
+	_, e := provision(t)
+	if err := e.Load(counterProgram); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, _, err := e.Execute([]byte("5")); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	out, _, err := e.Execute([]byte("7"))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if string(out) != "12" {
+		t.Fatalf("accumulated output = %q, want 12", out)
+	}
+}
+
+func TestExecuteWithoutProgram(t *testing.T) {
+	_, e := provision(t)
+	if _, _, err := e.Execute(nil); !errors.Is(err, ErrNoProgram) {
+		t.Fatalf("Execute without program = %v, want ErrNoProgram", err)
+	}
+	if _, err := e.Measurement(); !errors.Is(err, ErrNoProgram) {
+		t.Fatalf("Measurement without program = %v, want ErrNoProgram", err)
+	}
+}
+
+func TestLoadRejectsEmptyProgram(t *testing.T) {
+	_, e := provision(t)
+	if err := e.Load(Program{Name: "x"}); err == nil {
+		t.Fatal("Load without entry point must fail")
+	}
+}
+
+func TestProgramFault(t *testing.T) {
+	_, e := provision(t)
+	bad := Program{Name: "bad", Version: "1", Run: func(_, _ []byte) ([]byte, []byte, error) {
+		return nil, nil, errors.New("boom")
+	}}
+	if err := e.Load(bad); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, _, err := e.Execute(nil); !errors.Is(err, ErrProgramFault) {
+		t.Fatalf("Execute fault = %v, want ErrProgramFault", err)
+	}
+}
+
+func TestAttestationRejectsWrongManufacturer(t *testing.T) {
+	_, e := provision(t)
+	other, _ := NewManufacturer()
+	if err := e.Load(counterProgram); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	_, att, err := e.Execute([]byte("1"))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if err := VerifyAttestation(att, other.PublicKey(), counterProgram.Measurement()); !errors.Is(err, ErrBadAttestation) {
+		t.Fatalf("wrong manufacturer = %v, want ErrBadAttestation", err)
+	}
+}
+
+func TestAttestationRejectsWrongMeasurement(t *testing.T) {
+	m, e := provision(t)
+	if err := e.Load(counterProgram); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	_, att, err := e.Execute([]byte("1"))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	wrong := Program{Name: "other", Version: "9"}.Measurement()
+	if err := VerifyAttestation(att, m.PublicKey(), wrong); !errors.Is(err, ErrWrongMeasurement) {
+		t.Fatalf("wrong measurement = %v, want ErrWrongMeasurement", err)
+	}
+}
+
+func TestAttestationRejectsTamperedOutput(t *testing.T) {
+	m, e := provision(t)
+	if err := e.Load(counterProgram); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	_, att, err := e.Execute([]byte("1"))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	att.OutputHash = dcrypto.Hash([]byte("forged"))
+	if err := VerifyAttestation(att, m.PublicKey(), counterProgram.Measurement()); !errors.Is(err, ErrBadAttestation) {
+		t.Fatalf("tampered output hash = %v, want ErrBadAttestation", err)
+	}
+}
+
+func TestConfidentialExecution(t *testing.T) {
+	_, e := provision(t)
+	if err := e.Load(counterProgram); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	recipient, _ := dcrypto.GenerateKey()
+	input, err := dcrypto.EncryptHybrid(e.PublicKey(), []byte("9"), []byte("tee/input"))
+	if err != nil {
+		t.Fatalf("EncryptHybrid: %v", err)
+	}
+	ct, _, err := e.ExecuteConfidential(input, recipient.Public())
+	if err != nil {
+		t.Fatalf("ExecuteConfidential: %v", err)
+	}
+	out, err := dcrypto.DecryptHybrid(recipient, ct, []byte("tee/output"))
+	if err != nil {
+		t.Fatalf("DecryptHybrid: %v", err)
+	}
+	if string(out) != "9" {
+		t.Fatalf("confidential output = %q, want 9", out)
+	}
+	// A non-recipient (for example the host) cannot read the output.
+	eve, _ := dcrypto.GenerateKey()
+	if _, err := dcrypto.DecryptHybrid(eve, ct, []byte("tee/output")); err == nil {
+		t.Fatal("host must not decrypt enclave output")
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	_, e := provision(t)
+	if err := e.Load(counterProgram); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, _, err := e.Execute([]byte("3")); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	sealed, err := e.Seal()
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if bytes.Contains(sealed.Ciphertext, []byte("3")) {
+		t.Fatal("sealed state must not expose plaintext")
+	}
+	if err := e.Unseal(sealed); err != nil {
+		t.Fatalf("Unseal: %v", err)
+	}
+	out, _, err := e.Execute([]byte("4"))
+	if err != nil {
+		t.Fatalf("Execute after unseal: %v", err)
+	}
+	if string(out) != "7" {
+		t.Fatalf("output after unseal = %q, want 7", out)
+	}
+}
+
+func TestRollbackDetection(t *testing.T) {
+	_, e := provision(t)
+	if err := e.Load(counterProgram); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, _, err := e.Execute([]byte("1")); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	old, err := e.Seal()
+	if err != nil {
+		t.Fatalf("Seal: %v", err)
+	}
+	if _, _, err := e.Execute([]byte("1")); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if err := e.Unseal(old); !errors.Is(err, ErrRollback) {
+		t.Fatalf("Unseal(old) = %v, want ErrRollback", err)
+	}
+}
+
+func TestSealedStateBoundToOtherEnclaveFails(t *testing.T) {
+	m, e1 := provision(t)
+	e2, err := m.Provision()
+	if err != nil {
+		t.Fatalf("Provision: %v", err)
+	}
+	if err := e1.Load(counterProgram); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if err := e2.Load(counterProgram); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, _, err := e1.Execute([]byte("1")); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	sealed, _ := e1.Seal()
+	// e2 has counter 0, so the counter gate passes, but the sealing key
+	// differs: decryption must fail.
+	if _, _, err := e2.Execute([]byte("1")); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if err := e2.Unseal(sealed); err == nil {
+		t.Fatal("sealed state must be bound to the sealing enclave")
+	}
+}
+
+func TestAttestationNonceFreshness(t *testing.T) {
+	m, e := provision(t)
+	if err := e.Load(counterProgram); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	nonce := []byte("verifier-challenge-123")
+	_, att, err := e.ExecuteWithNonce([]byte("1"), nonce)
+	if err != nil {
+		t.Fatalf("ExecuteWithNonce: %v", err)
+	}
+	if string(att.Nonce) != string(nonce) {
+		t.Fatalf("attestation nonce = %q", att.Nonce)
+	}
+	if err := VerifyAttestation(att, m.PublicKey(), counterProgram.Measurement()); err != nil {
+		t.Fatalf("VerifyAttestation: %v", err)
+	}
+	// An attacker replaying the quote under a different nonce fails.
+	att.Nonce = []byte("stale")
+	if err := VerifyAttestation(att, m.PublicKey(), counterProgram.Measurement()); !errors.Is(err, ErrBadAttestation) {
+		t.Fatalf("nonce replay = %v, want ErrBadAttestation", err)
+	}
+}
+
+func TestMonotonicCounterInAttestation(t *testing.T) {
+	m, e := provision(t)
+	if err := e.Load(counterProgram); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	_, a1, _ := e.Execute([]byte("1"))
+	_, a2, _ := e.Execute([]byte("1"))
+	if a2.Counter != a1.Counter+1 {
+		t.Fatalf("counter did not advance: %d -> %d", a1.Counter, a2.Counter)
+	}
+	_ = m
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	g1 := New(42)
+	g2 := New(42)
+	t1, err := g1.Trades([]string{"a", "b", "c"}, 10, 32)
+	if err != nil {
+		t.Fatalf("Trades: %v", err)
+	}
+	t2, _ := g2.Trades([]string{"a", "b", "c"}, 10, 32)
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatal("same seed must generate identical trades")
+	}
+	g3 := New(43)
+	t3, _ := g3.Trades([]string{"a", "b", "c"}, 10, 32)
+	if reflect.DeepEqual(t1, t3) {
+		t.Fatal("different seeds should diverge")
+	}
+}
+
+func TestTradesWellFormed(t *testing.T) {
+	g := New(1)
+	trades, err := g.Trades([]string{"a", "b"}, 50, 16)
+	if err != nil {
+		t.Fatalf("Trades: %v", err)
+	}
+	for _, tr := range trades {
+		if tr.Buyer == tr.Seller {
+			t.Fatalf("trade %s has buyer == seller", tr.ID)
+		}
+		if tr.AmountCents <= 0 {
+			t.Fatalf("trade %s has non-positive amount", tr.ID)
+		}
+		if len(tr.Payload) != 16 {
+			t.Fatalf("trade %s payload = %d bytes", tr.ID, len(tr.Payload))
+		}
+	}
+}
+
+func TestTradesValidation(t *testing.T) {
+	g := New(1)
+	if _, err := g.Trades([]string{"solo"}, 1, 8); err == nil {
+		t.Fatal("single member must be rejected")
+	}
+}
+
+func TestTopology(t *testing.T) {
+	g := New(7)
+	topo, err := g.Topology(10, 4, 3)
+	if err != nil {
+		t.Fatalf("Topology: %v", err)
+	}
+	if len(topo.Orgs) != 10 || len(topo.Channels) != 4 {
+		t.Fatalf("topology = %d orgs, %d channels", len(topo.Orgs), len(topo.Channels))
+	}
+	known := make(map[string]bool)
+	for _, o := range topo.Orgs {
+		known[o] = true
+	}
+	for _, members := range topo.Channels {
+		if len(members) != 3 {
+			t.Fatalf("channel size = %d", len(members))
+		}
+		seen := make(map[string]bool)
+		for _, m := range members {
+			if !known[m] || seen[m] {
+				t.Fatalf("bad member %q in %v", m, members)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	g := New(7)
+	if _, err := g.Topology(2, 1, 3); err == nil {
+		t.Fatal("oversize channel must be rejected")
+	}
+	if _, err := g.Topology(5, 1, 1); err == nil {
+		t.Fatal("size-1 channel must be rejected")
+	}
+}
+
+func TestBallots(t *testing.T) {
+	g := New(3)
+	ballots := g.Ballots([]string{"a", "b", "c"}, 5)
+	if len(ballots) != 5 {
+		t.Fatalf("ballots = %d", len(ballots))
+	}
+	for _, b := range ballots {
+		if len(b) != 3 {
+			t.Fatalf("ballot has %d votes", len(b))
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package zkp
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+)
+
+func TestEqualCommitments(t *testing.T) {
+	v := big.NewInt(250_000)
+	c1, r1, err := CommitValue(v)
+	if err != nil {
+		t.Fatalf("CommitValue: %v", err)
+	}
+	c2, r2, err := CommitValue(v)
+	if err != nil {
+		t.Fatalf("CommitValue: %v", err)
+	}
+	if c1.Equal(c2) {
+		t.Fatal("distinct blindings must give distinct commitments")
+	}
+	proof, err := ProveEqualCommitments(r1, r2, c1, c2, []byte("settlement-42"))
+	if err != nil {
+		t.Fatalf("ProveEqualCommitments: %v", err)
+	}
+	if err := VerifyEqualCommitments(proof, c1, c2, []byte("settlement-42")); err != nil {
+		t.Fatalf("VerifyEqualCommitments: %v", err)
+	}
+}
+
+func TestEqualCommitmentsRejectsDifferentValues(t *testing.T) {
+	c1, r1, _ := CommitValue(big.NewInt(100))
+	c2, r2, _ := CommitValue(big.NewInt(101))
+	// A dishonest prover runs the protocol anyway; verification must fail
+	// because C1 - C2 has a G component.
+	proof, err := ProveEqualCommitments(r1, r2, c1, c2, nil)
+	if err != nil {
+		t.Fatalf("ProveEqualCommitments: %v", err)
+	}
+	if err := VerifyEqualCommitments(proof, c1, c2, nil); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("unequal values = %v, want ErrBadProof", err)
+	}
+}
+
+func TestEqualCommitmentsContextBound(t *testing.T) {
+	v := big.NewInt(7)
+	c1, r1, _ := CommitValue(v)
+	c2, r2, _ := CommitValue(v)
+	proof, _ := ProveEqualCommitments(r1, r2, c1, c2, []byte("ctx-A"))
+	if err := VerifyEqualCommitments(proof, c1, c2, []byte("ctx-B")); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("replayed context = %v, want ErrBadProof", err)
+	}
+}
+
+func TestEqualCommitmentsWrongPair(t *testing.T) {
+	v := big.NewInt(7)
+	c1, r1, _ := CommitValue(v)
+	c2, r2, _ := CommitValue(v)
+	c3, _, _ := CommitValue(v)
+	proof, _ := ProveEqualCommitments(r1, r2, c1, c2, nil)
+	if err := VerifyEqualCommitments(proof, c1, c3, nil); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("wrong pair = %v, want ErrBadProof", err)
+	}
+}

@@ -1,0 +1,216 @@
+package zkp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// BitProof is an OR-composed sigma proof that a commitment C opens to 0 or 1
+// (with some blinding): either C = r*H or C - G = r*H. The verifier learns
+// which is true for neither branch.
+type BitProof struct {
+	A0, A1 Point
+	C0, C1 *big.Int
+	S0, S1 *big.Int
+}
+
+// ProveBit proves that commitment c = Commit(bit, r) hides bit ∈ {0, 1}.
+func ProveBit(bit int, r *big.Int, c Commitment, context []byte) (BitProof, error) {
+	if bit != 0 && bit != 1 {
+		return BitProof{}, fmt.Errorf("%w: bit must be 0 or 1", ErrOutOfRange)
+	}
+	// Statement for branch 0: c.P        = r*H
+	// Statement for branch 1: c.P - G    = r*H
+	p0 := c.P
+	p1 := c.P.Sub(Generator())
+
+	k, err := RandScalar()
+	if err != nil {
+		return BitProof{}, err
+	}
+	// Simulated branch values.
+	cSim, err := RandScalar()
+	if err != nil {
+		return BitProof{}, err
+	}
+	sSim, err := RandScalar()
+	if err != nil {
+		return BitProof{}, err
+	}
+
+	var proof BitProof
+	switch bit {
+	case 0:
+		// Real proof on branch 0, simulate branch 1:
+		// A1 = sSim*H - cSim*P1.
+		proof.A0 = generatorH.Mul(k)
+		proof.A1 = generatorH.Mul(sSim).Sub(p1.Mul(cSim))
+		ch := Challenge([]byte("bit"), c.Bytes(), proof.A0.Bytes(), proof.A1.Bytes(), context)
+		c0 := new(big.Int).Sub(ch, cSim)
+		c0.Mod(c0, Order())
+		s0 := new(big.Int).Mul(c0, r)
+		s0.Add(s0, k)
+		s0.Mod(s0, Order())
+		proof.C0, proof.S0 = c0, s0
+		proof.C1, proof.S1 = cSim, sSim
+	case 1:
+		// Real proof on branch 1, simulate branch 0.
+		proof.A1 = generatorH.Mul(k)
+		proof.A0 = generatorH.Mul(sSim).Sub(p0.Mul(cSim))
+		ch := Challenge([]byte("bit"), c.Bytes(), proof.A0.Bytes(), proof.A1.Bytes(), context)
+		c1 := new(big.Int).Sub(ch, cSim)
+		c1.Mod(c1, Order())
+		s1 := new(big.Int).Mul(c1, r)
+		s1.Add(s1, k)
+		s1.Mod(s1, Order())
+		proof.C1, proof.S1 = c1, s1
+		proof.C0, proof.S0 = cSim, sSim
+	}
+	return proof, nil
+}
+
+// VerifyBit checks a bit proof against its commitment.
+func VerifyBit(proof BitProof, c Commitment, context []byte) error {
+	if proof.C0 == nil || proof.C1 == nil || proof.S0 == nil || proof.S1 == nil {
+		return ErrBadProof
+	}
+	ch := Challenge([]byte("bit"), c.Bytes(), proof.A0.Bytes(), proof.A1.Bytes(), context)
+	sum := new(big.Int).Add(proof.C0, proof.C1)
+	sum.Mod(sum, Order())
+	if sum.Cmp(ch) != 0 {
+		return ErrBadProof
+	}
+	p0 := c.P
+	p1 := c.P.Sub(Generator())
+	// s0*H == A0 + c0*P0
+	if !generatorH.Mul(proof.S0).Equal(proof.A0.Add(p0.Mul(proof.C0))) {
+		return ErrBadProof
+	}
+	// s1*H == A1 + c1*P1
+	if !generatorH.Mul(proof.S1).Equal(proof.A1.Add(p1.Mul(proof.C1))) {
+		return ErrBadProof
+	}
+	return nil
+}
+
+// RangeProof proves that a committed value lies in [0, 2^Bits) by committing
+// to each bit, proving each bit commitment hides 0 or 1, and exposing bit
+// commitments whose weighted sum equals the target commitment.
+type RangeProof struct {
+	Bits      int
+	BitComms  []Commitment
+	BitProofs []BitProof
+}
+
+// DefaultRangeBits is the default width used for sufficient-funds proofs:
+// values up to 2^32 - 1.
+const DefaultRangeBits = 32
+
+// ProveRange proves v ∈ [0, 2^bits) for commitment c = Commit(v, r). The
+// prover refuses (ErrOutOfRange) when the statement is false.
+func ProveRange(v, r *big.Int, c Commitment, bits int, context []byte) (RangeProof, error) {
+	if bits <= 0 || bits > 64 {
+		return RangeProof{}, fmt.Errorf("zkp: unsupported range width %d", bits)
+	}
+	if v.Sign() < 0 || v.BitLen() > bits {
+		return RangeProof{}, fmt.Errorf("%w: value outside [0, 2^%d)", ErrOutOfRange, bits)
+	}
+	n := Order()
+	// Choose bit blindings r_i with Σ 2^i r_i ≡ r (mod N): sample all but
+	// the last freely, then solve for the last.
+	blindings := make([]*big.Int, bits)
+	acc := new(big.Int)
+	for i := 0; i < bits-1; i++ {
+		ri, err := RandScalar()
+		if err != nil {
+			return RangeProof{}, err
+		}
+		blindings[i] = ri
+		term := new(big.Int).Lsh(ri, uint(i))
+		acc.Add(acc, term)
+	}
+	acc.Mod(acc, n)
+	rem := new(big.Int).Sub(r, acc)
+	rem.Mod(rem, n)
+	invPow := new(big.Int).ModInverse(new(big.Int).Lsh(big.NewInt(1), uint(bits-1)), n)
+	last := new(big.Int).Mul(rem, invPow)
+	last.Mod(last, n)
+	blindings[bits-1] = last
+
+	proof := RangeProof{
+		Bits:      bits,
+		BitComms:  make([]Commitment, bits),
+		BitProofs: make([]BitProof, bits),
+	}
+	for i := 0; i < bits; i++ {
+		bit := int(v.Bit(i))
+		ci := Commit(big.NewInt(int64(bit)), blindings[i])
+		proof.BitComms[i] = ci
+		bp, err := ProveBit(bit, blindings[i], ci, context)
+		if err != nil {
+			return RangeProof{}, fmt.Errorf("bit %d: %w", i, err)
+		}
+		proof.BitProofs[i] = bp
+	}
+	// Sanity: weighted sum reproduces c.
+	if !weightedSum(proof.BitComms).Equal(c) {
+		return RangeProof{}, fmt.Errorf("zkp: internal error, bit commitments do not recompose")
+	}
+	return proof, nil
+}
+
+// VerifyRange checks a range proof against commitment c.
+func VerifyRange(proof RangeProof, c Commitment, context []byte) error {
+	if proof.Bits <= 0 || len(proof.BitComms) != proof.Bits || len(proof.BitProofs) != proof.Bits {
+		return ErrBadProof
+	}
+	for i := 0; i < proof.Bits; i++ {
+		if err := VerifyBit(proof.BitProofs[i], proof.BitComms[i], context); err != nil {
+			return fmt.Errorf("bit %d: %w", i, err)
+		}
+	}
+	if !weightedSum(proof.BitComms).Equal(c) {
+		return ErrBadProof
+	}
+	return nil
+}
+
+func weightedSum(comms []Commitment) Commitment {
+	sum := Commitment{P: Point{X: new(big.Int), Y: new(big.Int)}}
+	for i, ci := range comms {
+		sum = sum.Add(ci.MulScalar(new(big.Int).Lsh(big.NewInt(1), uint(i))))
+	}
+	return sum
+}
+
+// SufficientFundsProof is the paper's motivating boolean affirmation: a
+// party proves its committed balance is at least a public threshold without
+// revealing the balance (§2.2, "the party has the appropriate funds").
+type SufficientFundsProof struct {
+	Threshold *big.Int
+	Range     RangeProof
+}
+
+// ProveSufficientFunds proves balance ≥ threshold given the commitment
+// c = Commit(balance, r).
+func ProveSufficientFunds(balance, r, threshold *big.Int, c Commitment, context []byte) (SufficientFundsProof, error) {
+	diff := new(big.Int).Sub(balance, threshold)
+	if diff.Sign() < 0 {
+		return SufficientFundsProof{}, fmt.Errorf("%w: balance below threshold", ErrOutOfRange)
+	}
+	cDiff := c.SubValue(threshold)
+	rp, err := ProveRange(diff, r, cDiff, DefaultRangeBits, context)
+	if err != nil {
+		return SufficientFundsProof{}, err
+	}
+	return SufficientFundsProof{Threshold: new(big.Int).Set(threshold), Range: rp}, nil
+}
+
+// VerifySufficientFunds checks the proof against the balance commitment.
+func VerifySufficientFunds(proof SufficientFundsProof, c Commitment, context []byte) error {
+	if proof.Threshold == nil {
+		return ErrBadProof
+	}
+	cDiff := c.SubValue(proof.Threshold)
+	return VerifyRange(proof.Range, cDiff, context)
+}

@@ -1,0 +1,126 @@
+package zkp
+
+import (
+	"math/big"
+)
+
+// SchnorrProof is a non-interactive proof of knowledge of x such that
+// P = x*B for a known base B. It is the primitive behind zero-knowledge
+// proof of identity (§2.1): a party proves possession of its private key
+// without producing a signature linkable to its certificate.
+type SchnorrProof struct {
+	A Point    // commitment k*B
+	S *big.Int // response k + c*x
+}
+
+// SchnorrProve proves knowledge of x with P = x*B. The context binds the
+// proof to a session or message so it cannot be replayed.
+func SchnorrProve(x *big.Int, base, p Point, context []byte) (SchnorrProof, error) {
+	k, err := RandScalar()
+	if err != nil {
+		return SchnorrProof{}, err
+	}
+	a := base.Mul(k)
+	c := Challenge([]byte("schnorr"), base.Bytes(), p.Bytes(), a.Bytes(), context)
+	s := new(big.Int).Mul(c, x)
+	s.Add(s, k)
+	s.Mod(s, Order())
+	return SchnorrProof{A: a, S: s}, nil
+}
+
+// SchnorrVerify checks the proof: s*B == A + c*P.
+func SchnorrVerify(proof SchnorrProof, base, p Point, context []byte) error {
+	if proof.S == nil {
+		return ErrBadProof
+	}
+	c := Challenge([]byte("schnorr"), base.Bytes(), p.Bytes(), proof.A.Bytes(), context)
+	lhs := base.Mul(proof.S)
+	rhs := proof.A.Add(p.Mul(c))
+	if !lhs.Equal(rhs) {
+		return ErrBadProof
+	}
+	return nil
+}
+
+// EqDLProof proves that two public points share the same discrete log:
+// P1 = x*B1 and P2 = x*B2. Anonymous credential presentations use it to tie
+// a per-context pseudonym to a certified secret without revealing it.
+type EqDLProof struct {
+	A1, A2 Point
+	S      *big.Int
+}
+
+// EqDLProve proves P1 = x*B1 and P2 = x*B2 for the same witness x.
+func EqDLProve(x *big.Int, b1, p1, b2, p2 Point, context []byte) (EqDLProof, error) {
+	k, err := RandScalar()
+	if err != nil {
+		return EqDLProof{}, err
+	}
+	a1 := b1.Mul(k)
+	a2 := b2.Mul(k)
+	c := Challenge([]byte("eqdl"),
+		b1.Bytes(), p1.Bytes(), b2.Bytes(), p2.Bytes(), a1.Bytes(), a2.Bytes(), context)
+	s := new(big.Int).Mul(c, x)
+	s.Add(s, k)
+	s.Mod(s, Order())
+	return EqDLProof{A1: a1, A2: a2, S: s}, nil
+}
+
+// EqDLVerify checks s*B1 == A1 + c*P1 and s*B2 == A2 + c*P2.
+func EqDLVerify(proof EqDLProof, b1, p1, b2, p2 Point, context []byte) error {
+	if proof.S == nil {
+		return ErrBadProof
+	}
+	c := Challenge([]byte("eqdl"),
+		b1.Bytes(), p1.Bytes(), b2.Bytes(), p2.Bytes(), proof.A1.Bytes(), proof.A2.Bytes(), context)
+	if !b1.Mul(proof.S).Equal(proof.A1.Add(p1.Mul(c))) {
+		return ErrBadProof
+	}
+	if !b2.Mul(proof.S).Equal(proof.A2.Add(p2.Mul(c))) {
+		return ErrBadProof
+	}
+	return nil
+}
+
+// RepresentationProof proves knowledge of (v, r) such that C = v*G + r*H,
+// i.e. knowledge of an opening of a Pedersen commitment, without revealing
+// it. Sigma protocol with two witnesses.
+type RepresentationProof struct {
+	A      Point
+	Sv, Sr *big.Int
+}
+
+// ProveOpening proves knowledge of the opening (v, r) of commitment c.
+func ProveOpening(v, r *big.Int, c Commitment, context []byte) (RepresentationProof, error) {
+	kv, err := RandScalar()
+	if err != nil {
+		return RepresentationProof{}, err
+	}
+	kr, err := RandScalar()
+	if err != nil {
+		return RepresentationProof{}, err
+	}
+	a := MulBase(kv).Add(generatorH.Mul(kr))
+	ch := Challenge([]byte("open"), c.Bytes(), a.Bytes(), context)
+	sv := new(big.Int).Mul(ch, v)
+	sv.Add(sv, kv)
+	sv.Mod(sv, Order())
+	sr := new(big.Int).Mul(ch, r)
+	sr.Add(sr, kr)
+	sr.Mod(sr, Order())
+	return RepresentationProof{A: a, Sv: sv, Sr: sr}, nil
+}
+
+// VerifyOpening checks sv*G + sr*H == A + c*C.
+func VerifyOpening(proof RepresentationProof, c Commitment, context []byte) error {
+	if proof.Sv == nil || proof.Sr == nil {
+		return ErrBadProof
+	}
+	ch := Challenge([]byte("open"), c.Bytes(), proof.A.Bytes(), context)
+	lhs := MulBase(proof.Sv).Add(generatorH.Mul(proof.Sr))
+	rhs := proof.A.Add(c.P.Mul(ch))
+	if !lhs.Equal(rhs) {
+		return ErrBadProof
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+package zkp
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestGroupBasics(t *testing.T) {
+	g := Generator()
+	h := GeneratorH()
+	if g.Equal(h) {
+		t.Fatal("G and H must differ")
+	}
+	if !g.Add(g.Neg()).IsIdentity() {
+		t.Fatal("P + (-P) must be identity")
+	}
+	if !g.Mul(big.NewInt(0)).IsIdentity() {
+		t.Fatal("0*P must be identity")
+	}
+	two := g.Add(g)
+	if !two.Equal(g.Mul(big.NewInt(2))) {
+		t.Fatal("P+P must equal 2P")
+	}
+	id := Point{X: new(big.Int), Y: new(big.Int)}
+	if !id.Add(g).Equal(g) {
+		t.Fatal("identity + P must be P")
+	}
+}
+
+func TestPointRoundTrip(t *testing.T) {
+	p := Generator().Mul(big.NewInt(12345))
+	got, err := ParsePoint(p.Bytes())
+	if err != nil {
+		t.Fatalf("ParsePoint: %v", err)
+	}
+	if !got.Equal(p) {
+		t.Fatal("point round trip mismatch")
+	}
+	id, err := ParsePoint(make([]byte, 64))
+	if err != nil || !id.IsIdentity() {
+		t.Fatalf("identity round trip: %v", err)
+	}
+	if _, err := ParsePoint([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short encoding must be rejected")
+	}
+	bad := make([]byte, 64)
+	bad[0] = 1
+	if _, err := ParsePoint(bad); err == nil {
+		t.Fatal("off-curve point must be rejected")
+	}
+}
+
+func TestPedersenHomomorphic(t *testing.T) {
+	c1, r1, err := CommitValue(big.NewInt(30))
+	if err != nil {
+		t.Fatalf("CommitValue: %v", err)
+	}
+	c2, r2, err := CommitValue(big.NewInt(12))
+	if err != nil {
+		t.Fatalf("CommitValue: %v", err)
+	}
+	sumR := new(big.Int).Add(r1, r2)
+	if !c1.Add(c2).Open(big.NewInt(42), sumR) {
+		t.Fatal("commitment addition must commit to sum")
+	}
+	diffR := new(big.Int).Sub(r1, r2)
+	if !c1.Sub(c2).Open(big.NewInt(18), diffR) {
+		t.Fatal("commitment subtraction must commit to difference")
+	}
+	if !c1.MulScalar(big.NewInt(3)).Open(big.NewInt(90), new(big.Int).Mul(r1, big.NewInt(3))) {
+		t.Fatal("scalar multiplication must scale value")
+	}
+	if !c1.SubValue(big.NewInt(10)).Open(big.NewInt(20), r1) {
+		t.Fatal("SubValue must shift the committed value, keeping blinding")
+	}
+}
+
+func TestPedersenHiding(t *testing.T) {
+	// Two commitments to the same value with different randomness differ.
+	c1, _, _ := CommitValue(big.NewInt(7))
+	c2, _, _ := CommitValue(big.NewInt(7))
+	if c1.Equal(c2) {
+		t.Fatal("fresh commitments to same value should differ (hiding)")
+	}
+}
+
+func TestPedersenBindingWrongOpening(t *testing.T) {
+	c, r, _ := CommitValue(big.NewInt(7))
+	if c.Open(big.NewInt(8), r) {
+		t.Fatal("commitment must not open to a different value")
+	}
+}
+
+func TestSchnorrProveVerify(t *testing.T) {
+	x, _ := RandScalar()
+	p := MulBase(x)
+	proof, err := SchnorrProve(x, Generator(), p, []byte("session-1"))
+	if err != nil {
+		t.Fatalf("SchnorrProve: %v", err)
+	}
+	if err := SchnorrVerify(proof, Generator(), p, []byte("session-1")); err != nil {
+		t.Fatalf("SchnorrVerify: %v", err)
+	}
+}
+
+func TestSchnorrContextBinding(t *testing.T) {
+	x, _ := RandScalar()
+	p := MulBase(x)
+	proof, _ := SchnorrProve(x, Generator(), p, []byte("session-1"))
+	if err := SchnorrVerify(proof, Generator(), p, []byte("session-2")); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("replayed proof = %v, want ErrBadProof", err)
+	}
+}
+
+func TestSchnorrWrongStatement(t *testing.T) {
+	x, _ := RandScalar()
+	y, _ := RandScalar()
+	proof, _ := SchnorrProve(x, Generator(), MulBase(x), nil)
+	if err := SchnorrVerify(proof, Generator(), MulBase(y), nil); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("wrong statement = %v, want ErrBadProof", err)
+	}
+}
+
+func TestSchnorrNilResponse(t *testing.T) {
+	if err := SchnorrVerify(SchnorrProof{}, Generator(), Generator(), nil); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("nil proof = %v, want ErrBadProof", err)
+	}
+}
+
+func TestEqDLProveVerify(t *testing.T) {
+	x, _ := RandScalar()
+	b2 := GeneratorH()
+	p1 := MulBase(x)
+	p2 := b2.Mul(x)
+	proof, err := EqDLProve(x, Generator(), p1, b2, p2, []byte("ctx"))
+	if err != nil {
+		t.Fatalf("EqDLProve: %v", err)
+	}
+	if err := EqDLVerify(proof, Generator(), p1, b2, p2, []byte("ctx")); err != nil {
+		t.Fatalf("EqDLVerify: %v", err)
+	}
+}
+
+func TestEqDLRejectsMismatchedWitness(t *testing.T) {
+	x, _ := RandScalar()
+	y, _ := RandScalar()
+	b2 := GeneratorH()
+	p1 := MulBase(x)
+	p2 := b2.Mul(y) // different witness
+	proof, _ := EqDLProve(x, Generator(), p1, b2, b2.Mul(x), nil)
+	if err := EqDLVerify(proof, Generator(), p1, b2, p2, nil); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("mismatched witness = %v, want ErrBadProof", err)
+	}
+}
+
+func TestProveOpening(t *testing.T) {
+	v := big.NewInt(99)
+	c, r, _ := CommitValue(v)
+	proof, err := ProveOpening(v, r, c, []byte("ctx"))
+	if err != nil {
+		t.Fatalf("ProveOpening: %v", err)
+	}
+	if err := VerifyOpening(proof, c, []byte("ctx")); err != nil {
+		t.Fatalf("VerifyOpening: %v", err)
+	}
+	other, _, _ := CommitValue(big.NewInt(5))
+	if err := VerifyOpening(proof, other, []byte("ctx")); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("opening proof against other commitment = %v, want ErrBadProof", err)
+	}
+}
+
+func TestBitProof(t *testing.T) {
+	for _, bit := range []int{0, 1} {
+		r, _ := RandScalar()
+		c := Commit(big.NewInt(int64(bit)), r)
+		proof, err := ProveBit(bit, r, c, []byte("ctx"))
+		if err != nil {
+			t.Fatalf("ProveBit(%d): %v", bit, err)
+		}
+		if err := VerifyBit(proof, c, []byte("ctx")); err != nil {
+			t.Fatalf("VerifyBit(%d): %v", bit, err)
+		}
+	}
+}
+
+func TestBitProofRejectsNonBit(t *testing.T) {
+	r, _ := RandScalar()
+	if _, err := ProveBit(2, r, Commit(big.NewInt(2), r), nil); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("ProveBit(2) = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestBitProofRejectsWrongCommitment(t *testing.T) {
+	r, _ := RandScalar()
+	c := Commit(big.NewInt(1), r)
+	proof, _ := ProveBit(1, r, c, nil)
+	r2, _ := RandScalar()
+	other := Commit(big.NewInt(0), r2)
+	if err := VerifyBit(proof, other, nil); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("bit proof against other commitment = %v, want ErrBadProof", err)
+	}
+}
+
+func TestBitProofCannotProveTwo(t *testing.T) {
+	// A malicious prover committing to 2 cannot use ProveBit honestly, and
+	// a forged proof over that commitment must not verify.
+	r, _ := RandScalar()
+	c := Commit(big.NewInt(2), r)
+	// Try the closest attack available through the API: prove bit 1 with
+	// the same blinding over the wrong commitment.
+	proof, err := ProveBit(1, r, c, nil)
+	if err != nil {
+		t.Fatalf("ProveBit: %v", err)
+	}
+	if err := VerifyBit(proof, c, nil); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("proof for value 2 = %v, want ErrBadProof", err)
+	}
+}
+
+func TestRangeProof(t *testing.T) {
+	for _, v := range []int64{0, 1, 7, 255, 1 << 20, (1 << 32) - 1} {
+		val := big.NewInt(v)
+		c, r, _ := CommitValue(val)
+		proof, err := ProveRange(val, r, c, 32, []byte("ctx"))
+		if err != nil {
+			t.Fatalf("ProveRange(%d): %v", v, err)
+		}
+		if err := VerifyRange(proof, c, []byte("ctx")); err != nil {
+			t.Fatalf("VerifyRange(%d): %v", v, err)
+		}
+	}
+}
+
+func TestRangeProofRejectsTooLarge(t *testing.T) {
+	val := new(big.Int).Lsh(big.NewInt(1), 33)
+	c, r, _ := CommitValue(val)
+	if _, err := ProveRange(val, r, c, 32, nil); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("ProveRange(2^33) = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestRangeProofRejectsNegative(t *testing.T) {
+	val := big.NewInt(-5)
+	c, r, _ := CommitValue(val)
+	if _, err := ProveRange(val, r, c, 32, nil); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("ProveRange(-5) = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestRangeProofRejectsWrongCommitment(t *testing.T) {
+	val := big.NewInt(100)
+	c, r, _ := CommitValue(val)
+	proof, _ := ProveRange(val, r, c, 16, nil)
+	other, _, _ := CommitValue(big.NewInt(100)) // different blinding
+	if err := VerifyRange(proof, other, nil); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("range proof vs other commitment = %v, want ErrBadProof", err)
+	}
+}
+
+func TestRangeProofMalformed(t *testing.T) {
+	c, _, _ := CommitValue(big.NewInt(1))
+	if err := VerifyRange(RangeProof{Bits: 4}, c, nil); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("malformed proof = %v, want ErrBadProof", err)
+	}
+}
+
+func TestSufficientFunds(t *testing.T) {
+	balance := big.NewInt(5000)
+	threshold := big.NewInt(1200)
+	c, r, _ := CommitValue(balance)
+	proof, err := ProveSufficientFunds(balance, r, threshold, c, []byte("loc-42"))
+	if err != nil {
+		t.Fatalf("ProveSufficientFunds: %v", err)
+	}
+	if err := VerifySufficientFunds(proof, c, []byte("loc-42")); err != nil {
+		t.Fatalf("VerifySufficientFunds: %v", err)
+	}
+}
+
+func TestSufficientFundsExactThreshold(t *testing.T) {
+	balance := big.NewInt(1200)
+	c, r, _ := CommitValue(balance)
+	proof, err := ProveSufficientFunds(balance, r, balance, c, nil)
+	if err != nil {
+		t.Fatalf("ProveSufficientFunds exact: %v", err)
+	}
+	if err := VerifySufficientFunds(proof, c, nil); err != nil {
+		t.Fatalf("VerifySufficientFunds exact: %v", err)
+	}
+}
+
+func TestInsufficientFundsRefused(t *testing.T) {
+	balance := big.NewInt(100)
+	c, r, _ := CommitValue(balance)
+	if _, err := ProveSufficientFunds(balance, r, big.NewInt(200), c, nil); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("insufficient funds = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestSufficientFundsWrongThresholdFails(t *testing.T) {
+	balance := big.NewInt(500)
+	c, r, _ := CommitValue(balance)
+	proof, _ := ProveSufficientFunds(balance, r, big.NewInt(100), c, nil)
+	proof.Threshold = big.NewInt(400) // attacker raises claimed threshold
+	if err := VerifySufficientFunds(proof, c, nil); !errors.Is(err, ErrBadProof) {
+		t.Fatalf("tampered threshold = %v, want ErrBadProof", err)
+	}
+}
+
+// Property: for random small values, commitments recompose and range proofs
+// verify.
+func TestRangeProperty(t *testing.T) {
+	f := func(v uint16) bool {
+		val := big.NewInt(int64(v))
+		c, r, err := CommitValue(val)
+		if err != nil {
+			return false
+		}
+		proof, err := ProveRange(val, r, c, 16, nil)
+		if err != nil {
+			return false
+		}
+		return VerifyRange(proof, c, nil) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
