@@ -19,6 +19,8 @@
 //	BenchmarkTEE                 — enclave execution vs plain execution
 //	BenchmarkAnonCred            — Idemix-style presentation/verification
 //	BenchmarkOrdering            — ordering throughput vs batch size
+//	BenchmarkGatewayChain        — middleware pipeline overhead per stage
+//	                               (bench_gateway_test.go)
 package dltprivacy_test
 
 import (

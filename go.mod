@@ -1,0 +1,3 @@
+module dltprivacy
+
+go 1.22

@@ -1,0 +1,44 @@
+package middleware
+
+import (
+	"context"
+	"errors"
+
+	"dltprivacy/internal/audit"
+)
+
+// Audit records what the gateway operator observes about each submission
+// into the leakage log: envelope metadata and the submitting identity
+// always, and full transaction data whenever the payload passes through
+// unencrypted — making a pipeline without the encrypt stage show up as a
+// leak in the audit matrix rather than going unnoticed.
+type Audit struct {
+	log      *audit.Log
+	observer string
+}
+
+// NewAudit creates the audit stage recording for the named observer
+// (normally the gateway operator).
+func NewAudit(log *audit.Log, observer string) (*Audit, error) {
+	if log == nil {
+		return nil, errors.New("middleware: audit stage needs a log")
+	}
+	if observer == "" {
+		observer = "gateway"
+	}
+	return &Audit{log: log, observer: observer}, nil
+}
+
+// Name implements Stage.
+func (a *Audit) Name() string { return StageAudit }
+
+// Handle implements Stage.
+func (a *Audit) Handle(ctx context.Context, req *Request, next Handler) error {
+	id := req.ID()
+	a.log.Record(a.observer, audit.ClassTxMetadata, id)
+	a.log.Record(a.observer, audit.ClassIdentity, req.Principal)
+	if !req.encrypted {
+		a.log.Record(a.observer, audit.ClassTxData, id)
+	}
+	return next(ctx, req)
+}

@@ -1,0 +1,50 @@
+package middleware
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dltprivacy/internal/dcrypto"
+	"dltprivacy/internal/pki"
+)
+
+// Authn verifies the submitter: the attached certificate must chain to the
+// pinned consortium CA key, name the request principal, and the request
+// signature must verify against the certified key (§2.1 PKI onboarding).
+type Authn struct {
+	caKey dcrypto.PublicKey
+	now   func() time.Time
+}
+
+// NewAuthn creates the authn stage pinned to the consortium CA key.
+func NewAuthn(caKey dcrypto.PublicKey, now func() time.Time) *Authn {
+	if now == nil {
+		now = time.Now
+	}
+	return &Authn{caKey: caKey, now: now}
+}
+
+// Name implements Stage.
+func (a *Authn) Name() string { return StageAuthn }
+
+// Handle implements Stage.
+func (a *Authn) Handle(ctx context.Context, req *Request, next Handler) error {
+	if err := pki.VerifyCertificate(req.Cert, a.caKey, a.now()); err != nil {
+		return fmt.Errorf("authn %s: %w", req.Principal, err)
+	}
+	if req.Cert.Identity != req.Principal {
+		return fmt.Errorf("%w: cert for %q, request by %q",
+			ErrIdentityMismatch, req.Cert.Identity, req.Principal)
+	}
+	key, err := req.Cert.Key()
+	if err != nil {
+		return fmt.Errorf("authn %s: %w", req.Principal, err)
+	}
+	d := req.Digest()
+	if err := key.Verify(d[:], req.Sig); err != nil {
+		return fmt.Errorf("%w: principal %s", ErrBadSignature, req.Principal)
+	}
+	req.authenticated = true
+	return next(ctx, req)
+}

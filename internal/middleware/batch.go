@@ -1,0 +1,109 @@
+package middleware
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrBatchRelease wraps failures from a group release. It is deliberately
+// permanent (never transient): members of the group were already
+// acknowledged and attempted, so re-running the batch stage would
+// re-buffer only the filling request and double-order the members that
+// committed. The error text names each failed request by ID so operators
+// can reconcile.
+var ErrBatchRelease = errors.New("middleware: batch release failed")
+
+// Batch aggregates accepted submissions and releases them downstream in
+// groups of the configured size, the write-combining tier in front of the
+// ordering service. A buffered request is acknowledged immediately (its
+// Handle returns nil); the whole group travels downstream when the batch
+// fills or Flush is called. Because any later stage would be skipped for
+// the buffered members of a group, Config requires batch to be the final
+// stage.
+//
+// Error semantics follow the ordering service's batching: failures from a
+// group release surface to the flushing caller (the filling submission or
+// Flush), while earlier members of the group were already acknowledged.
+// Deployments that need per-submission confirmation should run batch size
+// 1 or reconcile against backend commit stats.
+type Batch struct {
+	size int
+
+	mu      sync.Mutex
+	pending []*Request
+	next    Handler
+}
+
+// NewBatch creates the batch stage with the given group size.
+func NewBatch(size int) (*Batch, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("middleware: batch needs size >= 1, got %d", size)
+	}
+	return &Batch{size: size}, nil
+}
+
+// Name implements Stage.
+func (b *Batch) Name() string { return StageBatch }
+
+// Handle implements Stage.
+func (b *Batch) Handle(ctx context.Context, req *Request, next Handler) error {
+	b.mu.Lock()
+	b.next = next
+	b.pending = append(b.pending, req)
+	if len(b.pending) < b.size {
+		b.mu.Unlock()
+		return nil
+	}
+	group := b.pending
+	b.pending = nil
+	b.mu.Unlock()
+	return b.release(ctx, group, next)
+}
+
+// Flush releases any partially-filled batch downstream. It is a no-op on
+// an empty buffer and an error if the stage has never seen a request (the
+// downstream continuation is learned from the first Handle call).
+func (b *Batch) Flush(ctx context.Context) error {
+	b.mu.Lock()
+	group := b.pending
+	next := b.next
+	b.pending = nil
+	b.mu.Unlock()
+	if len(group) == 0 {
+		return nil
+	}
+	if next == nil {
+		return errors.New("middleware: batch flush before any submission")
+	}
+	return b.release(ctx, group, next)
+}
+
+// Pending reports the number of buffered submissions.
+func (b *Batch) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}
+
+// release hands a group downstream one request at a time, preserving
+// submission order. Every buffered request was already acknowledged to
+// its submitter, so a failure must not abandon the rest of the group:
+// each member gets its delivery attempt, and the joined errors surface to
+// the caller (the filling submission or Flush).
+func (b *Batch) release(ctx context.Context, group []*Request, next Handler) error {
+	var errs []error
+	for i, req := range group {
+		if err := next(ctx, req); err != nil {
+			errs = append(errs, fmt.Errorf("request %d/%d (%s): %v", i+1, len(group), req.ID(), err))
+		}
+	}
+	if joined := errors.Join(errs...); joined != nil {
+		// %v, not %w: the underlying errors must not leak their transient
+		// marker through ErrBatchRelease, or an upstream retry stage
+		// would re-run the batch and double-order committed members.
+		return fmt.Errorf("%w: %v", ErrBatchRelease, joined)
+	}
+	return nil
+}

@@ -1,0 +1,216 @@
+package middleware
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"dltprivacy/internal/audit"
+	"dltprivacy/internal/dcrypto"
+)
+
+// Built-in stage names, the vocabulary of Config.
+const (
+	StageAuthn     = "authn"
+	StageEncrypt   = "encrypt"
+	StageAudit     = "audit"
+	StageRateLimit = "ratelimit"
+	StageRetry     = "retry"
+	StageBreaker   = "breaker"
+	StageBatch     = "batch"
+)
+
+// ErrBadConfig is returned (wrapped) for every configuration rejected at
+// construction time.
+var ErrBadConfig = errors.New("middleware: invalid pipeline configuration")
+
+// StageConfig names one stage and its parameters. Parameter values are
+// strings so configurations can come verbatim from flags or files:
+//
+//	authn      — (no parameters)
+//	encrypt    — (no parameters; members come from Env.Directory)
+//	audit      — observer (default "gateway")
+//	ratelimit  — rate (tokens/sec, default 100), burst (default 10)
+//	retry      — attempts (default 3), backoff (duration, default 5ms)
+//	breaker    — threshold (default 5), cooldown (duration, default 1s)
+//	batch      — size (default 8)
+type StageConfig struct {
+	Name   string
+	Params map[string]string
+}
+
+// Config is a declarative pipeline: an ordered stage list assembled and
+// validated by Build.
+type Config struct {
+	Stages []StageConfig
+}
+
+// Env carries the shared dependencies stages draw on. Zero fields default
+// where possible; stages that need a missing dependency fail Build.
+type Env struct {
+	// CAKey is the pinned consortium CA verification key (authn).
+	CAKey dcrypto.PublicKey
+	// Directory resolves channel membership keys (encrypt).
+	Directory Directory
+	// Log receives leakage observations (audit).
+	Log *audit.Log
+	// Now overrides the time source (ratelimit, breaker, authn); tests
+	// inject a fake clock here.
+	Now func() time.Time
+	// Sleep overrides the backoff sleeper (retry).
+	Sleep func(time.Duration)
+}
+
+// params wraps per-stage parameter parsing with error accumulation.
+type params struct {
+	stage string
+	m     map[string]string
+	err   error
+}
+
+func (p *params) str(key, def string) string {
+	v, ok := p.m[key]
+	if !ok || v == "" {
+		return def
+	}
+	return v
+}
+
+func (p *params) intVal(key string, def int) int {
+	v, ok := p.m[key]
+	if !ok {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil && p.err == nil {
+		p.err = fmt.Errorf("stage %s: param %s=%q is not an integer", p.stage, key, v)
+	}
+	return n
+}
+
+func (p *params) floatVal(key string, def float64) float64 {
+	v, ok := p.m[key]
+	if !ok {
+		return def
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil && p.err == nil {
+		p.err = fmt.Errorf("stage %s: param %s=%q is not a number", p.stage, key, v)
+	}
+	return f
+}
+
+func (p *params) duration(key string, def time.Duration) time.Duration {
+	v, ok := p.m[key]
+	if !ok {
+		return def
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil && p.err == nil {
+		p.err = fmt.Errorf("stage %s: param %s=%q is not a duration", p.stage, key, v)
+	}
+	return d
+}
+
+// Build assembles and validates the configured chain around the terminal
+// handler. Every misconfiguration — unknown stage, duplicate stage, bad
+// parameter, ordering violation — is reported here, before any traffic.
+func (c Config) Build(env Env, terminal Handler) (*Chain, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	stages := make([]Stage, 0, len(c.Stages))
+	for _, sc := range c.Stages {
+		s, err := buildStage(sc, env)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+		}
+		stages = append(stages, s)
+	}
+	return NewChain(terminal, stages...), nil
+}
+
+// validate enforces the ordering rules documented in the package comment.
+func (c Config) validate() error {
+	if len(c.Stages) == 0 {
+		return fmt.Errorf("%w: empty stage list", ErrBadConfig)
+	}
+	pos := make(map[string]int, len(c.Stages))
+	for i, sc := range c.Stages {
+		switch sc.Name {
+		case StageAuthn, StageEncrypt, StageAudit, StageRateLimit, StageRetry, StageBreaker, StageBatch:
+		default:
+			return fmt.Errorf("%w: unknown stage %q", ErrBadConfig, sc.Name)
+		}
+		if prev, dup := pos[sc.Name]; dup {
+			return fmt.Errorf("%w: stage %q configured twice (positions %d and %d)", ErrBadConfig, sc.Name, prev, i)
+		}
+		pos[sc.Name] = i
+	}
+	mustPrecede := func(before, after, why string) error {
+		bi, hasB := pos[before]
+		ai, hasA := pos[after]
+		if hasA && (!hasB || bi > ai) {
+			return fmt.Errorf("%w: %q must precede %q: %s", ErrBadConfig, before, after, why)
+		}
+		return nil
+	}
+	if err := mustPrecede(StageAuthn, StageEncrypt,
+		"never seal an envelope for an unverified submitter"); err != nil {
+		return err
+	}
+	if _, hasAuthn := pos[StageAuthn]; hasAuthn {
+		if err := mustPrecede(StageAuthn, StageRateLimit,
+			"buckets are keyed by principal, which must be verified first"); err != nil {
+			return err
+		}
+	}
+	if _, hasRetry := pos[StageRetry]; hasRetry {
+		if err := mustPrecede(StageRetry, StageBreaker,
+			"each retry attempt must consult the breaker"); err != nil {
+			return err
+		}
+	}
+	if bi, ok := pos[StageBatch]; ok && bi != len(c.Stages)-1 {
+		return fmt.Errorf("%w: %q must be the final stage (any later stage would be skipped for batched requests)", ErrBadConfig, StageBatch)
+	}
+	return nil
+}
+
+// buildStage instantiates one named stage from its parameters.
+func buildStage(sc StageConfig, env Env) (Stage, error) {
+	p := &params{stage: sc.Name, m: sc.Params}
+	var (
+		s   Stage
+		err error
+	)
+	switch sc.Name {
+	case StageAuthn:
+		if env.CAKey.IsZero() {
+			return nil, fmt.Errorf("stage %s: Env.CAKey is required", sc.Name)
+		}
+		s = NewAuthn(env.CAKey, env.Now)
+	case StageEncrypt:
+		s, err = NewEncrypt(env.Directory)
+	case StageAudit:
+		s, err = NewAudit(env.Log, p.str("observer", "gateway"))
+	case StageRateLimit:
+		s, err = NewRateLimit(p.floatVal("rate", 100), p.floatVal("burst", 10), env.Now)
+	case StageRetry:
+		s, err = NewRetry(p.intVal("attempts", 3), p.duration("backoff", 5*time.Millisecond), env.Sleep)
+	case StageBreaker:
+		s, err = NewBreaker(p.intVal("threshold", 5), p.duration("cooldown", time.Second), env.Now)
+	case StageBatch:
+		s, err = NewBatch(p.intVal("size", 8))
+	default:
+		return nil, fmt.Errorf("unknown stage %q", sc.Name)
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stage %s: %w", sc.Name, err)
+	}
+	return s, nil
+}

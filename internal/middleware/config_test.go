@@ -1,0 +1,123 @@
+package middleware
+
+import (
+	"errors"
+	"testing"
+
+	"dltprivacy/internal/audit"
+	"dltprivacy/internal/dcrypto"
+)
+
+func testEnv(t *testing.T) Env {
+	t.Helper()
+	key, err := dcrypto.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Env{
+		CAKey:     key.Public(),
+		Directory: StaticDirectory{},
+		Log:       audit.NewLog(),
+	}
+}
+
+func stageList(names ...string) Config {
+	cfg := Config{}
+	for _, n := range names {
+		cfg.Stages = append(cfg.Stages, StageConfig{Name: n})
+	}
+	return cfg
+}
+
+func TestConfigBuildsFullChain(t *testing.T) {
+	cfg := stageList(StageAuthn, StageEncrypt, StageAudit, StageRateLimit, StageRetry, StageBreaker, StageBatch)
+	chain, err := cfg.Build(testEnv(t), nil)
+	if err != nil {
+		t.Fatalf("full chain rejected: %v", err)
+	}
+	got := chain.StageNames()
+	want := []string{StageAuthn, StageEncrypt, StageAudit, StageRateLimit, StageRetry, StageBreaker, StageBatch}
+	if len(got) != len(want) {
+		t.Fatalf("stages = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stage %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConfigRejectsMisordering(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"empty", Config{}},
+		{"unknown stage", stageList("authz")},
+		{"duplicate stage", stageList(StageAuthn, StageAuthn)},
+		{"encrypt before authn", stageList(StageEncrypt, StageAuthn)},
+		{"encrypt without authn", stageList(StageEncrypt)},
+		{"ratelimit before authn", stageList(StageRateLimit, StageAuthn)},
+		{"breaker before retry", stageList(StageBreaker, StageRetry)},
+		{"batch not last", stageList(StageAuthn, StageBatch, StageAudit)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.cfg.Build(testEnv(t), nil); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("Build = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestConfigRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"non-integer batch size", Config{Stages: []StageConfig{
+			{Name: StageBatch, Params: map[string]string{"size": "many"}},
+		}}},
+		{"zero batch size", Config{Stages: []StageConfig{
+			{Name: StageBatch, Params: map[string]string{"size": "0"}},
+		}}},
+		{"negative rate", Config{Stages: []StageConfig{
+			{Name: StageRateLimit, Params: map[string]string{"rate": "-1"}},
+		}}},
+		{"bad duration", Config{Stages: []StageConfig{
+			{Name: StageRetry, Params: map[string]string{"backoff": "soon"}},
+		}}},
+		{"zero breaker threshold", Config{Stages: []StageConfig{
+			{Name: StageBreaker, Params: map[string]string{"threshold": "0"}},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.cfg.Build(testEnv(t), nil); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("Build = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestConfigRejectsMissingDependencies(t *testing.T) {
+	env := testEnv(t)
+
+	noCA := env
+	noCA.CAKey = dcrypto.PublicKey{}
+	if _, err := stageList(StageAuthn).Build(noCA, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("authn without CA key = %v, want ErrBadConfig", err)
+	}
+
+	noDir := env
+	noDir.Directory = nil
+	if _, err := stageList(StageAuthn, StageEncrypt).Build(noDir, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("encrypt without directory = %v, want ErrBadConfig", err)
+	}
+
+	noLog := env
+	noLog.Log = nil
+	if _, err := stageList(StageAudit).Build(noLog, nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("audit without log = %v, want ErrBadConfig", err)
+	}
+}

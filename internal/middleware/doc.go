@@ -1,0 +1,47 @@
+// Package middleware composes the library's confidentiality mechanisms into
+// a single configurable pipeline, the subsystem the paper's title promises:
+// a middleware through which enterprise clients submit transactions without
+// hand-wiring PKI, envelope encryption, leakage accounting, and platform
+// backends themselves.
+//
+// The building block is a Stage: an interceptor with a Name and a
+// Handle(ctx, req, next) method. Stages compose into a Chain ending in a
+// terminal Handler (normally the Gateway's submit-to-ordering step). A
+// declarative Config — an ordered list of named stages with string
+// parameters, in the spirit of Django middleware lists and Traefik
+// middleware blocks — assembles a chain via Build, so deployments choose
+// their confidentiality posture by configuration, not code.
+//
+// # Stage ordering rules
+//
+// Build validates stage order at construction time; a misconfigured
+// pipeline is an error before the first transaction, never a silent leak:
+//
+//   - Stage names must be known and appear at most once.
+//   - "authn" must precede "encrypt": an envelope must never be sealed for
+//     a submission whose origin was not verified, otherwise the pipeline
+//     would launder unauthenticated payloads into member-only ciphertext.
+//   - "authn" must precede "ratelimit" when both are present: buckets are
+//     keyed by principal, and throttling unverified names lets one client
+//     starve another by spoofing its identity.
+//   - "retry" must precede "breaker" when both are present: each retry
+//     attempt must consult the breaker, so a tripped backend fails fast
+//     instead of being hammered by the retry loop.
+//   - "batch" must be the final stage: it hands aggregated submissions
+//     directly to the terminal handler, and any stage after it would be
+//     skipped for batched requests.
+//
+// The built-in stages are authn (submitter certificate + signature
+// verification against the consortium CA), encrypt (per-channel envelope
+// encryption to member keys), audit (leakage accounting into
+// internal/audit), ratelimit (token bucket per principal), retry (bounded
+// backoff on transient transport errors), breaker (per-backend circuit
+// breaker), and batch (aggregate submissions before ordering).
+//
+// The Gateway fronts the platform backends: it runs every submission
+// through the chain, submits the resulting transaction to an
+// internal/ordering backend, and relays cut blocks to registered platform
+// adapters (Fabric, Corda, Quorum). It registers as an internal/transport
+// endpoint so remote clients submit over the network substrate, is safe
+// for concurrent use, and exposes per-stage Stats counters.
+package middleware

@@ -1,0 +1,152 @@
+package middleware
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"dltprivacy/internal/dcrypto"
+)
+
+// EnvelopeScheme identifies the envelope format produced by the encrypt
+// stage: a fresh AES-256-GCM data key sealing the payload, hybrid-wrapped
+// to every channel member (§2.2, "Symmetric key encryption" with keys
+// "shared over the network using PKI").
+const EnvelopeScheme = "hybrid-aes256gcm/v1"
+
+// ErrNotRecipient is returned when opening an envelope with an identity
+// that holds no wrapped key.
+var ErrNotRecipient = errors.New("middleware: identity is not an envelope recipient")
+
+// Envelope is an encrypted payload plus the data key wrapped per member.
+// Observers (orderer, backends) see ciphertext and the recipient set only.
+type Envelope struct {
+	Scheme     string                              `json:"scheme"`
+	Channel    string                              `json:"channel"`
+	Ciphertext []byte                              `json:"ciphertext"`
+	Keys       map[string]dcrypto.HybridCiphertext `json:"keys"`
+}
+
+// envelopeAD binds envelope ciphertexts to their channel.
+func envelopeAD(channel string) []byte {
+	return []byte("middleware/envelope/v1/" + channel)
+}
+
+// SealEnvelope encrypts payload for the given member keys.
+func SealEnvelope(channel string, payload []byte, members map[string]dcrypto.PublicKey) (Envelope, error) {
+	if len(members) == 0 {
+		return Envelope{}, fmt.Errorf("middleware: no member keys for channel %s", channel)
+	}
+	dataKey, err := dcrypto.NewSymmetricKey()
+	if err != nil {
+		return Envelope{}, fmt.Errorf("middleware: data key: %w", err)
+	}
+	ct, err := dcrypto.EncryptSymmetric(dataKey, payload, envelopeAD(channel))
+	if err != nil {
+		return Envelope{}, fmt.Errorf("middleware: seal payload: %w", err)
+	}
+	env := Envelope{
+		Scheme:     EnvelopeScheme,
+		Channel:    channel,
+		Ciphertext: ct,
+		Keys:       make(map[string]dcrypto.HybridCiphertext, len(members)),
+	}
+	for id, pub := range members {
+		wrapped, err := dcrypto.EncryptHybrid(pub, dataKey, envelopeAD(channel))
+		if err != nil {
+			return Envelope{}, fmt.Errorf("middleware: wrap key for %s: %w", id, err)
+		}
+		env.Keys[id] = wrapped
+	}
+	return env, nil
+}
+
+// OpenEnvelope recovers the payload for a member holding its private key.
+func OpenEnvelope(env Envelope, member string, key *dcrypto.PrivateKey) ([]byte, error) {
+	if env.Scheme != EnvelopeScheme {
+		return nil, fmt.Errorf("middleware: unsupported envelope scheme %q", env.Scheme)
+	}
+	wrapped, ok := env.Keys[member]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotRecipient, member)
+	}
+	dataKey, err := dcrypto.DecryptHybrid(key, wrapped, envelopeAD(env.Channel))
+	if err != nil {
+		return nil, fmt.Errorf("middleware: unwrap key: %w", err)
+	}
+	return dcrypto.DecryptSymmetric(dataKey, env.Ciphertext, envelopeAD(env.Channel))
+}
+
+// ParseEnvelope decodes a marshalled envelope (a transaction payload the
+// encrypt stage produced).
+func ParseEnvelope(b []byte) (Envelope, error) {
+	var env Envelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return Envelope{}, fmt.Errorf("middleware: parse envelope: %w", err)
+	}
+	return env, nil
+}
+
+// Directory resolves a channel to the public keys of its members, the
+// recipient set of envelope encryption.
+type Directory interface {
+	MemberKeys(channel string) (map[string]dcrypto.PublicKey, error)
+}
+
+// StaticDirectory is a fixed channel -> member -> key map.
+type StaticDirectory map[string]map[string]dcrypto.PublicKey
+
+// MemberKeys implements Directory.
+func (d StaticDirectory) MemberKeys(channel string) (map[string]dcrypto.PublicKey, error) {
+	members, ok := d[channel]
+	if !ok {
+		return nil, fmt.Errorf("middleware: no members registered for channel %s", channel)
+	}
+	return members, nil
+}
+
+// Encrypt is the envelope-encryption stage. It refuses unauthenticated
+// requests even if misassembled by hand: sealing ciphertext for an
+// unverified submitter would lend member-only confidentiality to spoofed
+// traffic.
+type Encrypt struct {
+	dir Directory
+}
+
+// NewEncrypt creates the encrypt stage over a membership directory.
+func NewEncrypt(dir Directory) (*Encrypt, error) {
+	if dir == nil {
+		return nil, errors.New("middleware: encrypt stage needs a membership directory")
+	}
+	return &Encrypt{dir: dir}, nil
+}
+
+// Name implements Stage.
+func (e *Encrypt) Name() string { return StageEncrypt }
+
+// Handle implements Stage.
+func (e *Encrypt) Handle(ctx context.Context, req *Request, next Handler) error {
+	if !req.authenticated {
+		return ErrNotAuthenticated
+	}
+	members, err := e.dir.MemberKeys(req.Channel)
+	if err != nil {
+		return err
+	}
+	env, err := SealEnvelope(req.Channel, req.Payload, members)
+	if err != nil {
+		return err
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("middleware: marshal envelope: %w", err)
+	}
+	req.Payload = b
+	req.encrypted = true
+	if req.Meta == nil {
+		req.Meta = make(map[string]string)
+	}
+	req.Meta["envelope"] = EnvelopeScheme
+	return next(ctx, req)
+}

@@ -1,0 +1,270 @@
+package middleware
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dltprivacy/internal/dcrypto"
+	"dltprivacy/internal/ledger"
+	"dltprivacy/internal/ordering"
+	"dltprivacy/internal/pki"
+	"dltprivacy/internal/transport"
+)
+
+// TopicSubmit is the transport topic gateway endpoints serve.
+const TopicSubmit = "gateway.submit"
+
+// Gateway fronts the platform backends: every submission runs through the
+// configured chain, the terminal handler turns it into a ledger
+// transaction and submits it to the ordering backend, and cut blocks are
+// relayed to the platform adapters bound per channel. Safe for concurrent
+// use.
+type Gateway struct {
+	name    string
+	chain   *Chain
+	orderer ordering.Backend
+	now     func() time.Time
+
+	submitted atomic.Uint64 // requests accepted by the chain
+	ordered   atomic.Uint64 // transactions handed to the orderer
+	rejected  atomic.Uint64 // requests refused by any stage
+
+	mu       sync.Mutex
+	backends map[string][]Backend // channel -> bound adapters
+	commits  map[string]*backendCounters
+}
+
+type backendCounters struct {
+	blocks atomic.Uint64
+	txs    atomic.Uint64
+	errors atomic.Uint64
+}
+
+// BackendStats is a snapshot of one bound backend's commit counters.
+type BackendStats struct {
+	Name   string
+	Blocks uint64
+	Txs    uint64
+	Errors uint64
+}
+
+// GatewayStats is a snapshot of the gateway's counters.
+type GatewayStats struct {
+	// Submitted counts requests the chain accepted (batched requests are
+	// accepted when buffered).
+	Submitted uint64
+	// Ordered counts transactions handed to the ordering backend.
+	Ordered uint64
+	// Rejected counts requests refused by any stage.
+	Rejected uint64
+	// Stages holds per-stage counters in chain order.
+	Stages []StageStats
+	// Backends holds per-backend commit counters.
+	Backends []BackendStats
+}
+
+// NewGateway builds the configured chain and fronts it with the ordering
+// backend. Misconfiguration fails here, before any traffic.
+func NewGateway(name string, cfg Config, env Env, orderer ordering.Backend) (*Gateway, error) {
+	if name == "" {
+		name = "gateway"
+	}
+	if orderer == nil {
+		return nil, fmt.Errorf("%w: gateway needs an ordering backend", ErrBadConfig)
+	}
+	if env.Now == nil {
+		env.Now = time.Now
+	}
+	g := &Gateway{
+		name:     name,
+		orderer:  orderer,
+		now:      env.Now,
+		backends: make(map[string][]Backend),
+		commits:  make(map[string]*backendCounters),
+	}
+	chain, err := cfg.Build(env, g.order)
+	if err != nil {
+		return nil, err
+	}
+	g.chain = chain
+	return g, nil
+}
+
+// Name returns the gateway's principal name.
+func (g *Gateway) Name() string { return g.name }
+
+// order is the terminal handler: build the ledger transaction and submit
+// it for ordering.
+func (g *Gateway) order(ctx context.Context, req *Request) error {
+	meta := make(map[string]string, len(req.Meta)+1)
+	for k, v := range req.Meta {
+		meta[k] = v
+	}
+	meta["gateway"] = g.name
+	tx := ledger.Transaction{
+		Channel:   req.Channel,
+		Creator:   req.Principal,
+		Payload:   req.Payload,
+		Meta:      meta,
+		Timestamp: g.now(),
+	}
+	if err := g.orderer.Submit(tx); err != nil {
+		return fmt.Errorf("gateway %s: order: %w", g.name, err)
+	}
+	req.Tx = tx
+	g.ordered.Add(1)
+	return nil
+}
+
+// Submit runs one request through the chain. A nil return means the
+// request was accepted: either ordered, or buffered by the batch stage for
+// a later group release.
+func (g *Gateway) Submit(ctx context.Context, req *Request) error {
+	if err := g.chain.Execute(ctx, req); err != nil {
+		g.rejected.Add(1)
+		return err
+	}
+	g.submitted.Add(1)
+	return nil
+}
+
+// Flush releases any partially-filled batch downstream. Gateways without a
+// batch stage flush trivially.
+func (g *Gateway) Flush(ctx context.Context) error {
+	if b, ok := g.chain.stage(StageBatch).(*Batch); ok && b != nil {
+		return b.Flush(ctx)
+	}
+	return nil
+}
+
+// Backend is a platform adapter the gateway relays ordered blocks into:
+// the bridge from the confidentiality pipeline to Fabric, Corda, or Quorum
+// native submission paths.
+type Backend interface {
+	Name() string
+	// Commit applies one ordered block to the platform.
+	Commit(b ledger.Block) error
+}
+
+// Bind subscribes the backends to the channel's block stream. Each cut
+// block is committed to every bound backend; the first failing backend
+// aborts delivery and surfaces the error to the submitting request (which
+// is what the breaker and retry stages act on).
+func (g *Gateway) Bind(channel string, backends ...Backend) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, b := range backends {
+		g.backends[channel] = append(g.backends[channel], b)
+		ctr, ok := g.commits[b.Name()]
+		if !ok {
+			ctr = &backendCounters{}
+			g.commits[b.Name()] = ctr
+		}
+		b := b
+		g.orderer.Subscribe(channel, func(blk ledger.Block) error {
+			if err := b.Commit(blk); err != nil {
+				ctr.errors.Add(1)
+				return fmt.Errorf("backend %s: %w", b.Name(), err)
+			}
+			ctr.blocks.Add(1)
+			ctr.txs.Add(uint64(len(blk.Txs)))
+			return nil
+		})
+	}
+}
+
+// Bound returns the adapters bound to a channel.
+func (g *Gateway) Bound(channel string) []Backend {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]Backend(nil), g.backends[channel]...)
+}
+
+// Stats snapshots gateway, per-stage, and per-backend counters.
+func (g *Gateway) Stats() GatewayStats {
+	stats := GatewayStats{
+		Submitted: g.submitted.Load(),
+		Ordered:   g.ordered.Load(),
+		Rejected:  g.rejected.Load(),
+		Stages:    g.chain.Stats(),
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for name, ctr := range g.commits {
+		stats.Backends = append(stats.Backends, BackendStats{
+			Name:   name,
+			Blocks: ctr.blocks.Load(),
+			Txs:    ctr.txs.Load(),
+			Errors: ctr.errors.Load(),
+		})
+	}
+	return stats
+}
+
+// wireRequest is the JSON form a transport client submits.
+type wireRequest struct {
+	Channel   string            `json:"channel"`
+	Principal string            `json:"principal"`
+	Backend   string            `json:"backend,omitempty"`
+	Payload   []byte            `json:"payload"`
+	Cert      pki.Certificate   `json:"cert"`
+	Sig       dcrypto.Signature `json:"sig"`
+	Meta      map[string]string `json:"meta,omitempty"`
+}
+
+// AttachTransport registers the gateway as a network endpoint serving
+// TopicSubmit. The reply to an accepted submission is its request ID
+// (batched submissions are acknowledged before a transaction exists).
+func (g *Gateway) AttachTransport(net *transport.Network, endpoint string) error {
+	return net.Register(endpoint, func(msg transport.Message) ([]byte, error) {
+		if msg.Topic != TopicSubmit {
+			return nil, fmt.Errorf("gateway %s: unknown topic %q", g.name, msg.Topic)
+		}
+		var w wireRequest
+		if err := json.Unmarshal(msg.Payload, &w); err != nil {
+			return nil, fmt.Errorf("gateway %s: decode request: %w", g.name, err)
+		}
+		req := &Request{
+			Channel:   w.Channel,
+			Principal: w.Principal,
+			Backend:   w.Backend,
+			Payload:   w.Payload,
+			Cert:      w.Cert,
+			Sig:       w.Sig,
+			Meta:      w.Meta,
+		}
+		// The ID covers the payload as submitted; the encrypt stage
+		// replaces it, so capture before running the chain.
+		id := req.ID()
+		if err := g.Submit(context.Background(), req); err != nil {
+			return nil, err
+		}
+		return []byte(id), nil
+	})
+}
+
+// SubmitOver sends a signed request to a gateway endpoint over the network
+// substrate and returns the gateway's submission ID.
+func SubmitOver(net *transport.Network, from, endpoint string, req *Request) (string, error) {
+	b, err := json.Marshal(wireRequest{
+		Channel:   req.Channel,
+		Principal: req.Principal,
+		Backend:   req.Backend,
+		Payload:   req.Payload,
+		Cert:      req.Cert,
+		Sig:       req.Sig,
+		Meta:      req.Meta,
+	})
+	if err != nil {
+		return "", fmt.Errorf("middleware: encode request: %w", err)
+	}
+	reply, err := net.Send(transport.Message{From: from, To: endpoint, Topic: TopicSubmit, Payload: b})
+	if err != nil {
+		return "", err
+	}
+	return string(reply), nil
+}

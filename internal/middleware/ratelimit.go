@@ -1,0 +1,73 @@
+package middleware
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RateLimit is a per-principal token bucket: each principal accrues Rate
+// tokens per second up to Burst, and every submission spends one. A
+// principal that exhausts its bucket gets ErrRateLimited without the
+// request travelling further down the chain.
+type RateLimit struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimit creates the rate-limit stage. rate is tokens per second,
+// burst the bucket capacity (burst >= 1).
+func NewRateLimit(rate, burst float64, now func() time.Time) (*RateLimit, error) {
+	if rate <= 0 || burst < 1 {
+		return nil, fmt.Errorf("middleware: rate limit needs rate > 0 and burst >= 1, got rate=%g burst=%g", rate, burst)
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &RateLimit{rate: rate, burst: burst, now: now, buckets: make(map[string]*bucket)}, nil
+}
+
+// Name implements Stage.
+func (r *RateLimit) Name() string { return StageRateLimit }
+
+// Handle implements Stage.
+func (r *RateLimit) Handle(ctx context.Context, req *Request, next Handler) error {
+	if !r.allow(req.Principal) {
+		return fmt.Errorf("%w: principal %s", ErrRateLimited, req.Principal)
+	}
+	return next(ctx, req)
+}
+
+func (r *RateLimit) allow(principal string) bool {
+	t := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.buckets[principal]
+	if !ok {
+		b = &bucket{tokens: r.burst, last: t}
+		r.buckets[principal] = b
+	}
+	elapsed := t.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * r.rate
+		if b.tokens > r.burst {
+			b.tokens = r.burst
+		}
+		b.last = t
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,58 @@
+package middleware
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// Retry re-invokes the downstream chain on transient errors (see
+// IsTransient) with bounded exponential backoff. Permanent errors —
+// authentication failures, validation rejections, open breakers — pass
+// through immediately.
+type Retry struct {
+	attempts int
+	backoff  time.Duration
+	sleep    func(time.Duration)
+}
+
+// NewRetry creates the retry stage: attempts total tries (>= 1), doubling
+// the backoff between them starting at the given duration.
+func NewRetry(attempts int, backoff time.Duration, sleep func(time.Duration)) (*Retry, error) {
+	if attempts < 1 {
+		return nil, fmt.Errorf("middleware: retry needs attempts >= 1, got %d", attempts)
+	}
+	if backoff < 0 {
+		return nil, fmt.Errorf("middleware: retry backoff must be non-negative, got %v", backoff)
+	}
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return &Retry{attempts: attempts, backoff: backoff, sleep: sleep}, nil
+}
+
+// Name implements Stage.
+func (r *Retry) Name() string { return StageRetry }
+
+// Handle implements Stage.
+func (r *Retry) Handle(ctx context.Context, req *Request, next Handler) error {
+	delay := r.backoff
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = next(ctx, req)
+		if err == nil || !IsTransient(err) || attempt >= r.attempts {
+			break
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+		if delay > 0 {
+			r.sleep(delay)
+			delay *= 2
+		}
+	}
+	if err != nil && IsTransient(err) {
+		return fmt.Errorf("middleware: %d attempts exhausted: %w", r.attempts, err)
+	}
+	return err
+}

@@ -41,7 +41,12 @@ const (
 	VisibilityEnvelope
 )
 
-// DeliverFunc receives a cut block for a channel.
+// DeliverFunc receives a cut block for a channel. Delivery runs with the
+// channel's delivery lock held (blocks reach subscribers in height
+// order), so a DeliverFunc must not call Submit or Flush for the same
+// channel on the same service — that self-deadlocks. Re-submitting into a
+// different service (as the middleware gateway's platform adapters do) is
+// fine.
 type DeliverFunc func(b ledger.Block) error
 
 // chainState tracks the orderer-side view of one channel chain.
@@ -50,6 +55,10 @@ type chainState struct {
 	lastHash [32]byte
 	pending  []ledger.Transaction
 	subs     []DeliverFunc
+	// deliver serializes block cut + delivery so subscribers receive
+	// blocks in height order even under concurrent submitters (the
+	// middleware gateway drives this path from many goroutines).
+	deliver sync.Mutex
 }
 
 // Service is a single-node ("solo") ordering service. The paper notes
@@ -155,10 +164,16 @@ func (s *Service) observe(tx ledger.Transaction) {
 func (s *Service) Flush(channel string) error {
 	s.mu.Lock()
 	c, ok := s.chains[channel]
+	s.mu.Unlock()
 	if !ok {
-		s.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrUnknownChannel, channel)
 	}
+	// Hold the channel delivery lock across cut and delivery: blocks
+	// reach subscribers in height order even when Flush races.
+	c.deliver.Lock()
+	defer c.deliver.Unlock()
+
+	s.mu.Lock()
 	if len(c.pending) == 0 {
 		s.mu.Unlock()
 		return nil

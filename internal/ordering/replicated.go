@@ -68,6 +68,11 @@ type Cluster struct {
 	pending  []ledger.Transaction
 	batch    int
 	subs     []DeliverFunc
+
+	// deliver serializes replication + delivery so subscribers receive
+	// blocks in height order under concurrent submitters (see
+	// Service.Flush for the solo-orderer equivalent).
+	deliver sync.Mutex
 }
 
 // NewCluster creates a replicated ordering cluster for a channel, one node
@@ -293,6 +298,8 @@ func (c *Cluster) observeLocked(tx ledger.Transaction) {
 // replicates to followers, commits on majority acknowledgement, and only
 // then delivers to subscribers.
 func (c *Cluster) Flush() error {
+	c.deliver.Lock()
+	defer c.deliver.Unlock()
 	c.mu.Lock()
 	if c.leader < 0 {
 		c.mu.Unlock()

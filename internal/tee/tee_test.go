@@ -188,16 +188,22 @@ func TestSealUnsealRoundTrip(t *testing.T) {
 	if err := e.Load(counterProgram); err != nil {
 		t.Fatalf("Load: %v", err)
 	}
-	if _, _, err := e.Execute([]byte("3")); err != nil {
+	// A long multi-byte sentinel state: a single-byte probe against random
+	// AES-GCM ciphertext false-matches roughly one run in ten, a ten-byte
+	// run is effectively impossible to find by chance.
+	const sentinel = "1234567890"
+	if _, _, err := e.Execute([]byte(sentinel)); err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
 	sealed, err := e.Seal()
 	if err != nil {
 		t.Fatalf("Seal: %v", err)
 	}
-	if bytes.Contains(sealed.Ciphertext, []byte("3")) {
+	if bytes.Contains(sealed.Ciphertext, []byte(sentinel)) {
 		t.Fatal("sealed state must not expose plaintext")
 	}
+	// Wrong-key Unseal (state sealed by one enclave opened in another) is
+	// covered by TestSealedStateBoundToOtherEnclaveFails below.
 	if err := e.Unseal(sealed); err != nil {
 		t.Fatalf("Unseal: %v", err)
 	}
@@ -205,8 +211,8 @@ func TestSealUnsealRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Execute after unseal: %v", err)
 	}
-	if string(out) != "7" {
-		t.Fatalf("output after unseal = %q, want 7", out)
+	if string(out) != "1234567894" {
+		t.Fatalf("output after unseal = %q, want 1234567894", out)
 	}
 }
 
