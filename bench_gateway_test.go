@@ -31,6 +31,8 @@ func (n *nullBackend) Commit(b ledger.Block) error {
 // of signed workload submissions to replay.
 type gatewayBenchEnv struct {
 	ca         *pki.CA
+	keys       map[string]*dcrypto.PrivateKey
+	certs      map[string]pki.Certificate
 	memberKeys map[string]dcrypto.PublicKey
 	templates  []middleware.Request
 }
@@ -78,7 +80,7 @@ func newGatewayBenchEnv(b *testing.B) *gatewayBenchEnv {
 		}
 		templates[i] = req
 	}
-	return &gatewayBenchEnv{ca: ca, memberKeys: memberKeys, templates: templates}
+	return &gatewayBenchEnv{ca: ca, keys: keys, certs: certs, memberKeys: memberKeys, templates: templates}
 }
 
 // BenchmarkGatewayChain measures the pipeline at increasing depth: each

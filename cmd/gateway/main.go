@@ -81,13 +81,17 @@ func run(nTrades, batchSize int, seed int64) error {
 	}
 
 	// The declarative pipeline. Swapping confidentiality posture means
-	// editing this list, not client code. Rate limiting sits before the
-	// envelope stage so over-limit traffic is shed before paying the
-	// per-member hybrid encryption (the most expensive stage).
+	// editing this list, not client code. The session stage serves
+	// token-bound traffic from its cached verified principals; authn
+	// remains for certificate-bearing (sessionless) submissions. Rate
+	// limiting sits before the envelope stage so over-limit traffic is
+	// shed before paying the symmetric seal, and the encrypt key cache
+	// amortizes the per-member hybrid wrap across each epoch.
 	cfg := middleware.Config{Stages: []middleware.StageConfig{
+		{Name: middleware.StageSession, Params: map[string]string{"ttl": "10m", "idle": "2m"}},
 		{Name: middleware.StageAuthn},
 		{Name: middleware.StageRateLimit, Params: map[string]string{"rate": "5000", "burst": "5000"}},
-		{Name: middleware.StageEncrypt},
+		{Name: middleware.StageEncrypt, Params: map[string]string{"keyttl": "5m"}},
 		{Name: middleware.StageAudit, Params: map[string]string{"observer": "gateway-op"}},
 		{Name: middleware.StageRetry, Params: map[string]string{"attempts": "3", "backoff": "2ms"}},
 		{Name: middleware.StageBreaker, Params: map[string]string{"threshold": "5", "cooldown": "250ms"}},
@@ -105,8 +109,19 @@ func run(nTrades, batchSize int, seed int64) error {
 	gw.Bind("deals", backends...)
 
 	net := transport.New()
-	if err := gw.AttachTransport(net, "gateway"); err != nil {
+	if err := gw.AttachTransport(context.Background(), net, "gateway"); err != nil {
 		return err
+	}
+
+	// Each member opens one session: the full certificate verification is
+	// paid here, once, and every subsequent submission rides the token.
+	tokens := make(map[string]string, len(members))
+	for _, m := range members {
+		grant, err := middleware.OpenSessionOver(net, m, "gateway", certs[m], keys[m])
+		if err != nil {
+			return fmt.Errorf("open session for %s: %w", m, err)
+		}
+		tokens[m] = grant.Token
 	}
 
 	start := time.Now()
@@ -116,10 +131,10 @@ func run(nTrades, batchSize int, seed int64) error {
 			return err
 		}
 		req := &middleware.Request{
-			Channel:   "deals",
-			Principal: tr.Buyer,
-			Payload:   payload,
-			Cert:      certs[tr.Buyer],
+			Channel:      "deals",
+			Principal:    tr.Buyer,
+			Payload:      payload,
+			SessionToken: tokens[tr.Buyer],
 		}
 		if err := middleware.SignRequest(req, keys[tr.Buyer]); err != nil {
 			return err
@@ -154,21 +169,45 @@ func run(nTrades, batchSize int, seed int64) error {
 		saw := log.SawAny(op, audit.ClassTxData)
 		fmt.Printf("  %-12s txdata=%v\n", op, saw)
 	}
-	// A rejected submission: tampered payload fails authn at the gate.
+	// A rejected submission: tampered payload fails the per-request
+	// signature check even on a live session.
 	bad := &middleware.Request{
-		Channel:   "deals",
-		Principal: members[0],
-		Payload:   []byte("legit"),
-		Cert:      certs[members[0]],
+		Channel:      "deals",
+		Principal:    members[0],
+		Payload:      []byte("legit"),
+		SessionToken: tokens[members[0]],
 	}
 	if err := middleware.SignRequest(bad, keys[members[0]]); err != nil {
 		return err
 	}
 	bad.Payload = []byte("tampered")
 	if _, err := middleware.SubmitOver(net, members[0], "gateway", bad); !errors.Is(err, middleware.ErrBadSignature) {
-		return fmt.Errorf("tampered submission was not rejected at authn: %v", err)
+		return fmt.Errorf("tampered submission was not rejected: %v", err)
 	}
-	fmt.Println("\ntampered submission rejected at authn, as configured")
+	fmt.Println("\ntampered submission rejected on the session path, as configured")
+
+	// A forged token never reaches the chain's downstream stages.
+	forged := &middleware.Request{
+		Channel:      "deals",
+		Principal:    members[0],
+		Payload:      []byte("legit"),
+		SessionToken: "not-a-token",
+	}
+	if err := middleware.SignRequest(forged, keys[members[0]]); err != nil {
+		return err
+	}
+	if _, err := middleware.SubmitOver(net, members[0], "gateway", forged); !errors.Is(err, middleware.ErrNoSession) {
+		return fmt.Errorf("forged session token was not rejected: %v", err)
+	}
+	fmt.Println("forged session token rejected with ErrNoSession")
+
+	// Sessions closed; their tokens die with them.
+	for _, m := range members {
+		if err := middleware.CloseSessionOver(net, m, "gateway", tokens[m]); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("closed %d sessions (%d live)\n", len(members), gw.Sessions().Len())
 	return nil
 }
 

@@ -1,18 +1,43 @@
-// Quickstart: stand up a three-organization Fabric-model network, create a
-// private channel between two of them, invoke a contract, and show that the
-// third organization can observe nothing — the core separation-of-ledgers
-// mechanism from §2.1 of the paper.
+// Quickstart: submit a confidential trade through the middleware gateway.
+// Three organizations enroll with the consortium CA; Alpha opens one
+// persistent gateway session (paying certificate verification once),
+// submits trades bound to the session token, and the pipeline seals each
+// payload for the channel members before ordering commits it into a
+// Fabric-model channel. Bravo — a member — decrypts the committed
+// envelope; Charlie, the orderer operator, and the gateway operator see
+// nothing: the core separation-of-ledgers mechanism from §2.1 of the
+// paper, now behind one declarative pipeline instead of hand-wired calls.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 
 	"dltprivacy/internal/audit"
 	"dltprivacy/internal/contract"
+	"dltprivacy/internal/dcrypto"
+	"dltprivacy/internal/ledger"
+	"dltprivacy/internal/middleware"
+	"dltprivacy/internal/ordering"
+	"dltprivacy/internal/pki"
 	"dltprivacy/internal/platform/fabric"
+	"dltprivacy/internal/transport"
 )
+
+// txIndex records committed transaction IDs so readers can locate the
+// envelopes the Fabric backend stored under them.
+type txIndex struct{ ids []string }
+
+func (x *txIndex) Name() string { return "tx-index" }
+
+func (x *txIndex) Commit(b ledger.Block) error {
+	for _, tx := range b.Txs {
+		x.ids = append(x.ids, tx.ID())
+	}
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -22,25 +47,43 @@ func main() {
 }
 
 func run() error {
-	// 1. Network with three organizations.
-	net, err := fabric.NewNetwork(fabric.Config{})
+	// 1. Consortium PKI: every organization enrolls once.
+	ca, err := pki.NewCA("consortium-ca")
 	if err != nil {
 		return err
 	}
-	for _, org := range []string{"Alpha", "Bravo", "Charlie"} {
-		if _, err := net.AddOrg(org); err != nil {
+	orgs := []string{"Alpha", "Bravo", "Charlie"}
+	keys := make(map[string]*dcrypto.PrivateKey, len(orgs))
+	certs := make(map[string]pki.Certificate, len(orgs))
+	for _, org := range orgs {
+		key, err := dcrypto.GenerateKey()
+		if err != nil {
+			return err
+		}
+		cert, err := ca.Enroll(org, key.Public())
+		if err != nil {
+			return err
+		}
+		keys[org], certs[org] = key, cert
+	}
+
+	// 2. A Fabric-model network with a private channel between Alpha and
+	// Bravo, fronted by the gateway.
+	fnet, err := fabric.NewNetwork(fabric.Config{})
+	if err != nil {
+		return err
+	}
+	for _, org := range orgs {
+		if _, err := fnet.AddOrg(org); err != nil {
 			return err
 		}
 	}
-
-	// 2. A private channel between Alpha and Bravo.
-	policy := contract.Policy{Members: []string{"Alpha", "Bravo"}, Threshold: 2}
-	if err := net.CreateChannel("deals", []string{"Alpha", "Bravo"}, policy); err != nil {
+	channelMembers := []string{"Alpha", "Bravo"}
+	policy := contract.Policy{Members: channelMembers, Threshold: 2}
+	if err := fnet.CreateChannel("deals", channelMembers, policy); err != nil {
 		return err
 	}
-
-	// 3. A contract installed on the channel members only.
-	cc := contract.Contract{
+	kv := contract.Contract{
 		Name:    "kv",
 		Version: "1",
 		Funcs: map[string]contract.Func{
@@ -53,32 +96,115 @@ func run() error {
 			},
 		},
 	}
-	if err := net.InstallChaincode("deals", cc, []string{"Alpha", "Bravo"}); err != nil {
+	if err := fnet.InstallChaincode("deals", kv, channelMembers); err != nil {
 		return err
 	}
-
-	// 4. A confidential trade.
-	txID, err := net.Invoke("deals", "Alpha", "kv", "put",
-		[][]byte{[]byte("deal-1"), []byte("10 tons of steel @ 700/t")},
-		[]string{"Alpha", "Bravo"})
+	fb, err := middleware.NewFabricBackend(fnet, "Alpha", "kv", "put", channelMembers)
 	if err != nil {
 		return err
 	}
-	fmt.Println("committed transaction", txID)
 
-	// 5. Members share the state…
-	v, err := net.Query("deals", "Bravo", "deal-1")
+	// 3. The declarative pipeline: session-amortized authn, envelope
+	// encryption to the channel members (data key cached per epoch),
+	// leakage accounting. Envelope visibility keeps payloads opaque to
+	// the orderer operator.
+	log := audit.NewLog()
+	orderer := ordering.New("orderer-op", ordering.VisibilityEnvelope, ordering.WithAuditLog(log))
+	cfg := middleware.Config{Stages: []middleware.StageConfig{
+		{Name: middleware.StageSession, Params: map[string]string{"ttl": "10m", "idle": "2m"}},
+		{Name: middleware.StageAuthn},
+		{Name: middleware.StageEncrypt, Params: map[string]string{"keyttl": "5m"}},
+		{Name: middleware.StageAudit, Params: map[string]string{"observer": "gateway-op"}},
+	}}
+	env := middleware.Env{
+		CAKey: ca.PublicKey(),
+		Directory: middleware.StaticDirectory{"deals": {
+			"Alpha": keys["Alpha"].Public(),
+			"Bravo": keys["Bravo"].Public(),
+		}},
+		Log: log,
+	}
+	gw, err := middleware.NewGateway("gw", cfg, env, orderer)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("Bravo reads: %s\n", v)
+	index := &txIndex{}
+	gw.Bind("deals", fb, index)
+	net := transport.New()
+	if err := gw.AttachTransport(context.Background(), net, "gateway"); err != nil {
+		return err
+	}
 
-	// …the outsider sees nothing.
-	if _, err := net.Query("deals", "Charlie", "deal-1"); err != nil {
-		fmt.Println("Charlie cannot read the channel:", err)
+	// 4. Alpha opens one session — full PKI verification happens here,
+	// once — then submits confidential trades bound to the token.
+	grant, err := middleware.OpenSessionOver(net, "Alpha", "gateway", certs["Alpha"], keys["Alpha"])
+	if err != nil {
+		return err
 	}
-	if !net.Log.SawAny("Charlie", audit.ClassTxData) {
-		fmt.Println("audit log confirms: Charlie observed no transaction data")
+	fmt.Println("Alpha opened a gateway session (cert verified once)")
+	for _, deal := range []string{
+		"deal-1: 10 tons of steel @ 700/t",
+		"deal-2: 4 tons of copper @ 9100/t",
+	} {
+		req := &middleware.Request{
+			Channel:      "deals",
+			Principal:    "Alpha",
+			Payload:      []byte(deal),
+			SessionToken: grant.Token,
+		}
+		if err := middleware.SignRequest(req, keys["Alpha"]); err != nil {
+			return err
+		}
+		if _, err := middleware.SubmitOver(net, "Alpha", "gateway", req); err != nil {
+			return err
+		}
 	}
+	fmt.Println("submitted 2 trades on the session token (no certs on the wire)")
+
+	// 5. Bravo, a channel member, reads and decrypts the committed state…
+	for _, txID := range index.ids {
+		committed, err := fnet.Query("deals", "Bravo", txID)
+		if err != nil {
+			return err
+		}
+		envl, err := middleware.ParseEnvelope(committed)
+		if err != nil {
+			return err
+		}
+		plain, err := middleware.OpenEnvelope(envl, "Bravo", keys["Bravo"])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Bravo reads (epoch %d): %s\n", envl.Epoch, plain)
+
+		// …the outsider cannot: Charlie holds no wrapped key.
+		if _, err := middleware.OpenEnvelope(envl, "Charlie", keys["Charlie"]); !errors.Is(err, middleware.ErrNotRecipient) {
+			return fmt.Errorf("Charlie opened a channel envelope: %v", err)
+		}
+	}
+	fmt.Println("Charlie cannot open the envelopes: not a channel member")
+
+	// 6. Leakage accounting: neither operator saw transaction data.
+	for _, op := range []string{"gateway-op", "orderer-op"} {
+		if log.SawAny(op, audit.ClassTxData) {
+			return fmt.Errorf("%s observed transaction data", op)
+		}
+	}
+	fmt.Println("audit log confirms: neither the gateway nor the orderer operator saw trade data")
+
+	// 7. Session hygiene: closed tokens are dead.
+	if err := middleware.CloseSessionOver(net, "Alpha", "gateway", grant.Token); err != nil {
+		return err
+	}
+	stale := &middleware.Request{
+		Channel: "deals", Principal: "Alpha", Payload: []byte("late"), SessionToken: grant.Token,
+	}
+	if err := middleware.SignRequest(stale, keys["Alpha"]); err != nil {
+		return err
+	}
+	if _, err := middleware.SubmitOver(net, "Alpha", "gateway", stale); !errors.Is(err, middleware.ErrNoSession) {
+		return fmt.Errorf("closed session token accepted: %v", err)
+	}
+	fmt.Println("closed session rejected with ErrNoSession")
 	return nil
 }

@@ -1,18 +1,39 @@
 // Secret ballot: the paper's motivating example for multiparty computation
 // (§2.2 / Figure 1 "Collective computation?"). Five consortium members vote
 // on admitting a new member; nobody learns anyone else's vote, every member
-// computes the same tally, and the tally is committed to a shared ledger.
+// computes the same tally — and the tally is committed to the governance
+// channel through the middleware gateway over a persistent session, so the
+// ballot result itself stays sealed from the gateway and orderer operators
+// instead of being hand-appended to a shared ledger in plaintext.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strconv"
-	"time"
 
+	"dltprivacy/internal/audit"
+	"dltprivacy/internal/dcrypto"
 	"dltprivacy/internal/ledger"
+	"dltprivacy/internal/middleware"
 	"dltprivacy/internal/mpc"
+	"dltprivacy/internal/ordering"
+	"dltprivacy/internal/pki"
+	"dltprivacy/internal/transport"
 )
+
+// vault collects committed envelopes so members can open them.
+type vault struct{ payloads [][]byte }
+
+func (v *vault) Name() string { return "vault" }
+
+func (v *vault) Commit(b ledger.Block) error {
+	for _, tx := range b.Txs {
+		v.payloads = append(v.payloads, tx.Payload)
+	}
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -49,27 +70,108 @@ func run() error {
 	fmt.Printf("transcript: %d share messages, %d partial-sum messages, 0 raw votes\n",
 		shares, partials)
 
-	// Every member computed the same value; commit it to a ledger.
+	// Every member computed the same value.
 	for member, v := range res.PerParty {
 		if v.Cmp(res.Value) != 0 {
 			return fmt.Errorf("member %s diverged: %v", member, v)
 		}
 	}
-	l := ledger.New("governance")
-	tx := ledger.Transaction{
-		Channel:   "governance",
-		Creator:   "BankA",
-		Payload:   []byte("ballot: admit NewMember"),
-		Writes:    []ledger.Write{{Key: "ballot/admit-newmember", Value: []byte(strconv.Itoa(yes))}},
-		Timestamp: time.Now().UTC(),
-	}
-	if err := l.Append(l.CutBlock([]ledger.Transaction{tx})); err != nil {
-		return err
-	}
-	v, err := l.Get("ballot/admit-newmember")
+
+	// Commit the tally through the gateway: members enroll once, BankA
+	// opens a session, and the tally travels sealed to all five members.
+	ca, err := pki.NewCA("consortium-ca")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("committed tally on ledger: %s yes votes (block %d)\n", v.Value, v.BlockNum)
+	members := make([]string, 0, len(votes))
+	for m := range votes {
+		members = append(members, m)
+	}
+	keys := make(map[string]*dcrypto.PrivateKey, len(members))
+	certs := make(map[string]pki.Certificate, len(members))
+	memberKeys := make(map[string]dcrypto.PublicKey, len(members))
+	for _, m := range members {
+		key, err := dcrypto.GenerateKey()
+		if err != nil {
+			return err
+		}
+		cert, err := ca.Enroll(m, key.Public())
+		if err != nil {
+			return err
+		}
+		keys[m], certs[m], memberKeys[m] = key, cert, key.Public()
+	}
+
+	log := audit.NewLog()
+	orderer := ordering.New("orderer-op", ordering.VisibilityEnvelope, ordering.WithAuditLog(log))
+	cfg := middleware.Config{Stages: []middleware.StageConfig{
+		{Name: middleware.StageSession, Params: map[string]string{"ttl": "10m", "idle": "2m"}},
+		{Name: middleware.StageEncrypt, Params: map[string]string{"keyttl": "5m"}},
+		{Name: middleware.StageAudit, Params: map[string]string{"observer": "gateway-op"}},
+	}}
+	env := middleware.Env{
+		CAKey:     ca.PublicKey(),
+		Directory: middleware.StaticDirectory{"governance": memberKeys},
+		Log:       log,
+	}
+	gw, err := middleware.NewGateway("gov-gw", cfg, env, orderer)
+	if err != nil {
+		return err
+	}
+	v := &vault{}
+	gw.Bind("governance", v)
+	net := transport.New()
+	if err := gw.AttachTransport(context.Background(), net, "gateway"); err != nil {
+		return err
+	}
+
+	grant, err := middleware.OpenSessionOver(net, "BankA", "gateway", certs["BankA"], keys["BankA"])
+	if err != nil {
+		return err
+	}
+	req := &middleware.Request{
+		Channel:      "governance",
+		Principal:    "BankA",
+		Payload:      []byte("ballot: admit NewMember, yes=" + strconv.Itoa(yes)),
+		SessionToken: grant.Token,
+	}
+	if err := middleware.SignRequest(req, keys["BankA"]); err != nil {
+		return err
+	}
+	if _, err := middleware.SubmitOver(net, "BankA", "gateway", req); err != nil {
+		return err
+	}
+	if err := middleware.CloseSessionOver(net, "BankA", "gateway", grant.Token); err != nil {
+		return err
+	}
+
+	// Every member recovers the committed tally from the sealed envelope.
+	if len(v.payloads) != 1 {
+		return fmt.Errorf("vault holds %d payloads, want 1", len(v.payloads))
+	}
+	envl, err := middleware.ParseEnvelope(v.payloads[0])
+	if err != nil {
+		return err
+	}
+	for _, m := range members {
+		plain, err := middleware.OpenEnvelope(envl, m, keys[m])
+		if err != nil {
+			return fmt.Errorf("member %s cannot open the tally: %w", m, err)
+		}
+		want := "ballot: admit NewMember, yes=" + strconv.Itoa(yes)
+		if string(plain) != want {
+			return fmt.Errorf("member %s read %q", m, plain)
+		}
+	}
+	fmt.Printf("committed tally via gateway session: all %d members read %d yes votes\n",
+		len(members), yes)
+
+	// The operators saw ciphertext and metadata, never the tally.
+	for _, op := range []string{"gateway-op", "orderer-op"} {
+		if log.SawAny(op, audit.ClassTxData) {
+			return fmt.Errorf("%s observed the ballot result", op)
+		}
+	}
+	fmt.Println("audit log confirms: the tally stayed sealed from gateway and orderer operators")
 	return nil
 }

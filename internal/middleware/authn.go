@@ -30,6 +30,11 @@ func (a *Authn) Name() string { return StageAuthn }
 
 // Handle implements Stage.
 func (a *Authn) Handle(ctx context.Context, req *Request, next Handler) error {
+	if req.authenticated {
+		// An upstream session stage already bound the request to a
+		// verified principal; the full PKI check would be pure overhead.
+		return next(ctx, req)
+	}
 	if err := pki.VerifyCertificate(req.Cert, a.caKey, a.now()); err != nil {
 		return fmt.Errorf("authn %s: %w", req.Principal, err)
 	}

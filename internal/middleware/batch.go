@@ -93,6 +93,10 @@ func (b *Batch) Pending() int {
 // each member gets its delivery attempt, and the joined errors surface to
 // the caller (the filling submission or Flush).
 func (b *Batch) release(ctx context.Context, group []*Request, next Handler) error {
+	// Detach the flushing caller's cancellation (values survive): the
+	// buffered members were acknowledged under their own, long-gone
+	// contexts, and a canceled filling request must not fail them.
+	ctx = context.WithoutCancel(ctx)
 	var errs []error
 	for i, req := range group {
 		if err := next(ctx, req); err != nil {

@@ -12,6 +12,7 @@ import (
 
 // Built-in stage names, the vocabulary of Config.
 const (
+	StageSession   = "session"
 	StageAuthn     = "authn"
 	StageEncrypt   = "encrypt"
 	StageAudit     = "audit"
@@ -28,8 +29,11 @@ var ErrBadConfig = errors.New("middleware: invalid pipeline configuration")
 // StageConfig names one stage and its parameters. Parameter values are
 // strings so configurations can come verbatim from flags or files:
 //
+//	session    — ttl (duration, default 10m), idle (duration, default 2m)
 //	authn      — (no parameters)
-//	encrypt    — (no parameters; members come from Env.Directory)
+//	encrypt    — keyttl (duration, default 0 = fresh data key per request;
+//	             > 0 caches the wrapped channel key per epoch; members come
+//	             from Env.Directory)
 //	audit      — observer (default "gateway")
 //	ratelimit  — rate (tokens/sec, default 100), burst (default 10)
 //	retry      — attempts (default 3), backoff (duration, default 5ms)
@@ -49,8 +53,11 @@ type Config struct {
 // Env carries the shared dependencies stages draw on. Zero fields default
 // where possible; stages that need a missing dependency fail Build.
 type Env struct {
-	// CAKey is the pinned consortium CA verification key (authn).
+	// CAKey is the pinned consortium CA verification key (authn, session).
 	CAKey dcrypto.PublicKey
+	// Sessions overrides the session stage's manager; when nil the stage
+	// builds its own from CAKey and the ttl/idle parameters.
+	Sessions *SessionManager
 	// Directory resolves channel membership keys (encrypt).
 	Directory Directory
 	// Log receives leakage observations (audit).
@@ -139,7 +146,7 @@ func (c Config) validate() error {
 	pos := make(map[string]int, len(c.Stages))
 	for i, sc := range c.Stages {
 		switch sc.Name {
-		case StageAuthn, StageEncrypt, StageAudit, StageRateLimit, StageRetry, StageBreaker, StageBatch:
+		case StageSession, StageAuthn, StageEncrypt, StageAudit, StageRateLimit, StageRetry, StageBreaker, StageBatch:
 		default:
 			return fmt.Errorf("%w: unknown stage %q", ErrBadConfig, sc.Name)
 		}
@@ -156,12 +163,26 @@ func (c Config) validate() error {
 		}
 		return nil
 	}
-	if err := mustPrecede(StageAuthn, StageEncrypt,
-		"never seal an envelope for an unverified submitter"); err != nil {
-		return err
+	si, hasSession := pos[StageSession]
+	ai, hasAuthn := pos[StageAuthn]
+	if hasSession && hasAuthn && si > ai {
+		return fmt.Errorf("%w: %q must precede %q: token-bearing requests short-circuit the full PKI check", ErrBadConfig, StageSession, StageAuthn)
 	}
-	if _, hasAuthn := pos[StageAuthn]; hasAuthn {
+	if ei, hasEncrypt := pos[StageEncrypt]; hasEncrypt {
+		authnBefore := hasAuthn && ai < ei
+		sessionBefore := hasSession && si < ei
+		if !authnBefore && !sessionBefore {
+			return fmt.Errorf("%w: %q needs %q or %q before it: never seal an envelope for an unverified submitter", ErrBadConfig, StageEncrypt, StageAuthn, StageSession)
+		}
+	}
+	if hasAuthn {
 		if err := mustPrecede(StageAuthn, StageRateLimit,
+			"buckets are keyed by principal, which must be verified first"); err != nil {
+			return err
+		}
+	}
+	if hasSession {
+		if err := mustPrecede(StageSession, StageRateLimit,
 			"buckets are keyed by principal, which must be verified first"); err != nil {
 			return err
 		}
@@ -186,13 +207,34 @@ func buildStage(sc StageConfig, env Env) (Stage, error) {
 		err error
 	)
 	switch sc.Name {
+	case StageSession:
+		mgr := env.Sessions
+		if mgr == nil {
+			if env.CAKey.IsZero() {
+				return nil, fmt.Errorf("stage %s: Env.CAKey is required", sc.Name)
+			}
+			ttl := p.duration("ttl", 10*time.Minute)
+			idle := p.duration("idle", 2*time.Minute)
+			if p.err != nil {
+				return nil, p.err
+			}
+			mgr, err = NewSessionManager(env.CAKey, ttl, idle, env.Now)
+			if err != nil {
+				return nil, err
+			}
+		}
+		s, err = NewSession(mgr)
 	case StageAuthn:
 		if env.CAKey.IsZero() {
 			return nil, fmt.Errorf("stage %s: Env.CAKey is required", sc.Name)
 		}
 		s = NewAuthn(env.CAKey, env.Now)
 	case StageEncrypt:
-		s, err = NewEncrypt(env.Directory)
+		if ttl := p.duration("keyttl", 0); ttl > 0 {
+			s, err = NewCachedEncrypt(env.Directory, ttl, env.Now)
+		} else {
+			s, err = NewEncrypt(env.Directory)
+		}
 	case StageAudit:
 		s, err = NewAudit(env.Log, p.str("observer", "gateway"))
 	case StageRateLimit:

@@ -18,12 +18,16 @@
 // pipeline is an error before the first transaction, never a silent leak:
 //
 //   - Stage names must be known and appear at most once.
-//   - "authn" must precede "encrypt": an envelope must never be sealed for
-//     a submission whose origin was not verified, otherwise the pipeline
-//     would launder unauthenticated payloads into member-only ciphertext.
-//   - "authn" must precede "ratelimit" when both are present: buckets are
-//     keyed by principal, and throttling unverified names lets one client
-//     starve another by spoofing its identity.
+//   - "session" must precede "authn" when both are present: token-bearing
+//     requests short-circuit the full PKI check, so the cheap path must
+//     run first.
+//   - "encrypt" needs "authn" or "session" before it: an envelope must
+//     never be sealed for a submission whose origin was not verified,
+//     otherwise the pipeline would launder unauthenticated payloads into
+//     member-only ciphertext.
+//   - "authn" and "session" must precede "ratelimit" when present:
+//     buckets are keyed by principal, and throttling unverified names lets
+//     one client starve another by spoofing its identity.
 //   - "retry" must precede "breaker" when both are present: each retry
 //     attempt must consult the breaker, so a tripped backend fails fast
 //     instead of being hammered by the retry loop.
@@ -31,17 +35,59 @@
 //     directly to the terminal handler, and any stage after it would be
 //     skipped for batched requests.
 //
-// The built-in stages are authn (submitter certificate + signature
-// verification against the consortium CA), encrypt (per-channel envelope
-// encryption to member keys), audit (leakage accounting into
-// internal/audit), ratelimit (token bucket per principal), retry (bounded
-// backoff on transient transport errors), breaker (per-backend circuit
-// breaker), and batch (aggregate submissions before ordering).
+// The built-in stages are session (token-bound amortized authentication,
+// below), authn (submitter certificate + signature verification against
+// the consortium CA), encrypt (per-channel envelope encryption to member
+// keys, optionally with an epoch key cache, below), audit (leakage
+// accounting into internal/audit), ratelimit (token bucket per principal,
+// with idle buckets evicted once they would have refilled completely),
+// retry (bounded backoff on transient transport errors), breaker
+// (per-backend circuit breaker; requests with no backend share a
+// per-channel circuit), and batch (aggregate submissions before ordering;
+// group release is detached from the filling caller's cancellation, since
+// buffered members were already acknowledged).
+//
+// # Session lifecycle
+//
+// A client opens a session with a signed SessionHello: the SessionManager
+// performs the full authn verification — certificate chains to the pinned
+// CA key, identity matches, handshake signature verifies — exactly once,
+// and returns an unguessable token plus expiry. The hello signature covers
+// a nonce and issue time; stale hellos are rejected (ErrStaleHello) and
+// nonces are remembered across the freshness window (ErrReplayedHello), so
+// a recorded handshake cannot be replayed to mint tokens. Subsequent submissions
+// carry the token and a per-request signature over the request digest; the
+// session stage binds them to the cached verified principal without
+// touching the certificate again. Requests without a token pass through to
+// the authn stage untouched, so one chain serves both traffic kinds.
+//
+// Sessions end three ways, each observable distinctly: an explicit Close
+// (token becomes unknown, ErrNoSession — indistinguishable from a forged
+// token by design), the hard TTL, or the idle window (both
+// ErrSessionExpired, with the session evicted on detection). The manager
+// additionally sweeps expired sessions on every Open, so an abandoned
+// client population cannot grow the table without bound. A compromised
+// token alone cannot forge traffic: every submission still needs a
+// signature under the principal's private key.
+//
+// # Channel key rotation
+//
+// With a key cache (encrypt parameter "keyttl" > 0), the encrypt stage
+// wraps a channel data key to every member once per (channel, epoch) and
+// reuses it: each submission pays one AES-GCM seal instead of one hybrid
+// encryption per member. The key rotates onto a fresh epoch — new data
+// key, new wraps — when the epoch TTL elapses, when the channel's member
+// set changes in the Directory (detected by fingerprint, so a joiner never
+// opens pre-join traffic and a leaver's key is dropped from new wraps), or
+// on an explicit Encrypt.Rotate / Gateway.RotateChannelKey call (e.g.
+// after a revocation). Envelopes record their epoch.
 //
 // The Gateway fronts the platform backends: it runs every submission
 // through the chain, submits the resulting transaction to an
 // internal/ordering backend, and relays cut blocks to registered platform
-// adapters (Fabric, Corda, Quorum). It registers as an internal/transport
-// endpoint so remote clients submit over the network substrate, is safe
-// for concurrent use, and exposes per-stage Stats counters.
+// adapters (Fabric, Corda, Quorum); re-binding an already-bound adapter is
+// a no-op. It registers as an internal/transport endpoint serving
+// gateway.submit, session.open, and session.close, running requests under
+// the caller-supplied context so server-side deadlines reach the chain,
+// is safe for concurrent use, and exposes per-stage Stats counters.
 package middleware

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"time"
 
 	"dltprivacy/internal/dcrypto"
 )
@@ -21,9 +24,13 @@ var ErrNotRecipient = errors.New("middleware: identity is not an envelope recipi
 
 // Envelope is an encrypted payload plus the data key wrapped per member.
 // Observers (orderer, backends) see ciphertext and the recipient set only.
+// Epoch identifies the channel data-key generation when the encrypt stage
+// runs with a key cache; envelopes sealed with a fresh per-request key
+// carry epoch zero.
 type Envelope struct {
 	Scheme     string                              `json:"scheme"`
 	Channel    string                              `json:"channel"`
+	Epoch      uint64                              `json:"epoch,omitempty"`
 	Ciphertext []byte                              `json:"ciphertext"`
 	Keys       map[string]dcrypto.HybridCiphertext `json:"keys"`
 }
@@ -110,11 +117,34 @@ func (d StaticDirectory) MemberKeys(channel string) (map[string]dcrypto.PublicKe
 // requests even if misassembled by hand: sealing ciphertext for an
 // unverified submitter would lend member-only confidentiality to spoofed
 // traffic.
+//
+// With a key cache (NewCachedEncrypt, or the "keyttl" config parameter)
+// the expensive per-member hybrid key-wrap is performed once per
+// (channel, epoch) and reused: each request pays only the symmetric seal.
+// The key rotates — a new epoch, a fresh data key, fresh wraps — when the
+// epoch's TTL elapses, when the channel's member set changes, or on an
+// explicit Rotate call (e.g. after revoking a member).
 type Encrypt struct {
-	dir Directory
+	dir    Directory
+	keyTTL time.Duration
+	now    func() time.Time
+
+	mu     sync.Mutex
+	keys   map[string]*channelKey
+	epochs map[string]uint64 // next epoch per channel; survives rotation
 }
 
-// NewEncrypt creates the encrypt stage over a membership directory.
+// channelKey is one cached (channel, epoch) data-key generation.
+type channelKey struct {
+	epoch     uint64
+	dataKey   []byte
+	wrapped   map[string]dcrypto.HybridCiphertext
+	members   [32]byte // fingerprint of the member set the key was wrapped to
+	expiresAt time.Time
+}
+
+// NewEncrypt creates the encrypt stage over a membership directory with no
+// key cache: every request seals under a fresh data key wrapped per member.
 func NewEncrypt(dir Directory) (*Encrypt, error) {
 	if dir == nil {
 		return nil, errors.New("middleware: encrypt stage needs a membership directory")
@@ -122,8 +152,121 @@ func NewEncrypt(dir Directory) (*Encrypt, error) {
 	return &Encrypt{dir: dir}, nil
 }
 
+// NewCachedEncrypt creates the encrypt stage with an epoch-based channel
+// data-key cache: keys rotate after keyTTL, on membership change, and on
+// explicit Rotate.
+func NewCachedEncrypt(dir Directory, keyTTL time.Duration, now func() time.Time) (*Encrypt, error) {
+	e, err := NewEncrypt(dir)
+	if err != nil {
+		return nil, err
+	}
+	if keyTTL <= 0 {
+		return nil, fmt.Errorf("middleware: encrypt key ttl must be positive, got %v", keyTTL)
+	}
+	if now == nil {
+		now = time.Now
+	}
+	e.keyTTL = keyTTL
+	e.now = now
+	e.keys = make(map[string]*channelKey)
+	e.epochs = make(map[string]uint64)
+	return e, nil
+}
+
 // Name implements Stage.
 func (e *Encrypt) Name() string { return StageEncrypt }
+
+// Rotate discards the cached data key for a channel, forcing the next
+// submission onto a fresh epoch. Call it when membership knowledge changes
+// out of band (membership drift through the directory is detected
+// automatically). A no-op without a key cache or for unknown channels.
+func (e *Encrypt) Rotate(channel string) {
+	if e.keyTTL <= 0 {
+		return
+	}
+	e.mu.Lock()
+	delete(e.keys, channel)
+	e.mu.Unlock()
+}
+
+// Epoch reports the current data-key epoch for a channel (0 when no cached
+// key exists yet or the cache is disabled).
+func (e *Encrypt) Epoch(channel string) uint64 {
+	if e.keyTTL <= 0 {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ck, ok := e.keys[channel]; ok {
+		return ck.epoch
+	}
+	return 0
+}
+
+// memberFingerprint hashes the member set (identities and keys) so a
+// cached channel key can detect membership drift.
+func memberFingerprint(members map[string]dcrypto.PublicKey) [32]byte {
+	ids := make([]string, 0, len(members))
+	for id := range members {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	parts := make([][]byte, 0, 2*len(ids)+1)
+	parts = append(parts, []byte("middleware/members/v1"))
+	for _, id := range ids {
+		parts = append(parts, []byte(id), members[id].Bytes())
+	}
+	return dcrypto.HashConcat(parts...)
+}
+
+// channelKeyFor returns the live cached key for the channel and member
+// set, rotating onto a fresh epoch when the cache is empty, expired, or
+// wrapped to a different membership. The expensive per-member wrap runs
+// outside the lock so a rotation on one channel never stalls sealing on
+// others; racing rotators are resolved by a double-checked install (the
+// loser's freshly wrapped key is discarded).
+func (e *Encrypt) channelKeyFor(channel string, members map[string]dcrypto.PublicKey) (*channelKey, error) {
+	now := e.now()
+	fp := memberFingerprint(members)
+	live := func(ck *channelKey) bool {
+		return ck != nil && ck.members == fp && !now.After(ck.expiresAt)
+	}
+	e.mu.Lock()
+	if ck := e.keys[channel]; live(ck) {
+		e.mu.Unlock()
+		return ck, nil
+	}
+	e.mu.Unlock()
+
+	dataKey, err := dcrypto.NewSymmetricKey()
+	if err != nil {
+		return nil, fmt.Errorf("middleware: data key: %w", err)
+	}
+	wrapped := make(map[string]dcrypto.HybridCiphertext, len(members))
+	for id, pub := range members {
+		w, err := dcrypto.EncryptHybrid(pub, dataKey, envelopeAD(channel))
+		if err != nil {
+			return nil, fmt.Errorf("middleware: wrap key for %s: %w", id, err)
+		}
+		wrapped[id] = w
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ck := e.keys[channel]; live(ck) {
+		return ck, nil
+	}
+	e.epochs[channel]++
+	ck := &channelKey{
+		epoch:     e.epochs[channel],
+		dataKey:   dataKey,
+		wrapped:   wrapped,
+		members:   fp,
+		expiresAt: now.Add(e.keyTTL),
+	}
+	e.keys[channel] = ck
+	return ck, nil
+}
 
 // Handle implements Stage.
 func (e *Encrypt) Handle(ctx context.Context, req *Request, next Handler) error {
@@ -134,9 +277,28 @@ func (e *Encrypt) Handle(ctx context.Context, req *Request, next Handler) error 
 	if err != nil {
 		return err
 	}
-	env, err := SealEnvelope(req.Channel, req.Payload, members)
-	if err != nil {
-		return err
+	var env Envelope
+	if e.keyTTL > 0 {
+		ck, err := e.channelKeyFor(req.Channel, members)
+		if err != nil {
+			return err
+		}
+		ct, err := dcrypto.EncryptSymmetric(ck.dataKey, req.Payload, envelopeAD(req.Channel))
+		if err != nil {
+			return fmt.Errorf("middleware: seal payload: %w", err)
+		}
+		env = Envelope{
+			Scheme:     EnvelopeScheme,
+			Channel:    req.Channel,
+			Epoch:      ck.epoch,
+			Ciphertext: ct,
+			Keys:       ck.wrapped,
+		}
+	} else {
+		env, err = SealEnvelope(req.Channel, req.Payload, members)
+		if err != nil {
+			return err
+		}
 	}
 	b, err := json.Marshal(env)
 	if err != nil {

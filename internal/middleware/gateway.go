@@ -15,8 +15,16 @@ import (
 	"dltprivacy/internal/transport"
 )
 
-// TopicSubmit is the transport topic gateway endpoints serve.
-const TopicSubmit = "gateway.submit"
+// Transport topics gateway endpoints serve.
+const (
+	// TopicSubmit carries signed client submissions.
+	TopicSubmit = "gateway.submit"
+	// TopicSessionOpen carries a signed SessionHello; the reply is a
+	// marshalled SessionGrant.
+	TopicSessionOpen = "session.open"
+	// TopicSessionClose carries a session token to end.
+	TopicSessionClose = "session.close"
+)
 
 // Gateway fronts the platform backends: every submission runs through the
 // configured chain, the terminal handler turns it into a ledger
@@ -34,7 +42,8 @@ type Gateway struct {
 	rejected  atomic.Uint64 // requests refused by any stage
 
 	mu       sync.Mutex
-	backends map[string][]Backend // channel -> bound adapters
+	backends map[string][]Backend       // channel -> bound adapters
+	bound    map[string]map[string]bool // channel -> backend name -> subscribed
 	commits  map[string]*backendCounters
 }
 
@@ -84,6 +93,7 @@ func NewGateway(name string, cfg Config, env Env, orderer ordering.Backend) (*Ga
 		orderer:  orderer,
 		now:      env.Now,
 		backends: make(map[string][]Backend),
+		bound:    make(map[string]map[string]bool),
 		commits:  make(map[string]*backendCounters),
 	}
 	chain, err := cfg.Build(env, g.order)
@@ -153,11 +163,25 @@ type Backend interface {
 // Bind subscribes the backends to the channel's block stream. Each cut
 // block is committed to every bound backend; the first failing backend
 // aborts delivery and surfaces the error to the submitting request (which
-// is what the breaker and retry stages act on).
+// is what the breaker and retry stages act on). Re-binding is idempotent
+// BY NAME: a backend whose Name() is already bound to the channel is
+// skipped — including a different instance under the same name — so
+// reconnect paths cannot register a second orderer subscription and
+// double-commit every block. Adapters that reconnect should keep the
+// connection inside one long-lived instance rather than re-Bind a new one.
 func (g *Gateway) Bind(channel string, backends ...Backend) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	names := g.bound[channel]
+	if names == nil {
+		names = make(map[string]bool)
+		g.bound[channel] = names
+	}
 	for _, b := range backends {
+		if names[b.Name()] {
+			continue
+		}
+		names[b.Name()] = true
 		g.backends[channel] = append(g.backends[channel], b)
 		ctr, ok := g.commits[b.Name()]
 		if !ok {
@@ -205,60 +229,122 @@ func (g *Gateway) Stats() GatewayStats {
 	return stats
 }
 
-// wireRequest is the JSON form a transport client submits.
+// Sessions returns the session manager of the chain's session stage, or
+// nil when the pipeline has no session stage.
+func (g *Gateway) Sessions() *SessionManager {
+	if s, ok := g.chain.stage(StageSession).(*Session); ok && s != nil {
+		return s.Manager()
+	}
+	return nil
+}
+
+// RotateChannelKey forces the encrypt stage onto a fresh data-key epoch
+// for the channel (e.g. after revoking a member's certificate). A no-op
+// when the pipeline has no encrypt stage or no key cache.
+func (g *Gateway) RotateChannelKey(channel string) {
+	if e, ok := g.chain.stage(StageEncrypt).(*Encrypt); ok && e != nil {
+		e.Rotate(channel)
+	}
+}
+
+// wireRequest is the JSON form a transport client submits. Session-bound
+// submissions carry the token instead of a certificate; the cert is a
+// pointer so it is genuinely absent from their wire bytes.
 type wireRequest struct {
 	Channel   string            `json:"channel"`
 	Principal string            `json:"principal"`
 	Backend   string            `json:"backend,omitempty"`
 	Payload   []byte            `json:"payload"`
-	Cert      pki.Certificate   `json:"cert"`
+	Cert      *pki.Certificate  `json:"cert,omitempty"`
 	Sig       dcrypto.Signature `json:"sig"`
+	Session   string            `json:"session,omitempty"`
 	Meta      map[string]string `json:"meta,omitempty"`
 }
 
 // AttachTransport registers the gateway as a network endpoint serving
-// TopicSubmit. The reply to an accepted submission is its request ID
-// (batched submissions are acknowledged before a transaction exists).
-func (g *Gateway) AttachTransport(net *transport.Network, endpoint string) error {
+// TopicSubmit, TopicSessionOpen, and TopicSessionClose. The reply to an
+// accepted submission is its request ID (batched submissions are
+// acknowledged before a transaction exists); to an accepted handshake, a
+// marshalled SessionGrant. Requests run under the caller's ctx, so
+// server-side deadlines and cancellation reach the chain.
+func (g *Gateway) AttachTransport(ctx context.Context, net *transport.Network, endpoint string) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return net.Register(endpoint, func(msg transport.Message) ([]byte, error) {
-		if msg.Topic != TopicSubmit {
+		switch msg.Topic {
+		case TopicSubmit:
+			var w wireRequest
+			if err := json.Unmarshal(msg.Payload, &w); err != nil {
+				return nil, fmt.Errorf("gateway %s: decode request: %w", g.name, err)
+			}
+			req := &Request{
+				Channel:      w.Channel,
+				Principal:    w.Principal,
+				Backend:      w.Backend,
+				Payload:      w.Payload,
+				Sig:          w.Sig,
+				SessionToken: w.Session,
+				Meta:         w.Meta,
+			}
+			if w.Cert != nil {
+				req.Cert = *w.Cert
+			}
+			// The ID covers the payload as submitted; the encrypt stage
+			// replaces it, so capture before running the chain.
+			id := req.ID()
+			if err := g.Submit(ctx, req); err != nil {
+				return nil, err
+			}
+			return []byte(id), nil
+		case TopicSessionOpen:
+			mgr := g.Sessions()
+			if mgr == nil {
+				return nil, fmt.Errorf("gateway %s: pipeline has no session stage", g.name)
+			}
+			var hello SessionHello
+			if err := json.Unmarshal(msg.Payload, &hello); err != nil {
+				return nil, fmt.Errorf("gateway %s: decode hello: %w", g.name, err)
+			}
+			grant, err := mgr.Open(hello)
+			if err != nil {
+				return nil, err
+			}
+			b, err := json.Marshal(grant)
+			if err != nil {
+				return nil, fmt.Errorf("gateway %s: encode grant: %w", g.name, err)
+			}
+			return b, nil
+		case TopicSessionClose:
+			mgr := g.Sessions()
+			if mgr == nil {
+				return nil, fmt.Errorf("gateway %s: pipeline has no session stage", g.name)
+			}
+			mgr.Close(string(msg.Payload))
+			return []byte("ok"), nil
+		default:
 			return nil, fmt.Errorf("gateway %s: unknown topic %q", g.name, msg.Topic)
 		}
-		var w wireRequest
-		if err := json.Unmarshal(msg.Payload, &w); err != nil {
-			return nil, fmt.Errorf("gateway %s: decode request: %w", g.name, err)
-		}
-		req := &Request{
-			Channel:   w.Channel,
-			Principal: w.Principal,
-			Backend:   w.Backend,
-			Payload:   w.Payload,
-			Cert:      w.Cert,
-			Sig:       w.Sig,
-			Meta:      w.Meta,
-		}
-		// The ID covers the payload as submitted; the encrypt stage
-		// replaces it, so capture before running the chain.
-		id := req.ID()
-		if err := g.Submit(context.Background(), req); err != nil {
-			return nil, err
-		}
-		return []byte(id), nil
 	})
 }
 
 // SubmitOver sends a signed request to a gateway endpoint over the network
 // substrate and returns the gateway's submission ID.
 func SubmitOver(net *transport.Network, from, endpoint string, req *Request) (string, error) {
-	b, err := json.Marshal(wireRequest{
+	w := wireRequest{
 		Channel:   req.Channel,
 		Principal: req.Principal,
 		Backend:   req.Backend,
 		Payload:   req.Payload,
-		Cert:      req.Cert,
 		Sig:       req.Sig,
+		Session:   req.SessionToken,
 		Meta:      req.Meta,
-	})
+	}
+	if req.Cert.Identity != "" {
+		cert := req.Cert
+		w.Cert = &cert
+	}
+	b, err := json.Marshal(w)
 	if err != nil {
 		return "", fmt.Errorf("middleware: encode request: %w", err)
 	}
@@ -267,4 +353,33 @@ func SubmitOver(net *transport.Network, from, endpoint string, req *Request) (st
 		return "", err
 	}
 	return string(reply), nil
+}
+
+// OpenSessionOver performs the signed session handshake with a gateway
+// endpoint over the network substrate: full authn is paid once here, and
+// the returned grant's token rides on every subsequent submission.
+func OpenSessionOver(net *transport.Network, from, endpoint string, cert pki.Certificate, key *dcrypto.PrivateKey) (SessionGrant, error) {
+	hello, err := NewSessionHello(from, cert, key)
+	if err != nil {
+		return SessionGrant{}, err
+	}
+	b, err := json.Marshal(hello)
+	if err != nil {
+		return SessionGrant{}, fmt.Errorf("middleware: encode hello: %w", err)
+	}
+	reply, err := net.Send(transport.Message{From: from, To: endpoint, Topic: TopicSessionOpen, Payload: b})
+	if err != nil {
+		return SessionGrant{}, err
+	}
+	var grant SessionGrant
+	if err := json.Unmarshal(reply, &grant); err != nil {
+		return SessionGrant{}, fmt.Errorf("middleware: decode grant: %w", err)
+	}
+	return grant, nil
+}
+
+// CloseSessionOver ends a session at a gateway endpoint.
+func CloseSessionOver(net *transport.Network, from, endpoint, token string) error {
+	_, err := net.Send(transport.Message{From: from, To: endpoint, Topic: TopicSessionClose, Payload: []byte(token)})
+	return err
 }

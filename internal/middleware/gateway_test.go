@@ -262,7 +262,7 @@ func TestGatewaySubmitOverTransport(t *testing.T) {
 	gw.Bind("deals", backends...)
 
 	net := transport.New()
-	if err := gw.AttachTransport(net, "gateway"); err != nil {
+	if err := gw.AttachTransport(context.Background(), net, "gateway"); err != nil {
 		t.Fatalf("AttachTransport: %v", err)
 	}
 

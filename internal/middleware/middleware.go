@@ -56,6 +56,12 @@ type Request struct {
 	Cert pki.Certificate
 	// Sig is the submitter's signature over Digest().
 	Sig dcrypto.Signature
+	// SessionToken binds the request to an established gateway session so
+	// the session stage authenticates it against the cached verified
+	// principal instead of re-verifying the certificate. The token is not
+	// part of Digest(): the signature binds content to principal, the token
+	// binds the request to the amortized authn.
+	SessionToken string
 	// Meta carries free-form annotations copied onto the transaction.
 	Meta map[string]string
 

@@ -3,6 +3,7 @@ package middleware
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -11,6 +12,10 @@ import (
 // tokens per second up to Burst, and every submission spends one. A
 // principal that exhausts its bucket gets ErrRateLimited without the
 // request travelling further down the chain.
+//
+// Buckets idle long enough to have refilled completely are evicted (a full
+// bucket is indistinguishable from a fresh one), so the table tracks the
+// active principal set instead of growing one entry per principal forever.
 type RateLimit struct {
 	rate  float64
 	burst float64
@@ -18,6 +23,7 @@ type RateLimit struct {
 
 	mu      sync.Mutex
 	buckets map[string]*bucket
+	sweepAt time.Time
 }
 
 type bucket struct {
@@ -48,10 +54,43 @@ func (r *RateLimit) Handle(ctx context.Context, req *Request, next Handler) erro
 	return next(ctx, req)
 }
 
+// Buckets reports the number of tracked principal buckets.
+func (r *RateLimit) Buckets() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buckets)
+}
+
+// refillWindow is how long a drained bucket takes to fill back to burst —
+// past that idle time the bucket carries no information and is evictable.
+func (r *RateLimit) refillWindow() time.Duration {
+	secs := r.burst / r.rate
+	if secs > float64(math.MaxInt64)/float64(time.Second) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(secs * float64(time.Second))
+}
+
+// sweepLocked drops buckets idle past the refill window. Amortized: it
+// runs at most once per window, so steady traffic pays O(1) per request.
+func (r *RateLimit) sweepLocked(t time.Time) {
+	window := r.refillWindow()
+	if !r.sweepAt.IsZero() && t.Sub(r.sweepAt) < window {
+		return
+	}
+	r.sweepAt = t
+	for principal, b := range r.buckets {
+		if t.Sub(b.last) >= window {
+			delete(r.buckets, principal)
+		}
+	}
+}
+
 func (r *RateLimit) allow(principal string) bool {
 	t := r.now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.sweepLocked(t)
 	b, ok := r.buckets[principal]
 	if !ok {
 		b = &bucket{tokens: r.burst, last: t}

@@ -1,0 +1,291 @@
+package middleware
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dltprivacy/internal/dcrypto"
+	"dltprivacy/internal/pki"
+)
+
+// Session errors. They are distinct so clients can tell a token that never
+// existed (or was evicted) from one that aged out, and either from a
+// request whose per-request signature failed.
+var (
+	// ErrNoSession is returned for a token the manager does not hold:
+	// forged, never issued, closed, or already evicted.
+	ErrNoSession = errors.New("middleware: unknown session token")
+	// ErrSessionExpired is returned when a held session has passed its TTL
+	// or its idle window; the session is evicted as a side effect.
+	ErrSessionExpired = errors.New("middleware: session expired")
+	// ErrStaleHello is returned for a handshake issued outside the
+	// freshness window, closing the long-horizon replay surface.
+	ErrStaleHello = errors.New("middleware: session hello outside freshness window")
+	// ErrReplayedHello is returned when a handshake nonce is seen twice
+	// within the freshness window: a recorded hello cannot mint a second
+	// token.
+	ErrReplayedHello = errors.New("middleware: session hello replayed")
+)
+
+// SessionHello is the signed handshake a client sends to open a session:
+// the full Authn verification (certificate chain + signature) is paid once
+// here instead of on every submission. The signature covers the nonce and
+// issue time, so a recorded hello cannot be replayed: the manager rejects
+// stale issue times outright and remembers nonces within the freshness
+// window.
+type SessionHello struct {
+	Principal string            `json:"principal"`
+	Nonce     []byte            `json:"nonce"`
+	IssuedAt  time.Time         `json:"issuedAt"`
+	Cert      pki.Certificate   `json:"cert"`
+	Sig       dcrypto.Signature `json:"sig"`
+}
+
+// SessionGrant is the manager's reply to an accepted handshake.
+type SessionGrant struct {
+	Token     string    `json:"token"`
+	Principal string    `json:"principal"`
+	ExpiresAt time.Time `json:"expiresAt"`
+}
+
+// helloDigest is the canonical signed content of a handshake.
+func helloDigest(principal string, nonce []byte, issuedAt time.Time) [32]byte {
+	return dcrypto.HashConcat(
+		[]byte("middleware/session/hello/v1"),
+		[]byte(principal),
+		nonce,
+		[]byte(issuedAt.UTC().Format(time.RFC3339Nano)),
+	)
+}
+
+// helloFreshness bounds how old (or future-dated, for clock skew) a
+// handshake may be; nonces are remembered for this window, so a recorded
+// hello can never mint a second token.
+const helloFreshness = 2 * time.Minute
+
+// NewSessionHello builds and signs a handshake for a principal, stamped
+// with the wall clock.
+func NewSessionHello(principal string, cert pki.Certificate, key *dcrypto.PrivateKey) (SessionHello, error) {
+	return NewSessionHelloAt(principal, cert, key, time.Now())
+}
+
+// NewSessionHelloAt builds and signs a handshake with an explicit issue
+// time, for callers running on an injected clock.
+func NewSessionHelloAt(principal string, cert pki.Certificate, key *dcrypto.PrivateKey, at time.Time) (SessionHello, error) {
+	nonce, err := dcrypto.RandomBytes(16)
+	if err != nil {
+		return SessionHello{}, fmt.Errorf("middleware: hello nonce: %w", err)
+	}
+	d := helloDigest(principal, nonce, at)
+	sig, err := key.Sign(d[:])
+	if err != nil {
+		return SessionHello{}, fmt.Errorf("middleware: sign hello: %w", err)
+	}
+	return SessionHello{Principal: principal, Nonce: nonce, IssuedAt: at, Cert: cert, Sig: sig}, nil
+}
+
+// sessionTokenBytes is the entropy of a session token (hex-encoded on the
+// wire), far beyond guessability.
+const sessionTokenBytes = 32
+
+// session is one established client session: the verified principal and
+// its certified key, cached so subsequent requests skip PKI verification.
+type session struct {
+	principal string
+	key       dcrypto.PublicKey
+	openedAt  time.Time
+	lastUsed  time.Time
+	expiresAt time.Time
+}
+
+// SessionManager establishes and resolves gateway sessions. Opening a
+// session performs the full certificate verification the authn stage would;
+// afterwards, requests carrying the session token are bound to the cached
+// verified principal by a per-request signature over the request digest.
+// Sessions die at their TTL, or earlier when idle longer than the idle
+// window. Safe for concurrent use.
+type SessionManager struct {
+	caKey dcrypto.PublicKey
+	ttl   time.Duration
+	idle  time.Duration
+	now   func() time.Time
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	// seenNonces remembers handshake nonces until their freshness window
+	// closes, so a recorded hello cannot be replayed to mint a second
+	// token. Keyed by nonce hex, valued by forget-after time.
+	seenNonces map[string]time.Time
+}
+
+// NewSessionManager creates a manager pinned to the consortium CA key.
+// ttl bounds total session lifetime; idle evicts sessions unused that long.
+func NewSessionManager(caKey dcrypto.PublicKey, ttl, idle time.Duration, now func() time.Time) (*SessionManager, error) {
+	if caKey.IsZero() {
+		return nil, errors.New("middleware: session manager needs the CA key")
+	}
+	if ttl <= 0 || idle <= 0 {
+		return nil, fmt.Errorf("middleware: session ttl and idle must be positive, got ttl=%v idle=%v", ttl, idle)
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &SessionManager{
+		caKey:      caKey,
+		ttl:        ttl,
+		idle:       idle,
+		now:        now,
+		sessions:   make(map[string]*session),
+		seenNonces: make(map[string]time.Time),
+	}, nil
+}
+
+// Open verifies the handshake exactly as the authn stage verifies a
+// request — certificate chains to the CA, identity matches, signature
+// verifies against the certified key — and issues an unguessable token.
+func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
+	now := m.now()
+	if hello.IssuedAt.Before(now.Add(-helloFreshness)) || hello.IssuedAt.After(now.Add(helloFreshness)) {
+		return SessionGrant{}, fmt.Errorf("%w: issued %v, now %v", ErrStaleHello, hello.IssuedAt, now)
+	}
+	if err := pki.VerifyCertificate(hello.Cert, m.caKey, now); err != nil {
+		return SessionGrant{}, fmt.Errorf("session open %s: %w", hello.Principal, err)
+	}
+	if hello.Cert.Identity != hello.Principal {
+		return SessionGrant{}, fmt.Errorf("%w: cert for %q, hello by %q",
+			ErrIdentityMismatch, hello.Cert.Identity, hello.Principal)
+	}
+	key, err := hello.Cert.Key()
+	if err != nil {
+		return SessionGrant{}, fmt.Errorf("session open %s: %w", hello.Principal, err)
+	}
+	d := helloDigest(hello.Principal, hello.Nonce, hello.IssuedAt)
+	if err := key.Verify(d[:], hello.Sig); err != nil {
+		return SessionGrant{}, fmt.Errorf("%w: session hello by %s", ErrBadSignature, hello.Principal)
+	}
+	raw, err := dcrypto.RandomBytes(sessionTokenBytes)
+	if err != nil {
+		return SessionGrant{}, fmt.Errorf("session token: %w", err)
+	}
+	token := hex.EncodeToString(raw)
+	expires := now.Add(m.ttl)
+
+	// A verified hello is consumed: its nonce is remembered until every
+	// copy of it has gone stale, so replaying it cannot mint a token.
+	nonceKey := hex.EncodeToString(hello.Nonce)
+	m.mu.Lock()
+	m.sweepLocked(now)
+	if _, seen := m.seenNonces[nonceKey]; seen {
+		m.mu.Unlock()
+		return SessionGrant{}, fmt.Errorf("%w: principal %s", ErrReplayedHello, hello.Principal)
+	}
+	m.seenNonces[nonceKey] = hello.IssuedAt.Add(2 * helloFreshness)
+	m.sessions[token] = &session{
+		principal: hello.Principal,
+		key:       key,
+		openedAt:  now,
+		lastUsed:  now,
+		expiresAt: expires,
+	}
+	m.mu.Unlock()
+	return SessionGrant{Token: token, Principal: hello.Principal, ExpiresAt: expires}, nil
+}
+
+// Close ends a session. Closing an unknown token is a no-op: the token may
+// already have been evicted.
+func (m *SessionManager) Close(token string) {
+	m.mu.Lock()
+	delete(m.sessions, token)
+	m.mu.Unlock()
+}
+
+// resolve returns the verified principal and key bound to a token,
+// touching its idle clock. Expired or idle sessions are evicted here.
+func (m *SessionManager) resolve(token string) (string, dcrypto.PublicKey, error) {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[token]
+	if !ok {
+		return "", dcrypto.PublicKey{}, ErrNoSession
+	}
+	if now.After(s.expiresAt) || now.Sub(s.lastUsed) > m.idle {
+		delete(m.sessions, token)
+		return "", dcrypto.PublicKey{}, ErrSessionExpired
+	}
+	s.lastUsed = now
+	return s.principal, s.key, nil
+}
+
+// sweepLocked evicts every session past its TTL or idle window, and every
+// remembered nonce past its forget-after time. Called with the lock held,
+// on each Open, so an abandoned client population cannot grow either
+// table without bound.
+func (m *SessionManager) sweepLocked(now time.Time) {
+	for token, s := range m.sessions {
+		if now.After(s.expiresAt) || now.Sub(s.lastUsed) > m.idle {
+			delete(m.sessions, token)
+		}
+	}
+	for nonce, forgetAfter := range m.seenNonces {
+		if now.After(forgetAfter) {
+			delete(m.seenNonces, nonce)
+		}
+	}
+}
+
+// Len reports the number of live sessions (including any not yet swept).
+func (m *SessionManager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// Session is the session-aware authn stage. A request carrying a token is
+// bound to its session's cached verified principal by a per-request
+// signature over the request digest — no certificate verification on the
+// hot path. A request without a token passes through untouched for the
+// full authn stage downstream, so one chain serves both kinds of traffic.
+type Session struct {
+	mgr *SessionManager
+}
+
+// NewSession creates the session stage over an established manager.
+func NewSession(mgr *SessionManager) (*Session, error) {
+	if mgr == nil {
+		return nil, errors.New("middleware: session stage needs a manager")
+	}
+	return &Session{mgr: mgr}, nil
+}
+
+// Name implements Stage.
+func (s *Session) Name() string { return StageSession }
+
+// Manager returns the stage's session manager, the handle the gateway
+// serves session.open / session.close through.
+func (s *Session) Manager() *SessionManager { return s.mgr }
+
+// Handle implements Stage.
+func (s *Session) Handle(ctx context.Context, req *Request, next Handler) error {
+	if req.SessionToken == "" {
+		return next(ctx, req)
+	}
+	principal, key, err := s.mgr.resolve(req.SessionToken)
+	if err != nil {
+		return fmt.Errorf("session %s: %w", req.Principal, err)
+	}
+	if principal != req.Principal {
+		return fmt.Errorf("%w: session for %q, request by %q",
+			ErrIdentityMismatch, principal, req.Principal)
+	}
+	d := req.Digest()
+	if err := key.Verify(d[:], req.Sig); err != nil {
+		return fmt.Errorf("%w: session principal %s", ErrBadSignature, req.Principal)
+	}
+	req.authenticated = true
+	return next(ctx, req)
+}
