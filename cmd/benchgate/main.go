@@ -1,0 +1,290 @@
+// Command benchgate turns `go test -bench` output into a machine-readable
+// benchmark report and gates CI on performance regressions, in the spirit
+// of cmd/dltbench's report encoders: parse the gateway benchmarks, emit
+// BENCH_gateway.json (uploaded as a CI artifact), and fail when any
+// benchmark present in the checked-in baseline regresses beyond the
+// tolerance, or when a required speedup ratio (e.g. 4-shard vs 1-shard
+// ordering) is not met.
+//
+// Typical CI usage:
+//
+//	go test -run '^$' -bench 'BenchmarkGateway' -benchtime 300x . | tee bench.txt
+//	benchgate -in bench.txt -out BENCH_gateway.json \
+//	    -baseline bench_baseline.json -tolerance 0.25 \
+//	    -speedup 'BenchmarkGatewaySharded/shards=4,BenchmarkGatewaySharded/shards=1,1.7'
+//
+// Refresh the baseline after an intentional performance change — or when
+// the CI runner hardware or Go toolchain shifts enough to move absolute
+// ns/op — with -update, which rewrites the baseline file from the current
+// run. The -speedup rules are ratios within one run and stay meaningful
+// across machines; the absolute gate is only as stable as the runner pool.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// Result is one parsed benchmark line. When a benchmark appears several
+// times (e.g. -count > 1), the lowest ns/op is kept: the least-noise
+// sample is the fairest regression signal.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Report is the JSON document benchgate emits and compares against.
+type Report struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// speedupRule requires Fast to run at least MinRatio times faster than
+// Slow (by ns/op).
+type speedupRule struct {
+	Fast     string
+	Slow     string
+	MinRatio float64
+}
+
+type speedupFlags []speedupRule
+
+func (s *speedupFlags) String() string { return fmt.Sprint(*s) }
+
+func (s *speedupFlags) Set(v string) error {
+	parts := strings.Split(v, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("speedup rule %q: want fast,slow,ratio", v)
+	}
+	ratio, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || ratio <= 0 {
+		return fmt.Errorf("speedup rule %q: bad ratio %q", v, parts[2])
+	}
+	*s = append(*s, speedupRule{Fast: parts[0], Slow: parts[1], MinRatio: ratio})
+	return nil
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		in        = fs.String("in", "", "benchmark output to parse (default stdin)")
+		out       = fs.String("out", "", "write the JSON report here (default stdout)")
+		baseline  = fs.String("baseline", "", "checked-in baseline report to gate against")
+		tolerance = fs.Float64("tolerance", 0.25, "allowed fractional ns/op regression before failing")
+		update    = fs.Bool("update", false, "rewrite the baseline from this run instead of gating")
+		speedups  speedupFlags
+	)
+	fs.Var(&speedups, "speedup", "required ratio 'fast,slow,minRatio' (repeatable): ns/op of slow must be >= minRatio * ns/op of fast")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tolerance < 0 {
+		return fmt.Errorf("tolerance must be >= 0, got %v", *tolerance)
+	}
+
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := parseBench(src)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+	report := Report{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Benchmarks: results,
+	}
+	if err := writeReport(report, *out, stdout); err != nil {
+		return err
+	}
+
+	if err := checkSpeedups(results, speedups); err != nil {
+		return err
+	}
+	if *baseline == "" {
+		if *update {
+			return fmt.Errorf("-update needs -baseline to know which file to rewrite")
+		}
+		return nil
+	}
+	if *update {
+		b, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(*baseline, append(b, '\n'), 0o644)
+	}
+	base, err := readReport(*baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	return gate(results, base.Benchmarks, *tolerance)
+}
+
+// benchLine matches `go test -bench` result lines, e.g.
+//
+//	BenchmarkGatewayChain/stages=1(+authn)-8   1201   998123 ns/op   2100 B/op   21 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+
+// Optional per-line measurements after ns/op.
+var (
+	bytesPerOp  = regexp.MustCompile(`([0-9.]+) B/op`)
+	allocsPerOp = regexp.MustCompile(`([0-9.]+) allocs/op`)
+)
+
+// parseBench extracts benchmark results, stripping the -GOMAXPROCS suffix
+// so names stay stable across runner shapes.
+func parseBench(r io.Reader) ([]Result, error) {
+	byName := make(map[string]int)
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.Atoi(m[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad iteration count in %q", sc.Text())
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q", sc.Text())
+		}
+		res := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		for _, extra := range []struct {
+			re  *regexp.Regexp
+			dst *float64
+		}{{bytesPerOp, &res.BytesPerOp}, {allocsPerOp, &res.AllocsPerOp}} {
+			if em := extra.re.FindStringSubmatch(m[4]); em != nil {
+				v, err := strconv.ParseFloat(em[1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad measurement in %q", sc.Text())
+				}
+				*extra.dst = v
+			}
+		}
+		if i, seen := byName[res.Name]; seen {
+			if res.NsPerOp < out[i].NsPerOp {
+				out[i] = res
+			}
+			continue
+		}
+		byName[res.Name] = len(out)
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func writeReport(report Report, path string, stdout io.Writer) error {
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if path == "" {
+		_, err = stdout.Write(b)
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+func readReport(path string) (Report, error) {
+	var report Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return report, err
+	}
+	if err := json.Unmarshal(b, &report); err != nil {
+		return report, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return report, nil
+}
+
+// gate fails when any baseline benchmark regressed beyond tolerance or
+// vanished from the current run. Benchmarks absent from the baseline are
+// new and pass freely (they start gating once the baseline is refreshed).
+func gate(current, baseline []Result, tolerance float64) error {
+	cur := make(map[string]Result, len(current))
+	for _, r := range current {
+		cur[r.Name] = r
+	}
+	var failures []string
+	for _, base := range baseline {
+		got, ok := cur[base.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from this run", base.Name))
+			continue
+		}
+		limit := base.NsPerOp * (1 + tolerance)
+		if got.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%% (limit %.0f)",
+				base.Name, got.NsPerOp, base.NsPerOp, tolerance*100, limit))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark regression gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// checkSpeedups enforces the required ratios within the current run.
+func checkSpeedups(current []Result, rules []speedupRule) error {
+	cur := make(map[string]Result, len(current))
+	for _, r := range current {
+		cur[r.Name] = r
+	}
+	var failures []string
+	for _, rule := range rules {
+		fast, okF := cur[rule.Fast]
+		slow, okS := cur[rule.Slow]
+		switch {
+		case !okF:
+			failures = append(failures, fmt.Sprintf("speedup rule: %s missing from this run", rule.Fast))
+		case !okS:
+			failures = append(failures, fmt.Sprintf("speedup rule: %s missing from this run", rule.Slow))
+		case fast.NsPerOp <= 0:
+			failures = append(failures, fmt.Sprintf("speedup rule: %s reports %.0f ns/op", rule.Fast, fast.NsPerOp))
+		default:
+			if ratio := slow.NsPerOp / fast.NsPerOp; ratio < rule.MinRatio {
+				failures = append(failures, fmt.Sprintf("%s is only %.2fx faster than %s, want >= %.2fx",
+					rule.Fast, ratio, rule.Slow, rule.MinRatio))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark speedup gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}

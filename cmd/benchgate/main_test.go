@@ -1,0 +1,133 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: dltprivacy
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkGatewayChain/baseline(ratelimit-only)-8         	  120000	      9824 ns/op	    2048 B/op	      18 allocs/op
+BenchmarkGatewayChain/stages=1(+authn)-8                 	    3000	    402211 ns/op	   12000 B/op	      90 allocs/op
+BenchmarkGatewaySession/session(amortized-authn+keycache)	   12000	     95321 ns/op
+BenchmarkGatewaySharded/shards=1-8                       	    2000	   1143391 ns/op	    7794 B/op	      22 allocs/op
+BenchmarkGatewaySharded/shards=4-8                       	    2000	    290166 ns/op	    7793 B/op	      22 allocs/op
+BenchmarkGatewaySharded/shards=4-8                       	    2000	    300500 ns/op	    7793 B/op	      22 allocs/op
+PASS
+ok  	dltprivacy	6.022s
+`
+
+func parseSample(t *testing.T) []Result {
+	t.Helper()
+	results, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatalf("parseBench: %v", err)
+	}
+	return results
+}
+
+func TestParseBench(t *testing.T) {
+	results := parseSample(t)
+	if len(results) != 5 {
+		t.Fatalf("parsed %d results, want 5 (duplicates folded): %+v", len(results), results)
+	}
+	byName := make(map[string]Result)
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	// The -8 GOMAXPROCS suffix is stripped for cross-runner stability.
+	chain, ok := byName["BenchmarkGatewayChain/baseline(ratelimit-only)"]
+	if !ok {
+		t.Fatalf("baseline benchmark missing: %+v", results)
+	}
+	if chain.Iterations != 120000 || chain.NsPerOp != 9824 || chain.BytesPerOp != 2048 || chain.AllocsPerOp != 18 {
+		t.Fatalf("baseline parsed as %+v", chain)
+	}
+	// A line without B/op and allocs/op still parses.
+	if sess, ok := byName["BenchmarkGatewaySession/session(amortized-authn+keycache)"]; !ok || sess.NsPerOp != 95321 || sess.BytesPerOp != 0 {
+		t.Fatalf("session parsed as %+v (ok=%v)", sess, ok)
+	}
+	// Repeated benchmarks keep the lowest ns/op sample.
+	if sharded := byName["BenchmarkGatewaySharded/shards=4"]; sharded.NsPerOp != 290166 {
+		t.Fatalf("duplicate fold kept %v ns/op, want 290166", sharded.NsPerOp)
+	}
+}
+
+func TestGate(t *testing.T) {
+	current := parseSample(t)
+	base := []Result{
+		{Name: "BenchmarkGatewayChain/baseline(ratelimit-only)", NsPerOp: 9000},
+		{Name: "BenchmarkGatewaySharded/shards=1", NsPerOp: 1100000},
+	}
+	// 9824 vs 9000 is a 9% regression: inside the 25% tolerance.
+	if err := gate(current, base, 0.25); err != nil {
+		t.Fatalf("gate within tolerance: %v", err)
+	}
+	// The same drift fails a 5% tolerance.
+	if err := gate(current, base, 0.05); err == nil {
+		t.Fatal("9% regression passed a 5% tolerance gate")
+	}
+	// A gated benchmark missing from the run fails loudly.
+	base = append(base, Result{Name: "BenchmarkGone", NsPerOp: 10})
+	if err := gate(current, base, 0.25); err == nil || !strings.Contains(err.Error(), "BenchmarkGone") {
+		t.Fatalf("missing benchmark not flagged: %v", err)
+	}
+	// Benchmarks new in this run (absent from baseline) gate nothing.
+	if err := gate(current, nil, 0); err != nil {
+		t.Fatalf("empty baseline gate: %v", err)
+	}
+}
+
+func TestCheckSpeedups(t *testing.T) {
+	current := parseSample(t)
+	pass := []speedupRule{{
+		Fast:     "BenchmarkGatewaySharded/shards=4",
+		Slow:     "BenchmarkGatewaySharded/shards=1",
+		MinRatio: 1.7,
+	}}
+	if err := checkSpeedups(current, pass); err != nil {
+		t.Fatalf("3.9x speedup failed a 1.7x rule: %v", err)
+	}
+	fail := []speedupRule{{
+		Fast:     "BenchmarkGatewaySharded/shards=4",
+		Slow:     "BenchmarkGatewaySharded/shards=1",
+		MinRatio: 5,
+	}}
+	if err := checkSpeedups(current, fail); err == nil {
+		t.Fatal("3.9x speedup passed a 5x rule")
+	}
+	missing := []speedupRule{{Fast: "BenchmarkNope", Slow: "BenchmarkGatewaySharded/shards=1", MinRatio: 1}}
+	if err := checkSpeedups(current, missing); err == nil || !strings.Contains(err.Error(), "BenchmarkNope") {
+		t.Fatalf("missing rule benchmark not flagged: %v", err)
+	}
+}
+
+func TestUpdateNeedsBaseline(t *testing.T) {
+	in := t.TempDir() + "/bench.txt"
+	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-in", in, "-update"}, nil, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-baseline") {
+		t.Fatalf("-update without -baseline = %v, want error naming -baseline", err)
+	}
+}
+
+func TestSpeedupFlagParsing(t *testing.T) {
+	var s speedupFlags
+	if err := s.Set("a,b,1.7"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if len(s) != 1 || s[0].Fast != "a" || s[0].Slow != "b" || s[0].MinRatio != 1.7 {
+		t.Fatalf("parsed %+v", s)
+	}
+	for _, bad := range []string{"a,b", "a,b,zero", "a,b,-1"} {
+		if err := s.Set(bad); err == nil {
+			t.Fatalf("Set(%q) accepted", bad)
+		}
+	}
+}

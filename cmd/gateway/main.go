@@ -1,11 +1,14 @@
 // Command gateway demonstrates the confidentiality middleware pipeline
 // end to end: a workload generator drives signed client submissions over
 // the transport substrate into a Gateway running the full chain
-// (authn -> encrypt -> audit -> ratelimit -> retry -> breaker -> batch),
-// which orders them and commits every block to all three platform
-// backends. It prints per-stage counters, per-backend commits, and the
-// leakage matrix showing that neither the gateway operator nor the
-// envelope-visibility orderer saw transaction data.
+// (session -> authn -> ratelimit -> encrypt -> audit -> retry -> breaker
+// -> batch), which orders them across a sharded ordering tier and commits
+// every block to all three platform backends. Channels are partitioned
+// over the ordering shards by consistent hashing, with the first channel
+// pinned to shard 0 to show the hot-channel pin table. It prints
+// per-stage, per-backend, per-shard, and session counters, and the
+// leakage matrix showing that neither the gateway operator nor any
+// envelope-visibility shard operator saw transaction data.
 package main
 
 import (
@@ -35,19 +38,28 @@ func main() {
 	trades := flag.Int("trades", 24, "number of workload trades to submit")
 	batch := flag.Int("batch", 4, "batch stage group size")
 	seed := flag.Int64("seed", 42, "workload generator seed")
+	shards := flag.Int("shards", 2, "ordering shards behind the gateway")
+	channels := flag.Int("channels", 2, "channels to spread trades across")
 	flag.Parse()
-	if err := run(*trades, *batch, *seed); err != nil {
+	if err := run(*trades, *batch, *seed, *shards, *channels); err != nil {
 		fmt.Fprintln(os.Stderr, "gateway:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nTrades, batchSize int, seed int64) error {
+func run(nTrades, batchSize int, seed int64, nShards, nChannels int) error {
+	if nShards < 1 || nChannels < 1 {
+		return fmt.Errorf("need at least 1 shard and 1 channel, got %d/%d", nShards, nChannels)
+	}
 	wl := workload.New(seed)
 	members := wl.Orgs(3)
 	trades, err := wl.Trades(members, nTrades, 96)
 	if err != nil {
 		return err
+	}
+	channels := make([]string, nChannels)
+	for i := range channels {
+		channels[i] = fmt.Sprintf("deals-%d", i)
 	}
 
 	// Consortium PKI: every member enrols with the CA.
@@ -70,43 +82,65 @@ func run(nTrades, batchSize int, seed int64) error {
 		keys[m], certs[m], memberKeys[m] = key, cert, key.Public()
 	}
 
-	// Ordering tier: envelope visibility only — the operator sees
-	// ciphertext metadata, never payloads.
+	// Sharded ordering tier: each shard is its own envelope-visibility
+	// service with its own operator — the operator set whose leakage the
+	// audit log accounts for. Channels spread over shards by consistent
+	// hashing; the pin below overrides it for the first channel.
 	log := audit.NewLog()
-	orderer := ordering.New("orderer-op", ordering.VisibilityEnvelope, ordering.WithAuditLog(log))
+	shardBackends := make([]ordering.Backend, nShards)
+	for i := range shardBackends {
+		shardBackends[i] = ordering.New(fmt.Sprintf("orderer-op-%d", i),
+			ordering.VisibilityEnvelope, ordering.WithAuditLog(log))
+	}
+	orderer, err := ordering.NewSharded(shardBackends)
+	if err != nil {
+		return err
+	}
 
-	backends, err := standUpPlatforms(members)
+	backends, err := standUpPlatforms(members, channels)
 	if err != nil {
 		return err
 	}
 
 	// The declarative pipeline. Swapping confidentiality posture means
 	// editing this list, not client code. The session stage serves
-	// token-bound traffic from its cached verified principals; authn
-	// remains for certificate-bearing (sessionless) submissions. Rate
-	// limiting sits before the envelope stage so over-limit traffic is
-	// shed before paying the symmetric seal, and the encrypt key cache
-	// amortizes the per-member hybrid wrap across each epoch.
-	cfg := middleware.Config{Stages: []middleware.StageConfig{
-		{Name: middleware.StageSession, Params: map[string]string{"ttl": "10m", "idle": "2m"}},
-		{Name: middleware.StageAuthn},
-		{Name: middleware.StageRateLimit, Params: map[string]string{"rate": "5000", "burst": "5000"}},
-		{Name: middleware.StageEncrypt, Params: map[string]string{"keyttl": "5m"}},
-		{Name: middleware.StageAudit, Params: map[string]string{"observer": "gateway-op"}},
-		{Name: middleware.StageRetry, Params: map[string]string{"attempts": "3", "backoff": "2ms"}},
-		{Name: middleware.StageBreaker, Params: map[string]string{"threshold": "5", "cooldown": "250ms"}},
-		{Name: middleware.StageBatch, Params: map[string]string{"size": fmt.Sprint(batchSize)}},
-	}}
+	// token-bound traffic from its cached verified principals (capped at 4
+	// live sessions per principal); authn remains for certificate-bearing
+	// (sessionless) submissions. Rate limiting sits before the envelope
+	// stage so over-limit traffic is shed before paying the symmetric
+	// seal, and the encrypt key cache amortizes the per-member hybrid wrap
+	// across each epoch. Shards/ShardPins declare the ordering topology,
+	// checked against the backend at construction.
+	cfg := middleware.Config{
+		Stages: []middleware.StageConfig{
+			{Name: middleware.StageSession, Params: map[string]string{"ttl": "10m", "idle": "2m", "maxperprincipal": "4"}},
+			{Name: middleware.StageAuthn},
+			{Name: middleware.StageRateLimit, Params: map[string]string{"rate": "5000", "burst": "5000"}},
+			{Name: middleware.StageEncrypt, Params: map[string]string{"keyttl": "5m"}},
+			{Name: middleware.StageAudit, Params: map[string]string{"observer": "gateway-op"}},
+			{Name: middleware.StageRetry, Params: map[string]string{"attempts": "3", "backoff": "2ms"}},
+			{Name: middleware.StageBreaker, Params: map[string]string{"threshold": "5", "cooldown": "250ms"}},
+			{Name: middleware.StageBatch, Params: map[string]string{"size": fmt.Sprint(batchSize)}},
+		},
+		Shards:    nShards,
+		ShardPins: map[string]int{channels[0]: 0},
+	}
+	dir := middleware.StaticDirectory{}
+	for _, ch := range channels {
+		dir[ch] = memberKeys
+	}
 	env := middleware.Env{
 		CAKey:     ca.PublicKey(),
-		Directory: middleware.StaticDirectory{"deals": memberKeys},
+		Directory: dir,
 		Log:       log,
 	}
 	gw, err := middleware.NewGateway("gw", cfg, env, orderer)
 	if err != nil {
 		return err
 	}
-	gw.Bind("deals", backends...)
+	for _, ch := range channels {
+		gw.Bind(ch, backends...)
+	}
 
 	net := transport.New()
 	if err := gw.AttachTransport(context.Background(), net, "gateway"); err != nil {
@@ -125,13 +159,13 @@ func run(nTrades, batchSize int, seed int64) error {
 	}
 
 	start := time.Now()
-	for _, tr := range trades {
+	for i, tr := range trades {
 		payload, err := json.Marshal(tr)
 		if err != nil {
 			return err
 		}
 		req := &middleware.Request{
-			Channel:      "deals",
+			Channel:      channels[i%len(channels)],
 			Principal:    tr.Buyer,
 			Payload:      payload,
 			SessionToken: tokens[tr.Buyer],
@@ -149,8 +183,8 @@ func run(nTrades, batchSize int, seed int64) error {
 	elapsed := time.Since(start)
 
 	stats := gw.Stats()
-	fmt.Printf("submitted %d trades in %v (%.0f tx/s)\n\n",
-		stats.Submitted, elapsed.Round(time.Microsecond),
+	fmt.Printf("submitted %d trades over %d channels in %v (%.0f tx/s)\n\n",
+		stats.Submitted, len(channels), elapsed.Round(time.Microsecond),
 		float64(stats.Submitted)/elapsed.Seconds())
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -162,17 +196,31 @@ func run(nTrades, batchSize int, seed int64) error {
 	for _, bs := range stats.Backends {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\n", bs.Name, bs.Blocks, bs.Txs, bs.Errors)
 	}
+	fmt.Fprintln(w, "\nSHARD\tOPERATORS\tROUTED\tDELIVERED\tPINNED")
+	for _, sh := range stats.Shards {
+		fmt.Fprintf(w, "%d\t%v\t%d\t%d\t%d\n", sh.Shard, sh.Operators, sh.RoutedTxs, sh.DeliveredBlocks, sh.PinnedChannels)
+	}
 	w.Flush()
+	if stats.Sessions != nil {
+		fmt.Printf("\nsessions: %d live, %d opened, %d expired, %d evicted; key epochs rotated: %d\n",
+			stats.Sessions.Live, stats.Sessions.Opened, stats.Sessions.Expired,
+			stats.Sessions.Evicted, stats.KeyEpochsRotated)
+	}
 
 	fmt.Println("\nleakage (who saw transaction data?):")
-	for _, op := range []string{"gateway-op", "orderer-op", members[0]} {
+	ops := []string{"gateway-op"}
+	for i := 0; i < nShards; i++ {
+		ops = append(ops, fmt.Sprintf("orderer-op-%d", i))
+	}
+	ops = append(ops, members[0])
+	for _, op := range ops {
 		saw := log.SawAny(op, audit.ClassTxData)
-		fmt.Printf("  %-12s txdata=%v\n", op, saw)
+		fmt.Printf("  %-14s txdata=%v\n", op, saw)
 	}
 	// A rejected submission: tampered payload fails the per-request
 	// signature check even on a live session.
 	bad := &middleware.Request{
-		Channel:      "deals",
+		Channel:      channels[0],
 		Principal:    members[0],
 		Payload:      []byte("legit"),
 		SessionToken: tokens[members[0]],
@@ -188,7 +236,7 @@ func run(nTrades, batchSize int, seed int64) error {
 
 	// A forged token never reaches the chain's downstream stages.
 	forged := &middleware.Request{
-		Channel:      "deals",
+		Channel:      channels[0],
 		Principal:    members[0],
 		Payload:      []byte("legit"),
 		SessionToken: "not-a-token",
@@ -211,9 +259,10 @@ func run(nTrades, batchSize int, seed int64) error {
 	return nil
 }
 
-// standUpPlatforms boots the three platform models and returns the
-// gateway adapters committing into them.
-func standUpPlatforms(members []string) ([]middleware.Backend, error) {
+// standUpPlatforms boots the three platform models — with a Fabric channel
+// and chaincode per gateway channel — and returns the gateway adapters
+// committing into them.
+func standUpPlatforms(members, channels []string) ([]middleware.Backend, error) {
 	fnet, err := fabric.NewNetwork(fabric.Config{})
 	if err != nil {
 		return nil, err
@@ -224,9 +273,6 @@ func standUpPlatforms(members []string) ([]middleware.Backend, error) {
 		}
 	}
 	policy := contract.Policy{Members: members, Threshold: 2}
-	if err := fnet.CreateChannel("deals", members, policy); err != nil {
-		return nil, err
-	}
 	kv := contract.Contract{
 		Name:    "kv",
 		Version: "1",
@@ -240,8 +286,13 @@ func standUpPlatforms(members []string) ([]middleware.Backend, error) {
 			},
 		},
 	}
-	if err := fnet.InstallChaincode("deals", kv, members); err != nil {
-		return nil, err
+	for _, ch := range channels {
+		if err := fnet.CreateChannel(ch, members, policy); err != nil {
+			return nil, err
+		}
+		if err := fnet.InstallChaincode(ch, kv, members); err != nil {
+			return nil, err
+		}
 	}
 	fb, err := middleware.NewFabricBackend(fnet, members[0], "kv", "put", members[:2])
 	if err != nil {

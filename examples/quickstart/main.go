@@ -3,10 +3,13 @@
 // persistent gateway session (paying certificate verification once),
 // submits trades bound to the session token, and the pipeline seals each
 // payload for the channel members before ordering commits it into a
-// Fabric-model channel. Bravo — a member — decrypts the committed
-// envelope; Charlie, the orderer operator, and the gateway operator see
-// nothing: the core separation-of-ledgers mechanism from §2.1 of the
-// paper, now behind one declarative pipeline instead of hand-wired calls.
+// Fabric-model channel. The ordering tier is sharded: two independent
+// envelope-visibility orderers, with the hot "deals" channel pinned to
+// shard 1 by the Config pin table while every other channel would route by
+// consistent hashing. Bravo — a member — decrypts the committed envelope;
+// Charlie, both shard operators, and the gateway operator see nothing: the
+// core separation-of-ledgers mechanism from §2.1 of the paper, now behind
+// one declarative pipeline instead of hand-wired calls.
 package main
 
 import (
@@ -107,15 +110,26 @@ func run() error {
 	// 3. The declarative pipeline: session-amortized authn, envelope
 	// encryption to the channel members (data key cached per epoch),
 	// leakage accounting. Envelope visibility keeps payloads opaque to
-	// the orderer operator.
+	// both shard operators; Shards/ShardPins declare the ordering
+	// topology, checked against the backend when the gateway is built.
 	log := audit.NewLog()
-	orderer := ordering.New("orderer-op", ordering.VisibilityEnvelope, ordering.WithAuditLog(log))
-	cfg := middleware.Config{Stages: []middleware.StageConfig{
-		{Name: middleware.StageSession, Params: map[string]string{"ttl": "10m", "idle": "2m"}},
-		{Name: middleware.StageAuthn},
-		{Name: middleware.StageEncrypt, Params: map[string]string{"keyttl": "5m"}},
-		{Name: middleware.StageAudit, Params: map[string]string{"observer": "gateway-op"}},
-	}}
+	orderer, err := ordering.NewSharded([]ordering.Backend{
+		ordering.New("orderer-op-0", ordering.VisibilityEnvelope, ordering.WithAuditLog(log)),
+		ordering.New("orderer-op-1", ordering.VisibilityEnvelope, ordering.WithAuditLog(log)),
+	})
+	if err != nil {
+		return err
+	}
+	cfg := middleware.Config{
+		Stages: []middleware.StageConfig{
+			{Name: middleware.StageSession, Params: map[string]string{"ttl": "10m", "idle": "2m"}},
+			{Name: middleware.StageAuthn},
+			{Name: middleware.StageEncrypt, Params: map[string]string{"keyttl": "5m"}},
+			{Name: middleware.StageAudit, Params: map[string]string{"observer": "gateway-op"}},
+		},
+		Shards:    2,
+		ShardPins: map[string]int{"deals": 1},
+	}
 	env := middleware.Env{
 		CAKey: ca.PublicKey(),
 		Directory: middleware.StaticDirectory{"deals": {
@@ -160,6 +174,12 @@ func run() error {
 		}
 	}
 	fmt.Println("submitted 2 trades on the session token (no certs on the wire)")
+	for _, sh := range gw.Stats().Shards {
+		if sh.RoutedTxs > 0 {
+			fmt.Printf("shard %d (%s) ordered %d txs (pinned channels: %d)\n",
+				sh.Shard, sh.Operators[0], sh.RoutedTxs, sh.PinnedChannels)
+		}
+	}
 
 	// 5. Bravo, a channel member, reads and decrypts the committed state…
 	for _, txID := range index.ids {
@@ -184,13 +204,14 @@ func run() error {
 	}
 	fmt.Println("Charlie cannot open the envelopes: not a channel member")
 
-	// 6. Leakage accounting: neither operator saw transaction data.
-	for _, op := range []string{"gateway-op", "orderer-op"} {
+	// 6. Leakage accounting: no operator — gateway or either ordering
+	// shard — saw transaction data.
+	for _, op := range []string{"gateway-op", "orderer-op-0", "orderer-op-1"} {
 		if log.SawAny(op, audit.ClassTxData) {
 			return fmt.Errorf("%s observed transaction data", op)
 		}
 	}
-	fmt.Println("audit log confirms: neither the gateway nor the orderer operator saw trade data")
+	fmt.Println("audit log confirms: neither the gateway nor any shard operator saw trade data")
 
 	// 7. Session hygiene: closed tokens are dead.
 	if err := middleware.CloseSessionOver(net, "Alpha", "gateway", grant.Token); err != nil {

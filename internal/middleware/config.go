@@ -29,7 +29,9 @@ var ErrBadConfig = errors.New("middleware: invalid pipeline configuration")
 // StageConfig names one stage and its parameters. Parameter values are
 // strings so configurations can come verbatim from flags or files:
 //
-//	session    — ttl (duration, default 10m), idle (duration, default 2m)
+//	session    — ttl (duration, default 10m), idle (duration, default 2m),
+//	             maxperprincipal (default 0 = unlimited; > 0 caps live
+//	             sessions per principal, evicting the oldest on overflow)
 //	authn      — (no parameters)
 //	encrypt    — keyttl (duration, default 0 = fresh data key per request;
 //	             > 0 caches the wrapped channel key per epoch; members come
@@ -45,9 +47,20 @@ type StageConfig struct {
 }
 
 // Config is a declarative pipeline: an ordered stage list assembled and
-// validated by Build.
+// validated by Build, plus the ordering topology the gateway fronts.
 type Config struct {
 	Stages []StageConfig
+
+	// Shards declares the ordering topology the gateway expects: 0 accepts
+	// any backend (unsharded deployments), > 0 requires the gateway's
+	// ordering backend to be an ordering.ShardedBackend with exactly that
+	// many shards. Like stage parameters, a mismatch fails at construction,
+	// before any traffic.
+	Shards int
+	// ShardPins routes the named channels to explicit shard indices,
+	// overriding consistent hashing — the knob for hot channels that should
+	// own a shard. Requires Shards > 0; every index must be in [0, Shards).
+	ShardPins map[string]int
 }
 
 // Env carries the shared dependencies stages draw on. Zero fields default
@@ -196,6 +209,23 @@ func (c Config) validate() error {
 	if bi, ok := pos[StageBatch]; ok && bi != len(c.Stages)-1 {
 		return fmt.Errorf("%w: %q must be the final stage (any later stage would be skipped for batched requests)", ErrBadConfig, StageBatch)
 	}
+	return c.validateSharding()
+}
+
+// validateSharding enforces the ordering-topology knobs: a negative shard
+// count is meaningless, and every pin must name a shard inside the topology.
+func (c Config) validateSharding() error {
+	if c.Shards < 0 {
+		return fmt.Errorf("%w: shards must be >= 0, got %d", ErrBadConfig, c.Shards)
+	}
+	if len(c.ShardPins) > 0 && c.Shards == 0 {
+		return fmt.Errorf("%w: shard pins need a sharded topology (shards > 0)", ErrBadConfig)
+	}
+	for channel, shard := range c.ShardPins {
+		if shard < 0 || shard >= c.Shards {
+			return fmt.Errorf("%w: pin %q -> shard %d outside [0, %d)", ErrBadConfig, channel, shard, c.Shards)
+		}
+	}
 	return nil
 }
 
@@ -215,10 +245,14 @@ func buildStage(sc StageConfig, env Env) (Stage, error) {
 			}
 			ttl := p.duration("ttl", 10*time.Minute)
 			idle := p.duration("idle", 2*time.Minute)
+			maxPer := p.intVal("maxperprincipal", 0)
 			if p.err != nil {
 				return nil, p.err
 			}
-			mgr, err = NewSessionManager(env.CAKey, ttl, idle, env.Now)
+			if maxPer < 0 {
+				return nil, fmt.Errorf("stage %s: maxperprincipal must be >= 0, got %d", sc.Name, maxPer)
+			}
+			mgr, err = NewSessionManager(env.CAKey, ttl, idle, env.Now, WithMaxPerPrincipal(maxPer))
 			if err != nil {
 				return nil, err
 			}

@@ -82,6 +82,36 @@
 // on an explicit Encrypt.Rotate / Gateway.RotateChannelKey call (e.g.
 // after a revocation). Envelopes record their epoch.
 //
+// # Sharded ordering topologies
+//
+// A single ordering node bounds aggregate throughput: every channel's
+// block cutting funnels through one sequencer. The gateway therefore
+// accepts an ordering.ShardedBackend transparently — it implements
+// ordering.Backend — and Config declares the topology so misconfiguration
+// fails at construction like every other knob:
+//
+//   - Config.Shards names the expected shard count. Zero accepts any
+//     backend; a positive count requires the gateway's backend to be a
+//     ShardedBackend with exactly that many shards.
+//   - Config.ShardPins maps channels to explicit shard indices, overriding
+//     consistent hashing for hot channels. Every index must lie inside
+//     [0, Shards); the pins are installed on the backend before any
+//     traffic, and a pin that would move a channel with live subscribers
+//     is rejected (its block chain would fork across shards).
+//
+// Routing is consistent hashing over the channel name (deterministic
+// across processes), so each channel is owned by exactly one shard and the
+// per-channel delivery serialization the ordering layer guarantees is
+// preserved unchanged; sharding divides only the cross-channel contention
+// on each node's sequencer. GatewayStats.Shards exposes per-shard routed
+// transactions, delivered blocks, and pinned-channel counts, alongside
+// GatewayStats.Sessions (sessions opened, expired at TTL/idle, evicted by
+// the per-principal cap) and GatewayStats.KeyEpochsRotated (encrypt
+// data-key epoch installs) — the counters session hardening and key
+// rotation are monitored by. BenchmarkGatewaySharded holds the scaling
+// claim: near-linear aggregate throughput at 1/2/4 shards under
+// multi-channel concurrent load, enforced by the CI benchmark gate.
+//
 // The Gateway fronts the platform backends: it runs every submission
 // through the chain, submits the resulting transaction to an
 // internal/ordering backend, and relays cut blocks to registered platform

@@ -132,6 +132,9 @@ type Encrypt struct {
 	mu     sync.Mutex
 	keys   map[string]*channelKey
 	epochs map[string]uint64 // next epoch per channel; survives rotation
+	// rotations counts fresh-epoch installs across all channels (a
+	// channel's first epoch included), guarded by mu.
+	rotations uint64
 }
 
 // channelKey is one cached (channel, epoch) data-key generation.
@@ -203,6 +206,18 @@ func (e *Encrypt) Epoch(channel string) uint64 {
 	return 0
 }
 
+// Rotations reports how many fresh data-key epochs the stage has installed
+// across all channels (each channel's first epoch included). Always 0
+// without a key cache, where every request uses a throwaway key.
+func (e *Encrypt) Rotations() uint64 {
+	if e.keyTTL <= 0 {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.rotations
+}
+
 // memberFingerprint hashes the member set (identities and keys) so a
 // cached channel key can detect membership drift.
 func memberFingerprint(members map[string]dcrypto.PublicKey) [32]byte {
@@ -257,6 +272,7 @@ func (e *Encrypt) channelKeyFor(channel string, members map[string]dcrypto.Publi
 		return ck, nil
 	}
 	e.epochs[channel]++
+	e.rotations++
 	ck := &channelKey{
 		epoch:     e.epochs[channel],
 		dataKey:   dataKey,

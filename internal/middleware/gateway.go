@@ -35,6 +35,9 @@ type Gateway struct {
 	name    string
 	chain   *Chain
 	orderer ordering.Backend
+	// sharded is the orderer downcast to its sharded form, nil for
+	// unsharded deployments; Stats snapshots per-shard counters from it.
+	sharded *ordering.ShardedBackend
 	now     func() time.Time
 
 	submitted atomic.Uint64 // requests accepted by the chain
@@ -74,10 +77,23 @@ type GatewayStats struct {
 	Stages []StageStats
 	// Backends holds per-backend commit counters.
 	Backends []BackendStats
+	// Shards holds per-shard routing counters when the ordering backend is
+	// sharded; nil otherwise.
+	Shards []ordering.ShardStats
+	// Sessions snapshots the session manager's lifecycle counters; nil when
+	// the pipeline has no session stage.
+	Sessions *SessionStats
+	// KeyEpochsRotated counts the encrypt stage's data-key epoch installs;
+	// 0 when the pipeline has no encrypt stage or no key cache.
+	KeyEpochsRotated uint64
 }
 
 // NewGateway builds the configured chain and fronts it with the ordering
-// backend. Misconfiguration fails here, before any traffic.
+// backend. Misconfiguration fails here, before any traffic. A sharded
+// backend is accepted transparently — it implements ordering.Backend — but
+// when cfg.Shards declares a topology the backend must actually be an
+// ordering.ShardedBackend with that many shards, and cfg.ShardPins is
+// installed on it before any channel carries traffic.
 func NewGateway(name string, cfg Config, env Env, orderer ordering.Backend) (*Gateway, error) {
 	if name == "" {
 		name = "gateway"
@@ -88,9 +104,24 @@ func NewGateway(name string, cfg Config, env Env, orderer ordering.Backend) (*Ga
 	if env.Now == nil {
 		env.Now = time.Now
 	}
+	sharded, _ := orderer.(*ordering.ShardedBackend)
+	if cfg.Shards > 0 {
+		if sharded == nil {
+			return nil, fmt.Errorf("%w: config declares %d ordering shards but the backend is not sharded", ErrBadConfig, cfg.Shards)
+		}
+		if got := sharded.Shards(); got != cfg.Shards {
+			return nil, fmt.Errorf("%w: config declares %d ordering shards, backend has %d", ErrBadConfig, cfg.Shards, got)
+		}
+		for channel, shard := range cfg.ShardPins {
+			if err := sharded.Pin(channel, shard); err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+			}
+		}
+	}
 	g := &Gateway{
 		name:     name,
 		orderer:  orderer,
+		sharded:  sharded,
 		now:      env.Now,
 		backends: make(map[string][]Backend),
 		bound:    make(map[string]map[string]bool),
@@ -215,6 +246,16 @@ func (g *Gateway) Stats() GatewayStats {
 		Ordered:   g.ordered.Load(),
 		Rejected:  g.rejected.Load(),
 		Stages:    g.chain.Stats(),
+	}
+	if g.sharded != nil {
+		stats.Shards = g.sharded.Stats()
+	}
+	if mgr := g.Sessions(); mgr != nil {
+		ss := mgr.Stats()
+		stats.Sessions = &ss
+	}
+	if e, ok := g.chain.stage(StageEncrypt).(*Encrypt); ok && e != nil {
+		stats.KeyEpochsRotated = e.Rotations()
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()

@@ -109,22 +109,58 @@ type session struct {
 // Sessions die at their TTL, or earlier when idle longer than the idle
 // window. Safe for concurrent use.
 type SessionManager struct {
-	caKey dcrypto.PublicKey
-	ttl   time.Duration
-	idle  time.Duration
-	now   func() time.Time
+	caKey           dcrypto.PublicKey
+	ttl             time.Duration
+	idle            time.Duration
+	maxPerPrincipal int
+	now             func() time.Time
 
 	mu       sync.Mutex
 	sessions map[string]*session
+	// byPrincipal indexes live session tokens per principal so the
+	// per-principal cap never scans other principals' sessions; kept in
+	// lockstep with sessions by insertLocked/deleteSessionLocked.
+	byPrincipal map[string]map[string]bool
 	// seenNonces remembers handshake nonces until their freshness window
 	// closes, so a recorded hello cannot be replayed to mint a second
 	// token. Keyed by nonce hex, valued by forget-after time.
 	seenNonces map[string]time.Time
+	// Lifecycle counters, guarded by mu (every transition already holds it).
+	opened  uint64
+	expired uint64
+	evicted uint64
+}
+
+// SessionStats is a snapshot of the manager's lifecycle counters, the
+// numbers "session hardening at scale" watches.
+type SessionStats struct {
+	// Live is the number of held sessions (including any not yet swept).
+	Live int
+	// Opened counts sessions granted over the manager's lifetime.
+	Opened uint64
+	// Expired counts sessions evicted at their TTL or idle window.
+	Expired uint64
+	// Evicted counts sessions displaced by the per-principal cap.
+	Evicted uint64
+}
+
+// SessionOption configures a SessionManager beyond the required fields.
+type SessionOption func(*SessionManager)
+
+// WithMaxPerPrincipal caps live sessions per principal: opening a session
+// beyond the cap evicts the principal's oldest session. n <= 0 means
+// unlimited, the default.
+func WithMaxPerPrincipal(n int) SessionOption {
+	return func(m *SessionManager) {
+		if n > 0 {
+			m.maxPerPrincipal = n
+		}
+	}
 }
 
 // NewSessionManager creates a manager pinned to the consortium CA key.
 // ttl bounds total session lifetime; idle evicts sessions unused that long.
-func NewSessionManager(caKey dcrypto.PublicKey, ttl, idle time.Duration, now func() time.Time) (*SessionManager, error) {
+func NewSessionManager(caKey dcrypto.PublicKey, ttl, idle time.Duration, now func() time.Time, opts ...SessionOption) (*SessionManager, error) {
 	if caKey.IsZero() {
 		return nil, errors.New("middleware: session manager needs the CA key")
 	}
@@ -134,14 +170,19 @@ func NewSessionManager(caKey dcrypto.PublicKey, ttl, idle time.Duration, now fun
 	if now == nil {
 		now = time.Now
 	}
-	return &SessionManager{
-		caKey:      caKey,
-		ttl:        ttl,
-		idle:       idle,
-		now:        now,
-		sessions:   make(map[string]*session),
-		seenNonces: make(map[string]time.Time),
-	}, nil
+	m := &SessionManager{
+		caKey:       caKey,
+		ttl:         ttl,
+		idle:        idle,
+		now:         now,
+		sessions:    make(map[string]*session),
+		byPrincipal: make(map[string]map[string]bool),
+		seenNonces:  make(map[string]time.Time),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m, nil
 }
 
 // Open verifies the handshake exactly as the authn stage verifies a
@@ -184,13 +225,15 @@ func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
 		return SessionGrant{}, fmt.Errorf("%w: principal %s", ErrReplayedHello, hello.Principal)
 	}
 	m.seenNonces[nonceKey] = hello.IssuedAt.Add(2 * helloFreshness)
-	m.sessions[token] = &session{
+	m.capPrincipalLocked(hello.Principal)
+	m.opened++
+	m.insertLocked(token, &session{
 		principal: hello.Principal,
 		key:       key,
 		openedAt:  now,
 		lastUsed:  now,
 		expiresAt: expires,
-	}
+	})
 	m.mu.Unlock()
 	return SessionGrant{Token: token, Principal: hello.Principal, ExpiresAt: expires}, nil
 }
@@ -199,8 +242,37 @@ func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
 // already have been evicted.
 func (m *SessionManager) Close(token string) {
 	m.mu.Lock()
-	delete(m.sessions, token)
+	m.deleteSessionLocked(token)
 	m.mu.Unlock()
+}
+
+// insertLocked stores a session and indexes its token by principal.
+// Called with the lock held.
+func (m *SessionManager) insertLocked(token string, s *session) {
+	m.sessions[token] = s
+	set := m.byPrincipal[s.principal]
+	if set == nil {
+		set = make(map[string]bool)
+		m.byPrincipal[s.principal] = set
+	}
+	set[token] = true
+}
+
+// deleteSessionLocked removes a session from both the token table and the
+// per-principal index. Called with the lock held; unknown tokens are a
+// no-op.
+func (m *SessionManager) deleteSessionLocked(token string) {
+	s, ok := m.sessions[token]
+	if !ok {
+		return
+	}
+	delete(m.sessions, token)
+	if set := m.byPrincipal[s.principal]; set != nil {
+		delete(set, token)
+		if len(set) == 0 {
+			delete(m.byPrincipal, s.principal)
+		}
+	}
 }
 
 // resolve returns the verified principal and key bound to a token,
@@ -214,7 +286,8 @@ func (m *SessionManager) resolve(token string) (string, dcrypto.PublicKey, error
 		return "", dcrypto.PublicKey{}, ErrNoSession
 	}
 	if now.After(s.expiresAt) || now.Sub(s.lastUsed) > m.idle {
-		delete(m.sessions, token)
+		m.deleteSessionLocked(token)
+		m.expired++
 		return "", dcrypto.PublicKey{}, ErrSessionExpired
 	}
 	s.lastUsed = now
@@ -228,7 +301,8 @@ func (m *SessionManager) resolve(token string) (string, dcrypto.PublicKey, error
 func (m *SessionManager) sweepLocked(now time.Time) {
 	for token, s := range m.sessions {
 		if now.After(s.expiresAt) || now.Sub(s.lastUsed) > m.idle {
-			delete(m.sessions, token)
+			m.deleteSessionLocked(token)
+			m.expired++
 		}
 	}
 	for nonce, forgetAfter := range m.seenNonces {
@@ -238,11 +312,48 @@ func (m *SessionManager) sweepLocked(now time.Time) {
 	}
 }
 
+// capPrincipalLocked makes room for one more session of the principal:
+// while the principal sits at (or, after a cap change, above) the cap, the
+// session opened longest ago is evicted. Called with the lock held, after
+// the sweep, so sessions expiring anyway do not count against the cap.
+// Only the principal's own sessions are scanned, via the byPrincipal
+// index, so a large overall population does not slow Open down.
+func (m *SessionManager) capPrincipalLocked(principal string) {
+	if m.maxPerPrincipal <= 0 {
+		return
+	}
+	set := m.byPrincipal[principal]
+	for len(set) >= m.maxPerPrincipal {
+		oldestToken := ""
+		var oldest time.Time
+		for token := range set {
+			s := m.sessions[token]
+			if oldestToken == "" || s.openedAt.Before(oldest) {
+				oldestToken, oldest = token, s.openedAt
+			}
+		}
+		m.deleteSessionLocked(oldestToken)
+		m.evicted++
+	}
+}
+
 // Len reports the number of live sessions (including any not yet swept).
 func (m *SessionManager) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.sessions)
+}
+
+// Stats snapshots the manager's lifecycle counters.
+func (m *SessionManager) Stats() SessionStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return SessionStats{
+		Live:    len(m.sessions),
+		Opened:  m.opened,
+		Expired: m.expired,
+		Evicted: m.evicted,
+	}
 }
 
 // Session is the session-aware authn stage. A request carrying a token is

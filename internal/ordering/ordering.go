@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"dltprivacy/internal/audit"
 	"dltprivacy/internal/ledger"
@@ -68,10 +69,15 @@ type Service struct {
 	operator   string
 	visibility Visibility
 	batchSize  int
+	seqCost    time.Duration
 	log        *audit.Log
 
 	mu     sync.Mutex
 	chains map[string]*chainState
+	// seq is the node's sequencer: with a sequencing cost configured, each
+	// submission occupies it for that long, modeling the finite throughput
+	// of one ordering node.
+	seq sync.Mutex
 }
 
 // Option configures the service.
@@ -89,6 +95,21 @@ func WithBatchSize(n int) Option {
 // WithAuditLog attaches leakage accounting.
 func WithAuditLog(log *audit.Log) Option {
 	return func(s *Service) { s.log = log }
+}
+
+// WithSequencingCost models the finite throughput of a single ordering
+// node: each submission occupies the node's sequencer for d before it is
+// enqueued, the way a real orderer's consensus round trip or commit fsync
+// bounds how fast one node sequences, regardless of how many clients push.
+// The default of zero keeps the service an infinitely fast in-memory model.
+// Experiments use this to make ordering-tier capacity — and what sharding
+// buys — observable.
+func WithSequencingCost(d time.Duration) Option {
+	return func(s *Service) {
+		if d > 0 {
+			s.seqCost = d
+		}
+	}
 }
 
 // New creates an ordering service operated by the named principal.
@@ -131,6 +152,14 @@ func (s *Service) Submit(tx ledger.Transaction) error {
 		return fmt.Errorf("ordering submit: %w", err)
 	}
 	s.observe(tx)
+	if s.seqCost > 0 {
+		// One sequencer per node: submissions pass through it one at a
+		// time. This is the per-node throughput ceiling a sharded topology
+		// divides — each shard brings its own sequencer.
+		s.seq.Lock()
+		time.Sleep(s.seqCost)
+		s.seq.Unlock()
+	}
 	s.mu.Lock()
 	c := s.chain(tx.Channel)
 	c.pending = append(c.pending, tx)

@@ -1,0 +1,287 @@
+package ordering
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"dltprivacy/internal/ledger"
+)
+
+// Errors returned by the sharded backend.
+var (
+	// ErrNoShards is returned when constructing a sharded backend with an
+	// empty shard list.
+	ErrNoShards = errors.New("ordering: sharded backend needs at least one shard")
+	// ErrBadShard is returned for a pin naming a shard index outside the
+	// topology.
+	ErrBadShard = errors.New("ordering: shard index out of range")
+	// ErrChannelMoved is returned when a pin would move a channel that
+	// already carried traffic on another shard: its block chain (or its
+	// pending transactions) would fork across shards.
+	ErrChannelMoved = errors.New("ordering: channel already owned by another shard")
+)
+
+// vnodesPerShard is the number of virtual ring points per shard. Enough
+// points smooth the channel distribution; the ring stays a few KB even for
+// wide topologies.
+const vnodesPerShard = 64
+
+// ringPoint is one virtual node on the consistent-hash ring.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// shardCounters tracks one shard's routing traffic.
+type shardCounters struct {
+	routedTxs atomic.Uint64
+	delivered atomic.Uint64
+}
+
+// ShardStats is a snapshot of one shard's routing counters.
+type ShardStats struct {
+	// Shard is the shard index within the topology.
+	Shard int
+	// Operators names the principals operating the shard's backend.
+	Operators []string
+	// RoutedTxs counts transactions routed to the shard.
+	RoutedTxs uint64
+	// DeliveredBlocks counts block deliveries fanned out to subscribers
+	// registered through the sharded backend (a block reaching three
+	// subscribers counts three times).
+	DeliveredBlocks uint64
+	// PinnedChannels counts channels explicitly pinned to the shard.
+	PinnedChannels int
+}
+
+// ShardedBackend partitions channels across multiple ordering backends so
+// heavy multi-channel traffic scales horizontally: each channel is owned by
+// exactly one shard, chosen by consistent hashing over the channel name or
+// by an explicit pin for hot channels. Because every submission and
+// subscription for a channel lands on the same shard, the per-channel
+// delivery serialization the underlying services guarantee — blocks reach
+// subscribers in height order — is preserved unchanged; what sharding
+// divides is the cross-channel contention on each service's internal lock.
+// Safe for concurrent use.
+type ShardedBackend struct {
+	shards []Backend
+	ring   []ringPoint
+	stats  []shardCounters
+
+	mu sync.RWMutex
+	// pins maps channel -> shard index, overriding the hash ring.
+	pins map[string]int
+	// owned records the shard each channel was first routed to — on its
+	// first Submit or Subscribe — so a later pin cannot silently fork a
+	// channel with history across shards. Steady-state routing reads it
+	// under the read lock; only a channel's first touch takes the write
+	// lock.
+	owned map[string]int
+}
+
+// Compile-time check.
+var _ Backend = (*ShardedBackend)(nil)
+
+// NewSharded builds a sharded backend over the given shards. Shard order is
+// part of the topology: the same shard list (by position) yields the same
+// channel routing on every construction.
+func NewSharded(shards []Backend) (*ShardedBackend, error) {
+	if len(shards) == 0 {
+		return nil, ErrNoShards
+	}
+	for i, s := range shards {
+		if s == nil {
+			return nil, fmt.Errorf("%w: shard %d is nil", ErrNoShards, i)
+		}
+	}
+	sb := &ShardedBackend{
+		shards: append([]Backend(nil), shards...),
+		ring:   make([]ringPoint, 0, len(shards)*vnodesPerShard),
+		stats:  make([]shardCounters, len(shards)),
+		pins:   make(map[string]int),
+		owned:  make(map[string]int),
+	}
+	for i := range sb.shards {
+		for v := 0; v < vnodesPerShard; v++ {
+			sb.ring = append(sb.ring, ringPoint{
+				hash:  ringHash(fmt.Sprintf("shard-%d#vnode-%d", i, v)),
+				shard: i,
+			})
+		}
+	}
+	sort.Slice(sb.ring, func(a, b int) bool { return sb.ring[a].hash < sb.ring[b].hash })
+	return sb, nil
+}
+
+// ringHash is the ring's hash function: FNV-1a pushed through a 64-bit
+// avalanche finalizer. Raw FNV clusters inputs that differ only in a few
+// trailing bytes — exactly what channel and vnode names look like — which
+// collapses the ring into contiguous single-shard arcs; the finalizer
+// spreads them. Deterministic across processes, so a topology routes
+// identically on every node that builds it.
+func ringHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Shards returns the number of shards in the topology.
+func (sb *ShardedBackend) Shards() int { return len(sb.shards) }
+
+// Shard returns the backend at a shard index, for tests and topology
+// inspection.
+func (sb *ShardedBackend) Shard(i int) (Backend, error) {
+	if i < 0 || i >= len(sb.shards) {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadShard, i, len(sb.shards))
+	}
+	return sb.shards[i], nil
+}
+
+// Pin routes a channel to an explicit shard, overriding the hash ring —
+// the relief valve for hot channels that should own a shard (or for
+// keeping related channels co-located). Pins must be installed before the
+// channel carries traffic: pinning a channel that already submitted or
+// subscribed on a different shard is refused, because its block chain (or
+// its pending transactions) would fork across shards.
+func (sb *ShardedBackend) Pin(channel string, shard int) error {
+	if shard < 0 || shard >= len(sb.shards) {
+		return fmt.Errorf("%w: pin %q to %d of %d", ErrBadShard, channel, shard, len(sb.shards))
+	}
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if cur, ok := sb.owned[channel]; ok && cur != shard {
+		return fmt.Errorf("%w: %q lives on shard %d, pin wants %d", ErrChannelMoved, channel, cur, shard)
+	}
+	// Ownership is only established by traffic (route), so a mistaken pin
+	// can still be corrected freely before the channel's first
+	// Submit/Subscribe.
+	sb.pins[channel] = shard
+	return nil
+}
+
+// ShardFor reports the shard a channel routes to — its recorded owner,
+// else its pin, else the ring — without recording ownership; inspection
+// never turns a would-be route into channel history.
+func (sb *ShardedBackend) ShardFor(channel string) int {
+	i, _ := sb.resolve(channel)
+	return i
+}
+
+// resolve returns the channel's routing shard and whether that ownership
+// is already on record.
+func (sb *ShardedBackend) resolve(channel string) (int, bool) {
+	sb.mu.RLock()
+	defer sb.mu.RUnlock()
+	if i, ok := sb.owned[channel]; ok {
+		return i, true
+	}
+	if i, ok := sb.pins[channel]; ok {
+		return i, false
+	}
+	return sb.hashShard(channel), false
+}
+
+// hashShard maps a channel onto the ring: the first point at or after the
+// channel's hash.
+func (sb *ShardedBackend) hashShard(channel string) int {
+	h := ringHash(channel)
+	i := sort.Search(len(sb.ring), func(i int) bool { return sb.ring[i].hash >= h })
+	if i == len(sb.ring) {
+		i = 0
+	}
+	return sb.ring[i].shard
+}
+
+// adopt records channel ownership — the fact a later Pin must not fork —
+// and returns the owner on record (an earlier racer's claim wins, which
+// resolve's determinism makes the same shard in supported usage).
+func (sb *ShardedBackend) adopt(channel string, shard int) int {
+	sb.mu.Lock()
+	defer sb.mu.Unlock()
+	if cur, ok := sb.owned[channel]; ok {
+		return cur
+	}
+	sb.owned[channel] = shard
+	return shard
+}
+
+// Submit implements Backend: the transaction is routed to its channel's
+// owning shard. Ownership is recorded only once a submission is accepted,
+// so a channel whose only traffic was rejected can still be pinned.
+func (sb *ShardedBackend) Submit(tx ledger.Transaction) error {
+	i, owned := sb.resolve(tx.Channel)
+	if err := sb.shards[i].Submit(tx); err != nil {
+		return fmt.Errorf("shard %d: %w", i, err)
+	}
+	if !owned {
+		sb.adopt(tx.Channel, i)
+	}
+	sb.stats[i].routedTxs.Add(1)
+	return nil
+}
+
+// Subscribe implements Backend: the subscription fans out to the channel's
+// owning shard, with deliveries counted against it. Subscribing IS channel
+// history — blocks will be cut on this shard — so ownership is recorded
+// immediately.
+func (sb *ShardedBackend) Subscribe(channel string, deliver DeliverFunc) {
+	i, owned := sb.resolve(channel)
+	if !owned {
+		i = sb.adopt(channel, i)
+	}
+	st := &sb.stats[i]
+	sb.shards[i].Subscribe(channel, func(b ledger.Block) error {
+		if err := deliver(b); err != nil {
+			return err
+		}
+		st.delivered.Add(1)
+		return nil
+	})
+}
+
+// Operators implements Backend: the union of every shard's operators, in
+// shard order, deduplicated.
+func (sb *ShardedBackend) Operators() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range sb.shards {
+		for _, op := range s.Operators() {
+			if !seen[op] {
+				seen[op] = true
+				out = append(out, op)
+			}
+		}
+	}
+	return out
+}
+
+// Stats snapshots per-shard routing counters, indexed by shard.
+func (sb *ShardedBackend) Stats() []ShardStats {
+	pinned := make([]int, len(sb.shards))
+	sb.mu.RLock()
+	for _, shard := range sb.pins {
+		pinned[shard]++
+	}
+	sb.mu.RUnlock()
+	out := make([]ShardStats, len(sb.shards))
+	for i := range sb.shards {
+		out[i] = ShardStats{
+			Shard:           i,
+			Operators:       sb.shards[i].Operators(),
+			RoutedTxs:       sb.stats[i].routedTxs.Load(),
+			DeliveredBlocks: sb.stats[i].delivered.Load(),
+			PinnedChannels:  pinned[i],
+		}
+	}
+	return out
+}
