@@ -5,10 +5,14 @@
 // -> batch), which orders them across a sharded ordering tier and commits
 // every block to all three platform backends. Channels are partitioned
 // over the ordering shards by consistent hashing, with the first channel
-// pinned to shard 0 to show the hot-channel pin table. It prints
-// per-stage, per-backend, per-shard, and session counters, and the
-// leakage matrix showing that neither the gateway operator nor any
-// envelope-visibility shard operator saw transaction data.
+// pinned to shard 0 to show the hot-channel pin table. The CA's
+// revocation plane is wired through (-revokecheck): revoking a member's
+// certificate mid-run evicts its live session and rotates the channel
+// data-key epoch so the revoked member cannot open later envelopes. It
+// prints per-stage, per-backend, per-shard, session, and revocation
+// counters, and the leakage matrix showing that neither the gateway
+// operator nor any envelope-visibility shard operator saw transaction
+// data.
 package main
 
 import (
@@ -40,14 +44,15 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	shards := flag.Int("shards", 2, "ordering shards behind the gateway")
 	channels := flag.Int("channels", 2, "channels to spread trades across")
+	revokeCheck := flag.String("revokecheck", "resolve", "session revocation check mode: off, resolve, or sweep")
 	flag.Parse()
-	if err := run(*trades, *batch, *seed, *shards, *channels); err != nil {
+	if err := run(*trades, *batch, *seed, *shards, *channels, *revokeCheck); err != nil {
 		fmt.Fprintln(os.Stderr, "gateway:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nTrades, batchSize int, seed int64, nShards, nChannels int) error {
+func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck string) error {
 	if nShards < 1 || nChannels < 1 {
 		return fmt.Errorf("need at least 1 shard and 1 channel, got %d/%d", nShards, nChannels)
 	}
@@ -111,9 +116,16 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int) error {
 	// seal, and the encrypt key cache amortizes the per-member hybrid wrap
 	// across each epoch. Shards/ShardPins declare the ordering topology,
 	// checked against the backend at construction.
+	sessionParams := map[string]string{
+		"ttl": "10m", "idle": "2m", "maxperprincipal": "4",
+		"revokecheck": revokeCheck,
+	}
+	if revokeCheck == "sweep" {
+		sessionParams["revokesweep"] = "30s"
+	}
 	cfg := middleware.Config{
 		Stages: []middleware.StageConfig{
-			{Name: middleware.StageSession, Params: map[string]string{"ttl": "10m", "idle": "2m", "maxperprincipal": "4"}},
+			{Name: middleware.StageSession, Params: sessionParams},
 			{Name: middleware.StageAuthn},
 			{Name: middleware.StageRateLimit, Params: map[string]string{"rate": "5000", "burst": "5000"}},
 			{Name: middleware.StageEncrypt, Params: map[string]string{"keyttl": "5m"}},
@@ -133,6 +145,7 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int) error {
 		CAKey:     ca.PublicKey(),
 		Directory: dir,
 		Log:       log,
+		Revoker:   ca, // the CA pushes revocations straight into the gateway
 	}
 	gw, err := middleware.NewGateway("gw", cfg, env, orderer)
 	if err != nil {
@@ -202,9 +215,10 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int) error {
 	}
 	w.Flush()
 	if stats.Sessions != nil {
-		fmt.Printf("\nsessions: %d live, %d opened, %d expired, %d evicted; key epochs rotated: %d\n",
+		fmt.Printf("\nsessions: %d live, %d opened, %d expired, %d evicted, %d revoked; key epochs rotated: %d (%d by revocation); revocation sweeps: %d\n",
 			stats.Sessions.Live, stats.Sessions.Opened, stats.Sessions.Expired,
-			stats.Sessions.Evicted, stats.KeyEpochsRotated)
+			stats.Sessions.Evicted, stats.Sessions.Revoked,
+			stats.KeyEpochsRotated, stats.KeyEpochsRevokedRotations, stats.RevocationSweeps)
 	}
 
 	fmt.Println("\nleakage (who saw transaction data?):")
@@ -249,7 +263,51 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int) error {
 	}
 	fmt.Println("forged session token rejected with ErrNoSession")
 
-	// Sessions closed; their tokens die with them.
+	// Mid-run revocation: the CA withdraws the last member's certificate.
+	// The push subscription evicts its live session, and the encrypt stage
+	// drops it from every channel's next key epoch.
+	if revokeCheck != "off" {
+		revoked := members[len(members)-1]
+		epochBefore := gw.Stats().KeyEpochsRotated
+		ca.Revoke(certs[revoked].Serial)
+		late := &middleware.Request{
+			Channel:      channels[0],
+			Principal:    revoked,
+			Payload:      []byte("post-revocation"),
+			SessionToken: tokens[revoked],
+		}
+		if err := middleware.SignRequest(late, keys[revoked]); err != nil {
+			return err
+		}
+		if _, err := middleware.SubmitOver(net, revoked, "gateway", late); !errors.Is(err, middleware.ErrSessionRevoked) {
+			return fmt.Errorf("revoked member's submission was not rejected: %v", err)
+		}
+		fmt.Printf("revoked %s mid-run: session evicted, next submission rejected with ErrSessionRevoked\n", revoked)
+		// A surviving member's next submission re-keys the channel: the
+		// fresh epoch is not wrapped to the revoked member.
+		fresh := &middleware.Request{
+			Channel:      channels[0],
+			Principal:    members[0],
+			Payload:      []byte("post-revocation re-key"),
+			SessionToken: tokens[members[0]],
+		}
+		if err := middleware.SignRequest(fresh, keys[members[0]]); err != nil {
+			return err
+		}
+		if _, err := middleware.SubmitOver(net, members[0], "gateway", fresh); err != nil {
+			return fmt.Errorf("surviving member submit after revocation: %v", err)
+		}
+		if err := gw.Flush(context.Background()); err != nil {
+			return err
+		}
+		post := gw.Stats()
+		fmt.Printf("revocation invalidated %d cached channel keys; %d fresh epoch installed on the resubmitted channel; %d sessions revoked, %d sweeps\n",
+			post.KeyEpochsRevokedRotations, post.KeyEpochsRotated-epochBefore,
+			post.SessionsRevoked, post.RevocationSweeps)
+	}
+
+	// Sessions closed; their tokens die with them (closing the revoked
+	// member's already-evicted token is an idempotent no-op).
 	for _, m := range members {
 		if err := middleware.CloseSessionOver(net, m, "gateway", tokens[m]); err != nil {
 			return err

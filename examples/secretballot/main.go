@@ -5,10 +5,18 @@
 // channel through the middleware gateway over a persistent session, so the
 // ballot result itself stays sealed from the gateway and orderer operators
 // instead of being hand-appended to a shared ledger in plaintext.
+//
+// The run also demonstrates the revocation plane mid-ballot: after the
+// preliminary tally is committed, one member's certificate is revoked. Its
+// live session is evicted (the late submission fails with
+// ErrSessionRevoked), and the ratified tally is sealed under a fresh key
+// epoch the revoked member cannot open — trust withdrawal reaches both the
+// session cache and the channel keys, not just new handshakes.
 package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
@@ -105,7 +113,7 @@ func run() error {
 	log := audit.NewLog()
 	orderer := ordering.New("orderer-op", ordering.VisibilityEnvelope, ordering.WithAuditLog(log))
 	cfg := middleware.Config{Stages: []middleware.StageConfig{
-		{Name: middleware.StageSession, Params: map[string]string{"ttl": "10m", "idle": "2m"}},
+		{Name: middleware.StageSession, Params: map[string]string{"ttl": "10m", "idle": "2m", "revokecheck": "resolve"}},
 		{Name: middleware.StageEncrypt, Params: map[string]string{"keyttl": "5m"}},
 		{Name: middleware.StageAudit, Params: map[string]string{"observer": "gateway-op"}},
 	}}
@@ -113,6 +121,7 @@ func run() error {
 		CAKey:     ca.PublicKey(),
 		Directory: middleware.StaticDirectory{"governance": memberKeys},
 		Log:       log,
+		Revoker:   ca, // revocations push straight into sessions and key epochs
 	}
 	gw, err := middleware.NewGateway("gov-gw", cfg, env, orderer)
 	if err != nil {
@@ -129,19 +138,27 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	req := &middleware.Request{
-		Channel:      "governance",
-		Principal:    "BankA",
-		Payload:      []byte("ballot: admit NewMember, yes=" + strconv.Itoa(yes)),
-		SessionToken: grant.Token,
-	}
-	if err := middleware.SignRequest(req, keys["BankA"]); err != nil {
+	// Logistics keeps its own session open too — the one the revocation
+	// below must kill.
+	logGrant, err := middleware.OpenSessionOver(net, "Logistics", "gateway", certs["Logistics"], keys["Logistics"])
+	if err != nil {
 		return err
 	}
-	if _, err := middleware.SubmitOver(net, "BankA", "gateway", req); err != nil {
+	submit := func(who, payload, token string) error {
+		req := &middleware.Request{
+			Channel:      "governance",
+			Principal:    who,
+			Payload:      []byte(payload),
+			SessionToken: token,
+		}
+		if err := middleware.SignRequest(req, keys[who]); err != nil {
+			return err
+		}
+		_, err := middleware.SubmitOver(net, who, "gateway", req)
 		return err
 	}
-	if err := middleware.CloseSessionOver(net, "BankA", "gateway", grant.Token); err != nil {
+	preliminary := "ballot: admit NewMember, yes=" + strconv.Itoa(yes)
+	if err := submit("BankA", preliminary, grant.Token); err != nil {
 		return err
 	}
 
@@ -158,13 +175,58 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("member %s cannot open the tally: %w", m, err)
 		}
-		want := "ballot: admit NewMember, yes=" + strconv.Itoa(yes)
-		if string(plain) != want {
+		if string(plain) != preliminary {
 			return fmt.Errorf("member %s read %q", m, plain)
 		}
 	}
 	fmt.Printf("committed tally via gateway session: all %d members read %d yes votes\n",
 		len(members), yes)
+
+	// Mid-ballot revocation: Logistics' certificate is withdrawn before
+	// ratification. The CA's push reaches the gateway at once — the live
+	// session dies, and the governance channel re-keys without Logistics.
+	ca.Revoke(certs["Logistics"].Serial)
+	if err := submit("Logistics", "late objection", logGrant.Token); !errors.Is(err, middleware.ErrSessionRevoked) {
+		return fmt.Errorf("revoked member's late submission = %v, want ErrSessionRevoked", err)
+	}
+	fmt.Println("mid-ballot revocation: Logistics' session evicted, late submission rejected")
+
+	ratified := "ballot ratified: admit NewMember, yes=" + strconv.Itoa(yes)
+	if err := submit("BankA", ratified, grant.Token); err != nil {
+		return err
+	}
+	if len(v.payloads) != 2 {
+		return fmt.Errorf("vault holds %d payloads, want 2", len(v.payloads))
+	}
+	final, err := middleware.ParseEnvelope(v.payloads[1])
+	if err != nil {
+		return err
+	}
+	if final.Epoch <= envl.Epoch {
+		return fmt.Errorf("ratified tally epoch %d did not advance past %d", final.Epoch, envl.Epoch)
+	}
+	if _, err := middleware.OpenEnvelope(final, "Logistics", keys["Logistics"]); !errors.Is(err, middleware.ErrNotRecipient) {
+		return fmt.Errorf("revoked member opened the ratified tally: %v", err)
+	}
+	for _, m := range members {
+		if m == "Logistics" {
+			continue
+		}
+		plain, err := middleware.OpenEnvelope(final, m, keys[m])
+		if err != nil || string(plain) != ratified {
+			return fmt.Errorf("member %s read %q, %v", m, plain, err)
+		}
+	}
+	fmt.Printf("ratified tally sealed under epoch %d: %d remaining members can open it, the revoked member cannot\n",
+		final.Epoch, len(members)-1)
+
+	if err := middleware.CloseSessionOver(net, "BankA", "gateway", grant.Token); err != nil {
+		return err
+	}
+	// Closing the revoked member's already-evicted session is a no-op.
+	if err := middleware.CloseSessionOver(net, "Logistics", "gateway", logGrant.Token); err != nil {
+		return err
+	}
 
 	// The operators saw ciphertext and metadata, never the tally.
 	for _, op := range []string{"gateway-op", "orderer-op"} {

@@ -140,10 +140,16 @@ func ParseSignature(b []byte) (Signature, error) {
 }
 
 // Verify checks sig over msg against the public key. It returns
-// ErrInvalidSignature on mismatch.
+// ErrInvalidSignature on mismatch. A signature with nil components — the
+// zero Signature, or one JSON-decoded from a hostile wire message — is
+// invalid, not a panic: this is the single chokepoint every network-facing
+// decode path (gateway.submit, session.open) funnels through.
 func (pk PublicKey) Verify(msg []byte, sig Signature) error {
 	if pk.X == nil || pk.Y == nil {
 		return ErrInvalidPublicKey
+	}
+	if sig.R == nil || sig.S == nil {
+		return ErrInvalidSignature
 	}
 	pub := ecdsa.PublicKey{Curve: curve(), X: pk.X, Y: pk.Y}
 	digest := sha256.Sum256(msg)

@@ -168,3 +168,26 @@ func TestSignVerifyProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestVerifyRejectsNilSignatureComponents(t *testing.T) {
+	key, err := GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("payload")
+	good, err := key.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zero Signature and half-nil forms model what a hostile wire
+	// message JSON-decodes to; they must be invalid, never a panic.
+	for _, sig := range []Signature{
+		{},
+		{R: good.R},
+		{S: good.S},
+	} {
+		if err := key.Public().Verify(msg, sig); !errors.Is(err, ErrInvalidSignature) {
+			t.Fatalf("Verify(nil-component sig) = %v, want ErrInvalidSignature", err)
+		}
+	}
+}

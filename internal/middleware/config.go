@@ -31,7 +31,11 @@ var ErrBadConfig = errors.New("middleware: invalid pipeline configuration")
 //
 //	session    — ttl (duration, default 10m), idle (duration, default 2m),
 //	             maxperprincipal (default 0 = unlimited; > 0 caps live
-//	             sessions per principal, evicting the oldest on overflow)
+//	             sessions per principal, evicting the oldest on overflow),
+//	             revokecheck (off|resolve|sweep, default off; anything but
+//	             off requires Env.Revoker), revokesweep (duration, default
+//	             30s; the sweep-mode interval, only valid with
+//	             revokecheck=sweep)
 //	authn      — (no parameters)
 //	encrypt    — keyttl (duration, default 0 = fresh data key per request;
 //	             > 0 caches the wrapped channel key per epoch; members come
@@ -71,6 +75,12 @@ type Env struct {
 	// Sessions overrides the session stage's manager; when nil the stage
 	// builds its own from CAKey and the ttl/idle parameters.
 	Sessions *SessionManager
+	// Revoker is the revocation plane (session revocation checks, envelope
+	// member exclusion, the gateway's revocation.notify topic). Required
+	// when the session stage sets revokecheck to anything but "off". A
+	// RevocationSource here is subscribed by the gateway so revocations
+	// propagate on push.
+	Revoker Revoker
 	// Directory resolves channel membership keys (encrypt).
 	Directory Directory
 	// Log receives leakage observations (audit).
@@ -239,6 +249,14 @@ func buildStage(sc StageConfig, env Env) (Stage, error) {
 	switch sc.Name {
 	case StageSession:
 		mgr := env.Sessions
+		if mgr != nil && len(sc.Params) > 0 {
+			// An injected manager carries its own ttl/idle/cap/revocation
+			// setup; a knob that would be silently ignored here is a
+			// misconfiguration, not a default.
+			for key := range sc.Params {
+				return nil, fmt.Errorf("stage %s: param %s conflicts with Env.Sessions — configure the injected manager at construction instead", sc.Name, key)
+			}
+		}
 		if mgr == nil {
 			if env.CAKey.IsZero() {
 				return nil, fmt.Errorf("stage %s: Env.CAKey is required", sc.Name)
@@ -246,13 +264,31 @@ func buildStage(sc StageConfig, env Env) (Stage, error) {
 			ttl := p.duration("ttl", 10*time.Minute)
 			idle := p.duration("idle", 2*time.Minute)
 			maxPer := p.intVal("maxperprincipal", 0)
+			mode, merr := ParseRevokeCheckMode(p.str("revokecheck", "off"))
+			if merr != nil {
+				return nil, fmt.Errorf("stage %s: %v", sc.Name, merr)
+			}
+			sweepEvery := p.duration("revokesweep", 0)
 			if p.err != nil {
 				return nil, p.err
 			}
 			if maxPer < 0 {
 				return nil, fmt.Errorf("stage %s: maxperprincipal must be >= 0, got %d", sc.Name, maxPer)
 			}
-			mgr, err = NewSessionManager(env.CAKey, ttl, idle, env.Now, WithMaxPerPrincipal(maxPer))
+			if mode != RevokeCheckOff && env.Revoker == nil {
+				return nil, fmt.Errorf("stage %s: revokecheck=%v needs Env.Revoker", sc.Name, mode)
+			}
+			if _, set := sc.Params["revokesweep"]; set {
+				if mode != RevokeCheckSweep {
+					return nil, fmt.Errorf("stage %s: revokesweep is only valid with revokecheck=sweep, got revokecheck=%v", sc.Name, mode)
+				}
+				if sweepEvery <= 0 {
+					return nil, fmt.Errorf("stage %s: revokesweep must be positive, got %v", sc.Name, sweepEvery)
+				}
+			}
+			mgr, err = NewSessionManager(env.CAKey, ttl, idle, env.Now,
+				WithMaxPerPrincipal(maxPer),
+				WithRevocationChecks(env.Revoker, mode, sweepEvery))
 			if err != nil {
 				return nil, err
 			}
@@ -264,7 +300,14 @@ func buildStage(sc StageConfig, env Env) (Stage, error) {
 		}
 		s = NewAuthn(env.CAKey, env.Now)
 	case StageEncrypt:
-		if ttl := p.duration("keyttl", 0); ttl > 0 {
+		ttl := p.duration("keyttl", 0)
+		if p.err != nil {
+			return nil, p.err
+		}
+		if ttl < 0 {
+			return nil, fmt.Errorf("stage %s: keyttl must be >= 0, got %v (0 disables the key cache)", sc.Name, ttl)
+		}
+		if ttl > 0 {
 			s, err = NewCachedEncrypt(env.Directory, ttl, env.Now)
 		} else {
 			s, err = NewEncrypt(env.Directory)

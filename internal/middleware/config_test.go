@@ -2,10 +2,13 @@ package middleware
 
 import (
 	"errors"
+	"strings"
 	"testing"
+	"time"
 
 	"dltprivacy/internal/audit"
 	"dltprivacy/internal/dcrypto"
+	"dltprivacy/internal/pki"
 )
 
 func testEnv(t *testing.T) Env {
@@ -119,5 +122,139 @@ func TestConfigRejectsMissingDependencies(t *testing.T) {
 	noLog.Log = nil
 	if _, err := stageList(StageAudit).Build(noLog, nil); !errors.Is(err, ErrBadConfig) {
 		t.Fatalf("audit without log = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestConfigParamMatrix is the table covering every stage's parameter
+// parsing: each rejected case asserts both the ErrBadConfig wrap and the
+// operator-facing rejection message, each accepted case must build.
+func TestConfigParamMatrix(t *testing.T) {
+	session := func(params map[string]string) Config {
+		return Config{Stages: []StageConfig{{Name: StageSession, Params: params}}}
+	}
+	one := func(name string, params map[string]string) Config {
+		return Config{Stages: []StageConfig{{Name: name, Params: params}}}
+	}
+	encrypt := func(params map[string]string) Config {
+		return Config{Stages: []StageConfig{
+			{Name: StageAuthn},
+			{Name: StageEncrypt, Params: params},
+		}}
+	}
+	revEnv := testEnv(t)
+	ca, err := pki.NewCA("matrix-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	revEnv.Revoker = ca
+	rejected := []struct {
+		name    string
+		cfg     Config
+		env     *Env // nil: the plain test env
+		wantMsg string
+	}{
+		// session
+		{"session ttl not a duration", session(map[string]string{"ttl": "soon"}), nil, `ttl="soon" is not a duration`},
+		{"session ttl zero", session(map[string]string{"ttl": "0s"}), nil, "ttl and idle must be positive"},
+		{"session idle not a duration", session(map[string]string{"idle": "later"}), nil, `idle="later" is not a duration`},
+		{"session idle negative", session(map[string]string{"idle": "-1m"}), nil, "ttl and idle must be positive"},
+		{"session maxperprincipal not an integer", session(map[string]string{"maxperprincipal": "few"}), nil, `maxperprincipal="few" is not an integer`},
+		{"session maxperprincipal negative", session(map[string]string{"maxperprincipal": "-2"}), nil, "maxperprincipal must be >= 0"},
+		{"session revokecheck unknown", session(map[string]string{"revokecheck": "eventually"}), nil, `unknown revocation check mode "eventually"`},
+		{"session revokecheck without revoker", session(map[string]string{"revokecheck": "resolve"}), nil, "needs Env.Revoker"},
+		{"session revokesweep without sweep mode", session(map[string]string{"revokesweep": "30s"}), nil, "only valid with revokecheck=sweep"},
+		{"session revokesweep with resolve mode", session(map[string]string{"revokecheck": "resolve", "revokesweep": "30s"}), &revEnv, "only valid with revokecheck=sweep"},
+		{"session revokesweep not a duration", session(map[string]string{"revokecheck": "sweep", "revokesweep": "often"}), &revEnv, `revokesweep="often" is not a duration`},
+		{"session revokesweep zero", session(map[string]string{"revokecheck": "sweep", "revokesweep": "0s"}), &revEnv, "revokesweep must be positive"},
+		// encrypt
+		{"encrypt keyttl not a duration", encrypt(map[string]string{"keyttl": "soon"}), nil, `keyttl="soon" is not a duration`},
+		{"encrypt keyttl negative", encrypt(map[string]string{"keyttl": "-5m"}), nil, "keyttl must be >= 0"},
+		// ratelimit
+		{"ratelimit rate not a number", one(StageRateLimit, map[string]string{"rate": "fast"}), nil, `rate="fast" is not a number`},
+		{"ratelimit rate zero", one(StageRateLimit, map[string]string{"rate": "0"}), nil, "needs rate > 0"},
+		{"ratelimit burst zero", one(StageRateLimit, map[string]string{"burst": "0"}), nil, "burst >= 1"},
+		// retry
+		{"retry attempts not an integer", one(StageRetry, map[string]string{"attempts": "some"}), nil, `attempts="some" is not an integer`},
+		{"retry attempts zero", one(StageRetry, map[string]string{"attempts": "0"}), nil, "attempts >= 1"},
+		{"retry backoff not a duration", one(StageRetry, map[string]string{"backoff": "soon"}), nil, `backoff="soon" is not a duration`},
+		{"retry backoff negative", one(StageRetry, map[string]string{"backoff": "-1ms"}), nil, "backoff must be non-negative"},
+		// breaker
+		{"breaker threshold not an integer", one(StageBreaker, map[string]string{"threshold": "low"}), nil, `threshold="low" is not an integer`},
+		{"breaker threshold zero", one(StageBreaker, map[string]string{"threshold": "0"}), nil, "threshold >= 1"},
+		{"breaker cooldown not a duration", one(StageBreaker, map[string]string{"cooldown": "while"}), nil, `cooldown="while" is not a duration`},
+		{"breaker cooldown zero", one(StageBreaker, map[string]string{"cooldown": "0s"}), nil, "cooldown > 0"},
+		// batch
+		{"batch size not an integer", one(StageBatch, map[string]string{"size": "many"}), nil, `size="many" is not an integer`},
+		{"batch size zero", one(StageBatch, map[string]string{"size": "0"}), nil, "size >= 1"},
+	}
+	for _, tc := range rejected {
+		t.Run(tc.name, func(t *testing.T) {
+			env := testEnv(t)
+			if tc.env != nil {
+				env = *tc.env
+			}
+			_, err := tc.cfg.Build(env, nil)
+			if !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("Build = %v, want ErrBadConfig", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("rejection %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+
+	accepted := []struct {
+		name string
+		cfg  Config
+		env  Env
+	}{
+		{"session defaults", session(nil), testEnv(t)},
+		{"session full params", session(map[string]string{
+			"ttl": "1h", "idle": "5m", "maxperprincipal": "8",
+		}), testEnv(t)},
+		{"session revokecheck off without revoker", session(map[string]string{"revokecheck": "off"}), testEnv(t)},
+		{"session revokecheck resolve", session(map[string]string{"revokecheck": "resolve"}), revEnv},
+		{"session revokecheck sweep with interval", session(map[string]string{
+			"revokecheck": "sweep", "revokesweep": "45s",
+		}), revEnv},
+		{"encrypt cached", encrypt(map[string]string{"keyttl": "10m"}), testEnv(t)},
+		{"ratelimit fractional", one(StageRateLimit, map[string]string{"rate": "0.5", "burst": "1"}), testEnv(t)},
+		{"retry zero backoff", one(StageRetry, map[string]string{"attempts": "1", "backoff": "0s"}), testEnv(t)},
+	}
+	for _, tc := range accepted {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.cfg.Build(tc.env, nil); err != nil {
+				t.Fatalf("valid config rejected: %v", err)
+			}
+		})
+	}
+}
+
+// TestConfigRejectsRevocationParamsWithInjectedManager pins the rule that
+// a declared security control is never silently ignored: revokecheck /
+// revokesweep on the session stage conflict with an Env.Sessions override
+// (whose revocation setup is fixed at manager construction).
+func TestConfigRejectsRevocationParamsWithInjectedManager(t *testing.T) {
+	env := testEnv(t)
+	mgr, err := NewSessionManager(env.CAKey, time.Hour, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Sessions = mgr
+	for _, params := range []map[string]string{
+		{"revokecheck": "resolve"},
+		{"revokecheck": "off"},
+		{"revokesweep": "30s"},
+	} {
+		cfg := Config{Stages: []StageConfig{{Name: StageSession, Params: params}}}
+		_, err := cfg.Build(env, nil)
+		if !errors.Is(err, ErrBadConfig) || !strings.Contains(err.Error(), "conflicts with Env.Sessions") {
+			t.Fatalf("params %v with injected manager = %v, want conflict rejection", params, err)
+		}
+	}
+	// Without the conflicting params the injected manager still works.
+	cfg := Config{Stages: []StageConfig{{Name: StageSession}}}
+	if _, err := cfg.Build(env, nil); err != nil {
+		t.Fatalf("injected manager rejected: %v", err)
 	}
 }

@@ -82,6 +82,64 @@
 // on an explicit Encrypt.Rotate / Gateway.RotateChannelKey call (e.g.
 // after a revocation). Envelopes record their epoch.
 //
+// # Revocation
+//
+// Amortizing authentication into sessions and key wraps into epochs opens
+// a window: by default, trust decisions outlive the certificates they were
+// rooted in. The revocation plane closes it. Env.Revoker connects the
+// pipeline to a revocation authority (pki.CA implements it: a monotonic
+// revocation epoch, a RevokedSince delta read, an IsRevoked point query,
+// and — as a RevocationSource — an OnRevoke push hook the gateway
+// subscribes to at construction and releases on Gateway.Close, so a
+// gateway shorter-lived than its CA does not leak the subscription).
+//
+// The session stage declares its checking strategy with the "revokecheck"
+// parameter, validated at Build like every other knob:
+//
+//   - "off" (default): sessions are never checked; a revoked certificate's
+//     session lives until TTL/idle expiry.
+//   - "resolve": every token resolution probes the revoker's version (one
+//     lock-free load while nothing changes) and applies the delta when it
+//     moved — revocation is enforced on the very next request, at a
+//     measured ~1-5% of the session hot path (BenchmarkGatewayRevokeCheck,
+//     held by the CI bench gate).
+//   - "sweep": resolutions stay revoker-free; the delta is applied every
+//     "revokesweep" (default 30s) and on push/admin notification — a
+//     bounded staleness window instead of a per-request probe.
+//
+// Guarantees, in any checking mode but "off": opening a session with a
+// revoked certificate fails with ErrSessionRevoked; a session whose
+// certificate is revoked is evicted at the next delta application
+// (instantly under a push-capable revoker), and its token answers
+// ErrSessionRevoked — distinct from ErrNoSession and ErrSessionExpired, so
+// clients can tell trust withdrawal from ordinary eviction — until the
+// session's original expiry, after which the tombstone decays. Eviction is
+// serial-exact: revoking a superseded certificate does not kill sessions
+// rooted in its replacement. An explicit session.close always degrades the
+// token to unknown, tombstone included, and closing an already-evicted
+// token is an idempotent no-op with no counter skew.
+//
+// Envelope encryption follows the same plane independently of the session
+// mode: when the gateway learns of an identity-certificate revocation (push
+// from a RevocationSource, the revocation.notify admin topic, or a direct
+// SyncRevocations call), the revoked identity is excluded from every
+// member set before sealing and every cached channel key wrapped to it is
+// invalidated, so the channel's next submission installs a fresh epoch the
+// revoked member cannot unwrap. The revocation.notify topic carries no
+// authority — it only triggers a pull from the configured Revoker — so it
+// needs no authentication; its reply reports the epoch reached and the
+// sessions evicted. Each revocation lands in the audit log as a
+// ClassIdentity observation by the gateway operator
+// ("revoked:<identity>#<serial>@<epoch>"), and GatewayStats exposes
+// SessionsRevoked, KeyEpochsRevokedRotations, and RevocationSweeps.
+//
+// Routine key rotation is not a withdrawal: when the revoked serial was
+// already superseded by a re-enrollment (pki.Revocation.Superseded), the
+// identity keeps its envelope membership — only sessions rooted in the old
+// certificate die. An identity revoked outright and later re-enrolled is
+// restored with Gateway.ReadmitMember, which lifts the envelope exclusion
+// and lets its channels re-key to include it on their next submission.
+//
 // # Sharded ordering topologies
 //
 // A single ordering node bounds aggregate throughput: every channel's

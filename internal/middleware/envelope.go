@@ -132,9 +132,20 @@ type Encrypt struct {
 	mu     sync.Mutex
 	keys   map[string]*channelKey
 	epochs map[string]uint64 // next epoch per channel; survives rotation
+	// excluded holds identities whose certificates were revoked: they are
+	// dropped from every member set before sealing, so no envelope after
+	// the revocation wraps a key they can unwrap. exclGen counts
+	// exclusions, letting channelKeyFor detect a revocation that raced its
+	// out-of-lock key wrap and discard the stale wrap instead of
+	// installing it. Guarded by mu.
+	excluded map[string]bool
+	exclGen  uint64
 	// rotations counts fresh-epoch installs across all channels (a
-	// channel's first epoch included), guarded by mu.
-	rotations uint64
+	// channel's first epoch included), guarded by mu. revokedRotations
+	// counts cached keys invalidated because a wrapped member was revoked
+	// (each forces a fresh epoch on the channel's next seal).
+	rotations        uint64
+	revokedRotations uint64
 }
 
 // channelKey is one cached (channel, epoch) data-key generation.
@@ -192,6 +203,92 @@ func (e *Encrypt) Rotate(channel string) {
 	e.mu.Unlock()
 }
 
+// RevokeMember excludes an identity from all future envelopes: its key is
+// dropped from every member set before sealing, and every cached channel
+// key it could unwrap is invalidated so the channel's next submission
+// installs a fresh epoch the revoked member cannot open. Works with or
+// without a key cache (without one, exclusion alone suffices: every
+// request already uses a throwaway key). Idempotent.
+func (e *Encrypt) RevokeMember(identity string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.excluded[identity] {
+		return
+	}
+	if e.excluded == nil {
+		e.excluded = make(map[string]bool)
+	}
+	e.excluded[identity] = true
+	e.exclGen++
+	if e.keyTTL <= 0 {
+		return
+	}
+	for channel, ck := range e.keys {
+		if _, wrapped := ck.wrapped[identity]; wrapped {
+			delete(e.keys, channel)
+			e.revokedRotations++
+		}
+	}
+}
+
+// ReadmitMember lifts a RevokeMember exclusion — the path back for an
+// identity revoked outright and later re-enrolled under a fresh
+// certificate. Channels re-key automatically: with the member back in the
+// effective set, the next seal sees a fingerprint mismatch and installs a
+// fresh epoch wrapped to it. Idempotent; a no-op for identities never
+// excluded. (A rotation-flow revocation of a superseded certificate never
+// excludes the identity in the first place.)
+func (e *Encrypt) ReadmitMember(identity string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.excluded[identity] {
+		return
+	}
+	delete(e.excluded, identity)
+	e.exclGen++
+}
+
+// RevokedRotations reports how many cached channel keys were invalidated
+// because a wrapped member was revoked; each invalidation forces a fresh
+// epoch on that channel's next submission.
+func (e *Encrypt) RevokedRotations() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.revokedRotations
+}
+
+// effectiveMembers drops excluded (revoked) identities from the channel
+// member set. The common no-revocations case returns the input map
+// unchanged, alloc-free.
+func (e *Encrypt) effectiveMembers(members map[string]dcrypto.PublicKey) map[string]dcrypto.PublicKey {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.effectiveMembersLocked(members)
+}
+
+// effectiveMembersLocked is effectiveMembers with the lock already held.
+func (e *Encrypt) effectiveMembersLocked(members map[string]dcrypto.PublicKey) map[string]dcrypto.PublicKey {
+	if len(e.excluded) == 0 {
+		return members
+	}
+	trimmed := members
+	copied := false
+	for id := range members {
+		if !e.excluded[id] {
+			continue
+		}
+		if !copied {
+			trimmed = make(map[string]dcrypto.PublicKey, len(members))
+			for mid, key := range members {
+				trimmed[mid] = key
+			}
+			copied = true
+		}
+		delete(trimmed, id)
+	}
+	return trimmed
+}
+
 // Epoch reports the current data-key epoch for a channel (0 when no cached
 // key exists yet or the cache is disabled).
 func (e *Encrypt) Epoch(channel string) uint64 {
@@ -236,52 +333,79 @@ func memberFingerprint(members map[string]dcrypto.PublicKey) [32]byte {
 
 // channelKeyFor returns the live cached key for the channel and member
 // set, rotating onto a fresh epoch when the cache is empty, expired, or
-// wrapped to a different membership. The expensive per-member wrap runs
-// outside the lock so a rotation on one channel never stalls sealing on
-// others; racing rotators are resolved by a double-checked install (the
-// loser's freshly wrapped key is discarded).
+// wrapped to a different membership. Revoked members are dropped from the
+// set under the same lock that guards the cache, and a revocation racing
+// the out-of-lock wrap is caught by the exclusion-generation re-check at
+// install time — a stale wrap is discarded and redone, never cached, so a
+// just-revoked member can never be smuggled into a fresh epoch. The
+// expensive per-member wrap runs outside the lock so a rotation on one
+// channel never stalls sealing on others; racing rotators are resolved by
+// a double-checked install (the loser's freshly wrapped key is discarded).
 func (e *Encrypt) channelKeyFor(channel string, members map[string]dcrypto.PublicKey) (*channelKey, error) {
 	now := e.now()
-	fp := memberFingerprint(members)
-	live := func(ck *channelKey) bool {
-		return ck != nil && ck.members == fp && !now.After(ck.expiresAt)
-	}
-	e.mu.Lock()
-	if ck := e.keys[channel]; live(ck) {
+	for {
+		// Snapshot the exclusion state, then fingerprint outside the lock:
+		// the O(n log n) sort-and-hash of the member set must not sit in
+		// the critical section every seal on every channel shares. The
+		// generation re-checks below invalidate the snapshot if a
+		// revocation lands meanwhile.
+		e.mu.Lock()
+		gen := e.exclGen
+		sealable := e.effectiveMembersLocked(members)
+		e.mu.Unlock()
+		fp := memberFingerprint(sealable)
+		live := func(ck *channelKey) bool {
+			return ck != nil && ck.members == fp && !now.After(ck.expiresAt)
+		}
+
+		e.mu.Lock()
+		if e.exclGen != gen {
+			e.mu.Unlock()
+			continue
+		}
+		if ck := e.keys[channel]; live(ck) {
+			e.mu.Unlock()
+			return ck, nil
+		}
+		e.mu.Unlock()
+
+		dataKey, err := dcrypto.NewSymmetricKey()
+		if err != nil {
+			return nil, fmt.Errorf("middleware: data key: %w", err)
+		}
+		wrapped := make(map[string]dcrypto.HybridCiphertext, len(sealable))
+		for id, pub := range sealable {
+			w, err := dcrypto.EncryptHybrid(pub, dataKey, envelopeAD(channel))
+			if err != nil {
+				return nil, fmt.Errorf("middleware: wrap key for %s: %w", id, err)
+			}
+			wrapped[id] = w
+		}
+
+		e.mu.Lock()
+		if e.exclGen != gen {
+			// A revocation landed while we wrapped: our member snapshot may
+			// include the newly revoked identity. Re-snapshot and re-wrap.
+			e.mu.Unlock()
+			continue
+		}
+		if ck := e.keys[channel]; live(ck) {
+			e.mu.Unlock()
+			return ck, nil
+		}
+		e.epochs[channel]++
+		e.rotations++
+		ck := &channelKey{
+			epoch:     e.epochs[channel],
+			dataKey:   dataKey,
+			wrapped:   wrapped,
+			members:   fp,
+			expiresAt: now.Add(e.keyTTL),
+		}
+		e.keys[channel] = ck
 		e.mu.Unlock()
 		return ck, nil
 	}
-	e.mu.Unlock()
-
-	dataKey, err := dcrypto.NewSymmetricKey()
-	if err != nil {
-		return nil, fmt.Errorf("middleware: data key: %w", err)
-	}
-	wrapped := make(map[string]dcrypto.HybridCiphertext, len(members))
-	for id, pub := range members {
-		w, err := dcrypto.EncryptHybrid(pub, dataKey, envelopeAD(channel))
-		if err != nil {
-			return nil, fmt.Errorf("middleware: wrap key for %s: %w", id, err)
-		}
-		wrapped[id] = w
-	}
-
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if ck := e.keys[channel]; live(ck) {
-		return ck, nil
-	}
-	e.epochs[channel]++
-	e.rotations++
-	ck := &channelKey{
-		epoch:     e.epochs[channel],
-		dataKey:   dataKey,
-		wrapped:   wrapped,
-		members:   fp,
-		expiresAt: now.Add(e.keyTTL),
-	}
-	e.keys[channel] = ck
-	return ck, nil
 }
 
 // Handle implements Stage.
@@ -295,6 +419,8 @@ func (e *Encrypt) Handle(ctx context.Context, req *Request, next Handler) error 
 	}
 	var env Envelope
 	if e.keyTTL > 0 {
+		// channelKeyFor applies the revocation exclusions itself, under the
+		// cache lock, so a racing RevokeMember cannot poison a fresh epoch.
 		ck, err := e.channelKeyFor(req.Channel, members)
 		if err != nil {
 			return err
@@ -311,7 +437,7 @@ func (e *Encrypt) Handle(ctx context.Context, req *Request, next Handler) error 
 			Keys:       ck.wrapped,
 		}
 	} else {
-		env, err = SealEnvelope(req.Channel, req.Payload, members)
+		env, err = SealEnvelope(req.Channel, req.Payload, e.effectiveMembers(members))
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dltprivacy/internal/audit"
 	"dltprivacy/internal/dcrypto"
 	"dltprivacy/internal/ledger"
 	"dltprivacy/internal/ordering"
@@ -24,7 +25,24 @@ const (
 	TopicSessionOpen = "session.open"
 	// TopicSessionClose carries a session token to end.
 	TopicSessionClose = "session.close"
+	// TopicRevocationNotify is the admin topic signalling that the
+	// revocation plane moved: the gateway pulls the delta from its
+	// configured Revoker and applies it (session eviction, envelope member
+	// exclusion). The payload is ignored; the notification carries no
+	// authority of its own — all trust decisions come from the Revoker —
+	// so it needs no authentication. The reply is a marshalled
+	// RevocationNotice.
+	TopicRevocationNotify = "revocation.notify"
 )
+
+// RevocationNotice is the reply to a revocation.notify request: what the
+// triggered sync did.
+type RevocationNotice struct {
+	// Epoch is the revocation epoch the gateway is now synced to.
+	Epoch uint64 `json:"epoch"`
+	// SessionsRevoked is how many sessions this sync evicted.
+	SessionsRevoked int `json:"sessionsRevoked"`
+}
 
 // Gateway fronts the platform backends: every submission runs through the
 // configured chain, the terminal handler turns it into a ledger
@@ -39,10 +57,22 @@ type Gateway struct {
 	// unsharded deployments; Stats snapshots per-shard counters from it.
 	sharded *ordering.ShardedBackend
 	now     func() time.Time
+	// revoker is the revocation plane SyncRevocations pulls deltas from;
+	// nil when the deployment runs without one. auditLog receives the
+	// revocation audit trail (may be nil).
+	revoker  Revoker
+	auditLog *audit.Log
 
 	submitted atomic.Uint64 // requests accepted by the chain
 	ordered   atomic.Uint64 // transactions handed to the orderer
 	rejected  atomic.Uint64 // requests refused by any stage
+
+	revMu    sync.Mutex // serializes SyncRevocations' delta cursor
+	revEpoch uint64     // last revocation epoch applied to the encrypt stage
+	sweeps   atomic.Uint64
+	// unsubscribe detaches the RevocationSource push subscription; set at
+	// construction, consumed by Close. Guarded by revMu.
+	unsubscribe func()
 
 	mu       sync.Mutex
 	backends map[string][]Backend       // channel -> bound adapters
@@ -86,6 +116,18 @@ type GatewayStats struct {
 	// KeyEpochsRotated counts the encrypt stage's data-key epoch installs;
 	// 0 when the pipeline has no encrypt stage or no key cache.
 	KeyEpochsRotated uint64
+	// SessionsRevoked counts sessions evicted because their certificate
+	// was revoked (a view of Sessions.Revoked, surfaced beside the other
+	// revocation counters).
+	SessionsRevoked uint64
+	// KeyEpochsRevokedRotations counts cached channel data keys the
+	// encrypt stage invalidated because a wrapped member was revoked; each
+	// forces a fresh epoch the revoked member cannot unwrap.
+	KeyEpochsRevokedRotations uint64
+	// RevocationSweeps counts revocation syncs the gateway ran (push
+	// notifications from a RevocationSource plus revocation.notify admin
+	// requests plus direct SyncRevocations calls).
+	RevocationSweeps uint64
 }
 
 // NewGateway builds the configured chain and fronts it with the ordering
@@ -123,6 +165,8 @@ func NewGateway(name string, cfg Config, env Env, orderer ordering.Backend) (*Ga
 		orderer:  orderer,
 		sharded:  sharded,
 		now:      env.Now,
+		revoker:  env.Revoker,
+		auditLog: env.Log,
 		backends: make(map[string][]Backend),
 		bound:    make(map[string]map[string]bool),
 		commits:  make(map[string]*backendCounters),
@@ -132,7 +176,92 @@ func NewGateway(name string, cfg Config, env Env, orderer ordering.Backend) (*Ga
 		return nil, err
 	}
 	g.chain = chain
+	// A push-capable revocation plane drives the gateway directly: every
+	// Revoke lands as a sync, so sessions die and key epochs rotate without
+	// waiting for a sweep interval or an admin notification. Close detaches
+	// the subscription; gateways shorter-lived than their revocation source
+	// must be closed or the source keeps pushing into them forever.
+	if src, ok := g.revoker.(RevocationSource); ok {
+		g.unsubscribe = src.OnRevoke(func(pki.Revocation) { g.SyncRevocations() })
+	}
 	return g, nil
+}
+
+// Close releases the gateway's push subscription on its revocation source,
+// if any. Idempotent; the gateway still serves traffic afterwards, it just
+// stops receiving revocation pushes (sweep intervals and revocation.notify
+// keep working).
+func (g *Gateway) Close() {
+	g.revMu.Lock()
+	unsub := g.unsubscribe
+	g.unsubscribe = nil
+	g.revMu.Unlock()
+	if unsub != nil {
+		unsub()
+	}
+}
+
+// SyncRevocations pulls the revocation delta from the configured Revoker
+// and applies it across the gateway: newly revoked identity certificates
+// are excluded from envelope encryption (invalidating any cached channel
+// key they could unwrap), the session manager sweeps sessions rooted in
+// revoked certificates, and the revocation trail lands in the audit log.
+// It returns how many sessions were evicted. Trivial without a Revoker.
+// Safe for concurrent use; it is invoked by RevocationSource pushes, the
+// revocation.notify admin topic, and directly by embedders.
+func (g *Gateway) SyncRevocations() int {
+	if g.revoker == nil {
+		return 0
+	}
+	// revMu is held across the whole application, not just the cursor
+	// advance: a concurrent sync must not observe the new epoch while the
+	// encrypt exclusions for it are still pending, or its empty-delta
+	// reply would claim a revocation is applied that is not. All the work
+	// is in-memory, so the critical section stays cheap.
+	g.revMu.Lock()
+	defer g.revMu.Unlock()
+	revs, version := g.revoker.RevokedSince(g.revEpoch)
+	g.revEpoch = version
+	enc, _ := g.chain.stage(StageEncrypt).(*Encrypt)
+	for _, rev := range revs {
+		// Only a revocation that withdraws the identity's standing excludes
+		// it from envelopes: one-time certs never carried channel
+		// membership, and a superseded-cert revocation (the key-rotation
+		// flow: re-enroll, then revoke the old serial) withdraws one
+		// certificate while the identity remains a member in good standing.
+		if enc != nil && rev.Kind == pki.KindIdentity && rev.Identity != "" && !rev.Superseded {
+			enc.RevokeMember(rev.Identity)
+		}
+		// The audit trail records that the gateway operator learned of the
+		// revocation: who lost trust and at which epoch.
+		g.auditLog.Record(g.name, audit.ClassIdentity,
+			fmt.Sprintf("revoked:%s#%d@%d", rev.Identity, rev.Serial, rev.Epoch))
+	}
+	evicted := 0
+	if mgr := g.Sessions(); mgr != nil {
+		evicted = mgr.SweepRevoked()
+	}
+	g.sweeps.Add(1)
+	return evicted
+}
+
+// ReadmitMember lifts the envelope exclusion of a previously revoked
+// identity — the operator path for an identity revoked outright and later
+// re-enrolled under a fresh certificate (its channels re-key to include it
+// on their next submission). A no-op without an encrypt stage or for
+// identities never excluded.
+func (g *Gateway) ReadmitMember(identity string) {
+	if e, ok := g.chain.stage(StageEncrypt).(*Encrypt); ok && e != nil {
+		e.ReadmitMember(identity)
+	}
+}
+
+// RevocationEpoch reports the last revocation epoch SyncRevocations
+// applied.
+func (g *Gateway) RevocationEpoch() uint64 {
+	g.revMu.Lock()
+	defer g.revMu.Unlock()
+	return g.revEpoch
 }
 
 // Name returns the gateway's principal name.
@@ -253,10 +382,13 @@ func (g *Gateway) Stats() GatewayStats {
 	if mgr := g.Sessions(); mgr != nil {
 		ss := mgr.Stats()
 		stats.Sessions = &ss
+		stats.SessionsRevoked = ss.Revoked
 	}
 	if e, ok := g.chain.stage(StageEncrypt).(*Encrypt); ok && e != nil {
 		stats.KeyEpochsRotated = e.Rotations()
+		stats.KeyEpochsRevokedRotations = e.RevokedRotations()
 	}
+	stats.RevocationSweeps = g.sweeps.Load()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for name, ctr := range g.commits {
@@ -363,6 +495,16 @@ func (g *Gateway) AttachTransport(ctx context.Context, net *transport.Network, e
 			}
 			mgr.Close(string(msg.Payload))
 			return []byte("ok"), nil
+		case TopicRevocationNotify:
+			if g.revoker == nil {
+				return nil, fmt.Errorf("gateway %s: no revocation plane configured", g.name)
+			}
+			evicted := g.SyncRevocations()
+			b, err := json.Marshal(RevocationNotice{Epoch: g.RevocationEpoch(), SessionsRevoked: evicted})
+			if err != nil {
+				return nil, fmt.Errorf("gateway %s: encode revocation notice: %w", g.name, err)
+			}
+			return b, nil
 		default:
 			return nil, fmt.Errorf("gateway %s: unknown topic %q", g.name, msg.Topic)
 		}
@@ -423,4 +565,20 @@ func OpenSessionOver(net *transport.Network, from, endpoint string, cert pki.Cer
 func CloseSessionOver(net *transport.Network, from, endpoint, token string) error {
 	_, err := net.Send(transport.Message{From: from, To: endpoint, Topic: TopicSessionClose, Payload: []byte(token)})
 	return err
+}
+
+// NotifyRevocationOver tells a gateway endpoint that the revocation plane
+// moved; the gateway pulls and applies the delta and reports what it did.
+// The path for deployments whose CA runs out of process, where the
+// in-process push subscription cannot reach.
+func NotifyRevocationOver(net *transport.Network, from, endpoint string) (RevocationNotice, error) {
+	reply, err := net.Send(transport.Message{From: from, To: endpoint, Topic: TopicRevocationNotify})
+	if err != nil {
+		return RevocationNotice{}, err
+	}
+	var notice RevocationNotice
+	if err := json.Unmarshal(reply, &notice); err != nil {
+		return RevocationNotice{}, fmt.Errorf("middleware: decode revocation notice: %w", err)
+	}
+	return notice, nil
 }

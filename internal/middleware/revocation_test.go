@@ -1,0 +1,822 @@
+package middleware
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dltprivacy/internal/audit"
+	"dltprivacy/internal/dcrypto"
+	"dltprivacy/internal/ledger"
+	"dltprivacy/internal/ordering"
+	"dltprivacy/internal/pki"
+	"dltprivacy/internal/transport"
+)
+
+// pullRevoker hides a CA's push hook, modelling an out-of-process CA the
+// gateway can only poll: deltas reach it via sweeps and revocation.notify,
+// never via subscription.
+type pullRevoker struct{ ca *pki.CA }
+
+func (p pullRevoker) RevocationVersion() uint64 { return p.ca.RevocationVersion() }
+
+func (p pullRevoker) RevokedSince(epoch uint64) ([]pki.Revocation, uint64) {
+	return p.ca.RevokedSince(epoch)
+}
+
+func (p pullRevoker) IsRevoked(serial uint64) bool { return p.ca.IsRevoked(serial) }
+
+// revocableManager builds a manager with revocation checks over a fresh
+// CA-backed consortium.
+func revocableManager(t *testing.T, clock *fakeClock, mode RevokeCheckMode, sweepEvery time.Duration, names ...string) (*pki.CA, map[string]*principal, *SessionManager) {
+	t.Helper()
+	ca, ps := enrollAt(t, clock.now, names...)
+	mgr, err := NewSessionManager(ca.PublicKey(), 10*time.Minute, 2*time.Minute, clock.now,
+		WithRevocationChecks(pullRevoker{ca}, mode, sweepEvery))
+	if err != nil {
+		t.Fatalf("NewSessionManager: %v", err)
+	}
+	return ca, ps, mgr
+}
+
+func TestRevocationResolveModeEvictsMidSession(t *testing.T) {
+	clock := newFakeClock()
+	ca, ps, mgr := revocableManager(t, clock, RevokeCheckResolve, 0, "alice", "bob")
+	stage, err := NewSession(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain((&accept{}).handler, stage)
+	submit := func(p *principal, token string) error {
+		return chain.Execute(context.Background(), sessionRequest(t, p, token, "deals", []byte("x")))
+	}
+
+	alice := openSession(t, mgr, ps["alice"])
+	bob := openSession(t, mgr, ps["bob"])
+	if err := submit(ps["alice"], alice.Token); err != nil {
+		t.Fatalf("pre-revocation submit: %v", err)
+	}
+
+	// Revocation is observed on the very next resolve: no sweep, no
+	// notification, just the version probe.
+	ca.Revoke(ps["alice"].cert.Serial)
+	if err := submit(ps["alice"], alice.Token); !errors.Is(err, ErrSessionRevoked) {
+		t.Fatalf("post-revocation submit = %v, want ErrSessionRevoked", err)
+	}
+	// The error is stable across retries, not a one-shot.
+	if err := submit(ps["alice"], alice.Token); !errors.Is(err, ErrSessionRevoked) {
+		t.Fatalf("second post-revocation submit = %v, want ErrSessionRevoked", err)
+	}
+	// An unrevoked principal is untouched.
+	if err := submit(ps["bob"], bob.Token); err != nil {
+		t.Fatalf("unrevoked principal submit: %v", err)
+	}
+	stats := mgr.Stats()
+	if stats.Revoked != 1 || stats.Live != 1 {
+		t.Fatalf("stats = %+v, want 1 revoked / 1 live", stats)
+	}
+	if stats.Expired != 0 || stats.Evicted != 0 {
+		t.Fatalf("revocation leaked into other counters: %+v", stats)
+	}
+
+	// A revoked certificate cannot root a fresh session either.
+	hello, err := NewSessionHelloAt("alice", ps["alice"].cert, ps["alice"].key, clock.now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Open(hello); !errors.Is(err, ErrSessionRevoked) {
+		t.Fatalf("open with revoked cert = %v, want ErrSessionRevoked", err)
+	}
+
+	// Once the session's original expiry passes, the tombstone decays to
+	// an ordinary unknown token.
+	clock.advance(11 * time.Minute)
+	if err := submit(ps["alice"], alice.Token); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("decayed tombstone = %v, want ErrNoSession", err)
+	}
+}
+
+func TestRevocationSweepModeInterval(t *testing.T) {
+	clock := newFakeClock()
+	ca, ps, mgr := revocableManager(t, clock, RevokeCheckSweep, time.Minute, "alice")
+	stage, err := NewSession(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain((&accept{}).handler, stage)
+	submit := func(token string) error {
+		return chain.Execute(context.Background(), sessionRequest(t, ps["alice"], token, "deals", []byte("x")))
+	}
+
+	grant := openSession(t, mgr, ps["alice"])
+	ca.Revoke(ps["alice"].cert.Serial)
+
+	// Inside the sweep interval the resolve path does not consult the
+	// revoker: the documented staleness window of sweep mode.
+	if err := submit(grant.Token); err != nil {
+		t.Fatalf("submit inside sweep window: %v", err)
+	}
+	// Once the interval elapses, the next resolve applies the delta.
+	clock.advance(time.Minute)
+	if err := submit(grant.Token); !errors.Is(err, ErrSessionRevoked) {
+		t.Fatalf("submit after sweep interval = %v, want ErrSessionRevoked", err)
+	}
+	if got := mgr.Stats().Revoked; got != 1 {
+		t.Fatalf("revoked counter = %d, want 1", got)
+	}
+}
+
+func TestRevocationSweepModeNotified(t *testing.T) {
+	clock := newFakeClock()
+	ca, ps, mgr := revocableManager(t, clock, RevokeCheckSweep, time.Hour, "alice")
+	stage, err := NewSession(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain((&accept{}).handler, stage)
+
+	grant := openSession(t, mgr, ps["alice"])
+	ca.Revoke(ps["alice"].cert.Serial)
+	// The push path: a notified sweep applies the delta immediately, hours
+	// before the interval would.
+	if n := mgr.SweepRevoked(); n != 1 {
+		t.Fatalf("SweepRevoked = %d, want 1", n)
+	}
+	err = chain.Execute(context.Background(), sessionRequest(t, ps["alice"], grant.Token, "deals", []byte("x")))
+	if !errors.Is(err, ErrSessionRevoked) {
+		t.Fatalf("submit after notified sweep = %v, want ErrSessionRevoked", err)
+	}
+}
+
+func TestRevocationOffModeIgnoresRevoker(t *testing.T) {
+	clock := newFakeClock()
+	ca, ps := enrollAt(t, clock.now, "alice")
+	mgr := mustManager(t, ca, 10*time.Minute, 2*time.Minute, clock.now)
+	stage, err := NewSession(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain((&accept{}).handler, stage)
+
+	grant := openSession(t, mgr, ps["alice"])
+	ca.Revoke(ps["alice"].cert.Serial)
+	// Pre-revocation-plane behavior: the session outlives the revocation
+	// until TTL/idle expiry. This is what revokecheck=off buys (nothing).
+	err = chain.Execute(context.Background(), sessionRequest(t, ps["alice"], grant.Token, "deals", []byte("x")))
+	if err != nil {
+		t.Fatalf("off-mode submit after revocation: %v", err)
+	}
+	if mgr.SweepRevoked() != 0 {
+		t.Fatal("off-mode manager must sweep trivially")
+	}
+}
+
+// TestRevocationNewerCertSurvivesOldSerialRevocation pins the serial-exact
+// eviction semantics: revoking a principal's superseded certificate must
+// not kill sessions rooted in its replacement.
+func TestRevocationNewerCertSurvivesOldSerialRevocation(t *testing.T) {
+	clock := newFakeClock()
+	ca, ps, mgr := revocableManager(t, clock, RevokeCheckResolve, 0, "alice")
+	oldCert := ps["alice"].cert
+	renewed, err := ca.Enroll("alice", ps["alice"].key.Public())
+	if err != nil {
+		t.Fatalf("re-enroll: %v", err)
+	}
+	ps["alice"].cert = renewed
+	grant := openSession(t, mgr, ps["alice"])
+
+	ca.Revoke(oldCert.Serial)
+	stage, err := NewSession(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain((&accept{}).handler, stage)
+	err = chain.Execute(context.Background(), sessionRequest(t, ps["alice"], grant.Token, "deals", []byte("x")))
+	if err != nil {
+		t.Fatalf("session under renewed cert evicted by old serial: %v", err)
+	}
+	if got := mgr.Stats().Revoked; got != 0 {
+		t.Fatalf("revoked counter = %d, want 0", got)
+	}
+}
+
+// revocableGatewayConfig is the full revocation-aware pipeline the e2e
+// tests drive over transport.
+func revocableGatewayConfig(mode string) Config {
+	params := map[string]string{"ttl": "10m", "idle": "5m", "revokecheck": mode}
+	if mode == "sweep" {
+		params["revokesweep"] = "1m"
+	}
+	return Config{Stages: []StageConfig{
+		{Name: StageSession, Params: params},
+		{Name: StageAuthn},
+		{Name: StageEncrypt, Params: map[string]string{"keyttl": "5m"}},
+		{Name: StageAudit, Params: map[string]string{"observer": "gateway-op"}},
+	}}
+}
+
+// TestGatewayRevocationEndToEnd runs the whole plane over transport in
+// both checking modes: a CA revocation pushes through the gateway into
+// session eviction, key-epoch rotation, audit trail, and stats — and the
+// revoked member cannot open post-revocation envelopes.
+func TestGatewayRevocationEndToEnd(t *testing.T) {
+	for _, mode := range []string{"resolve", "sweep"} {
+		t.Run(mode, func(t *testing.T) {
+			clock := newFakeClock()
+			ca, ps := enrollAt(t, clock.now, "alice", "bob", "carol")
+			memberKeys := map[string]dcrypto.PublicKey{
+				"alice": ps["alice"].key.Public(),
+				"bob":   ps["bob"].key.Public(),
+				"carol": ps["carol"].key.Public(),
+			}
+			log := audit.NewLog()
+			orderer := ordering.New("orderer-op", ordering.VisibilityEnvelope, ordering.WithAuditLog(log))
+			env := Env{
+				CAKey:     ca.PublicKey(),
+				Directory: StaticDirectory{"deals": memberKeys},
+				Log:       log,
+				Now:       clock.now,
+				Revoker:   ca, // a RevocationSource: the gateway subscribes
+			}
+			gw, err := NewGateway("gw", revocableGatewayConfig(mode), env, orderer)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vault := &payloadVault{}
+			gw.Bind("deals", vault)
+			net := transport.New()
+			if err := gw.AttachTransport(context.Background(), net, "gateway"); err != nil {
+				t.Fatal(err)
+			}
+
+			grants := make(map[string]SessionGrant)
+			for _, name := range []string{"alice", "bob"} {
+				grant, err := openSessionOverAt(t, net, "gateway", ps[name], clock.now())
+				if err != nil {
+					t.Fatalf("open session for %s: %v", name, err)
+				}
+				grants[name] = grant
+			}
+
+			// Pre-revocation: bob is a recipient of epoch-1 envelopes.
+			req := sessionRequest(t, ps["alice"], grants["alice"].Token, "deals", []byte("pre-revocation"))
+			if _, err := SubmitOver(net, "alice", "gateway", req); err != nil {
+				t.Fatalf("pre-revocation submit: %v", err)
+			}
+			envl := vault.parse(t, 0)
+			if envl.Epoch != 1 {
+				t.Fatalf("pre-revocation epoch = %d, want 1", envl.Epoch)
+			}
+			if _, err := OpenEnvelope(envl, "bob", ps["bob"].key); err != nil {
+				t.Fatalf("bob cannot open pre-revocation envelope: %v", err)
+			}
+
+			// Revoke bob mid-session. The CA pushes, the gateway syncs.
+			ca.Revoke(ps["bob"].cert.Serial)
+
+			// Bob's next request dies with the distinct revocation error in
+			// both modes (the push subscription sweeps immediately; the
+			// sweep interval is only the fallback).
+			bobReq := sessionRequest(t, ps["bob"], grants["bob"].Token, "deals", []byte("x"))
+			if _, err := SubmitOver(net, "bob", "gateway", bobReq); !errors.Is(err, ErrSessionRevoked) {
+				t.Fatalf("revoked principal submit = %v, want ErrSessionRevoked", err)
+			}
+			// Bob cannot re-open a session with the revoked certificate.
+			if _, err := openSessionOverAt(t, net, "gateway", ps["bob"], clock.now()); !errors.Is(err, ErrSessionRevoked) {
+				t.Fatalf("revoked principal re-open = %v, want ErrSessionRevoked", err)
+			}
+
+			// Alice's next envelope rides a fresh epoch bob cannot unwrap.
+			req = sessionRequest(t, ps["alice"], grants["alice"].Token, "deals", []byte("post-revocation"))
+			if _, err := SubmitOver(net, "alice", "gateway", req); err != nil {
+				t.Fatalf("post-revocation submit: %v", err)
+			}
+			envl = vault.parse(t, 1)
+			if envl.Epoch != 2 {
+				t.Fatalf("post-revocation epoch = %d, want 2", envl.Epoch)
+			}
+			if _, err := OpenEnvelope(envl, "bob", ps["bob"].key); !errors.Is(err, ErrNotRecipient) {
+				t.Fatalf("revoked member opened post-revocation envelope: %v", err)
+			}
+			for _, name := range []string{"alice", "carol"} {
+				got, err := OpenEnvelope(envl, name, ps[name].key)
+				if err != nil || string(got) != "post-revocation" {
+					t.Fatalf("surviving member %s read %q, %v", name, got, err)
+				}
+			}
+
+			// Counters and audit trail agree with what happened.
+			stats := gw.Stats()
+			if stats.SessionsRevoked != 1 {
+				t.Fatalf("SessionsRevoked = %d, want 1", stats.SessionsRevoked)
+			}
+			if stats.KeyEpochsRevokedRotations != 1 {
+				t.Fatalf("KeyEpochsRevokedRotations = %d, want 1", stats.KeyEpochsRevokedRotations)
+			}
+			if stats.RevocationSweeps == 0 {
+				t.Fatal("RevocationSweeps = 0, want at least the push sync")
+			}
+			if !log.Saw("gw", audit.ClassIdentity, fmt.Sprintf("revoked:bob#%d@1", ps["bob"].cert.Serial)) {
+				t.Fatalf("audit log missing the revocation trail; saw %v",
+					log.ItemsSeen("gw", audit.ClassIdentity))
+			}
+		})
+	}
+}
+
+// TestGatewayRevocationNotifyTopic exercises the pull path: a gateway
+// whose revoker cannot push learns about revocations from the admin topic.
+func TestGatewayRevocationNotifyTopic(t *testing.T) {
+	clock := newFakeClock()
+	ca, ps := enrollAt(t, clock.now, "alice", "bob")
+	memberKeys := map[string]dcrypto.PublicKey{
+		"alice": ps["alice"].key.Public(),
+		"bob":   ps["bob"].key.Public(),
+	}
+	env := Env{
+		CAKey:     ca.PublicKey(),
+		Directory: StaticDirectory{"deals": memberKeys},
+		Log:       audit.NewLog(),
+		Now:       clock.now,
+		Revoker:   pullRevoker{ca}, // no push hook: notify is the only channel
+	}
+	orderer := ordering.New("orderer-op", ordering.VisibilityEnvelope)
+	gw, err := NewGateway("gw", revocableGatewayConfig("sweep"), env, orderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Bind("deals", &countingBackend{})
+	net := transport.New()
+	if err := gw.AttachTransport(context.Background(), net, "gateway"); err != nil {
+		t.Fatal(err)
+	}
+
+	grant, err := openSessionOverAt(t, net, "gateway", ps["bob"], clock.now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.Revoke(ps["bob"].cert.Serial)
+
+	// Without push and inside the sweep interval, the gateway has not
+	// noticed yet.
+	req := sessionRequest(t, ps["bob"], grant.Token, "deals", []byte("x"))
+	if _, err := SubmitOver(net, "bob", "gateway", req); err != nil {
+		t.Fatalf("submit before notify: %v", err)
+	}
+
+	notice, err := NotifyRevocationOver(net, "ca-admin", "gateway")
+	if err != nil {
+		t.Fatalf("NotifyRevocationOver: %v", err)
+	}
+	if notice.SessionsRevoked != 1 || notice.Epoch != 1 {
+		t.Fatalf("notice = %+v, want 1 session revoked at epoch 1", notice)
+	}
+	req = sessionRequest(t, ps["bob"], grant.Token, "deals", []byte("x"))
+	if _, err := SubmitOver(net, "bob", "gateway", req); !errors.Is(err, ErrSessionRevoked) {
+		t.Fatalf("submit after notify = %v, want ErrSessionRevoked", err)
+	}
+	// Idempotent: a second notification finds an empty delta.
+	notice, err = NotifyRevocationOver(net, "ca-admin", "gateway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notice.SessionsRevoked != 0 || notice.Epoch != 1 {
+		t.Fatalf("second notice = %+v, want empty delta at epoch 1", notice)
+	}
+}
+
+// TestRevocationUnderConcurrentSubmitters drives many session submitters
+// while certificates are revoked mid-flight: every request either succeeds
+// or fails with a revocation-family error, and afterwards the revoked
+// principals are locked out while the survivors still work. Run under
+// -race this also proves the sweep/resolve paths are data-race free.
+func TestRevocationUnderConcurrentSubmitters(t *testing.T) {
+	for _, mode := range []RevokeCheckMode{RevokeCheckResolve, RevokeCheckSweep} {
+		t.Run(mode.String(), func(t *testing.T) {
+			clock := newFakeClock()
+			names := []string{"alice", "bob", "carol", "dave"}
+			ca, ps, mgr := revocableManager(t, clock, mode, time.Hour, names...)
+			stage, err := NewSession(mgr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chain := NewChain((&accept{}).handler, stage)
+
+			grants := make(map[string]SessionGrant, len(names))
+			for _, name := range names {
+				grants[name] = openSession(t, mgr, ps[name])
+			}
+
+			const perWorker = 50
+			var wg sync.WaitGroup
+			errs := make(chan error, len(names)*perWorker)
+			for _, name := range names {
+				wg.Add(1)
+				go func(p *principal, token string) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						req := sessionRequest(t, p, token, "deals", []byte{byte(i)})
+						if err := chain.Execute(context.Background(), req); err != nil {
+							errs <- err
+						}
+					}
+				}(ps[name], grants[name].Token)
+			}
+			// Revoke two principals while the submitters run; in sweep mode
+			// push the sweeps concurrently too.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ca.Revoke(ps["alice"].cert.Serial)
+				mgr.SweepRevoked()
+				ca.Revoke(ps["carol"].cert.Serial)
+				mgr.SweepRevoked()
+			}()
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if !errors.Is(err, ErrSessionRevoked) {
+					t.Fatalf("concurrent submitter saw %v, want only ErrSessionRevoked failures", err)
+				}
+			}
+
+			// Post-conditions: revoked out, survivors in, counters exact.
+			for _, name := range []string{"alice", "carol"} {
+				req := sessionRequest(t, ps[name], grants[name].Token, "deals", []byte("x"))
+				if err := chain.Execute(context.Background(), req); !errors.Is(err, ErrSessionRevoked) {
+					t.Fatalf("revoked %s = %v, want ErrSessionRevoked", name, err)
+				}
+			}
+			for _, name := range []string{"bob", "dave"} {
+				req := sessionRequest(t, ps[name], grants[name].Token, "deals", []byte("x"))
+				if err := chain.Execute(context.Background(), req); err != nil {
+					t.Fatalf("surviving %s rejected: %v", name, err)
+				}
+			}
+			stats := mgr.Stats()
+			if stats.Revoked != 2 || stats.Live != 2 {
+				t.Fatalf("stats = %+v, want 2 revoked / 2 live", stats)
+			}
+		})
+	}
+}
+
+// TestSessionCloseIdempotent is the regression test for the session.close
+// gap: closing a token that was already evicted — by expiry, by a
+// revocation sweep, or by a previous close — must succeed silently and
+// must not skew any lifecycle counter.
+func TestSessionCloseIdempotent(t *testing.T) {
+	clock := newFakeClock()
+	ca, ps, mgr := revocableManager(t, clock, RevokeCheckResolve, 0, "alice")
+	stage, err := NewSession(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain((&accept{}).handler, stage)
+	submit := func(token string) error {
+		return chain.Execute(context.Background(), sessionRequest(t, ps["alice"], token, "deals", []byte("x")))
+	}
+
+	// Close of a token that never existed.
+	mgr.Close("no-such-token")
+
+	// Double close of a live session.
+	g1 := openSession(t, mgr, ps["alice"])
+	mgr.Close(g1.Token)
+	mgr.Close(g1.Token)
+
+	// Close after idle eviction: the expiry already counted, close adds
+	// nothing.
+	g2 := openSession(t, mgr, ps["alice"])
+	clock.advance(3 * time.Minute)
+	if err := submit(g2.Token); !errors.Is(err, ErrSessionExpired) {
+		t.Fatalf("idle session = %v, want ErrSessionExpired", err)
+	}
+	mgr.Close(g2.Token)
+
+	// Close after revocation eviction clears the tombstone: the token
+	// degrades to an ordinary unknown one instead of answering
+	// ErrSessionRevoked forever.
+	g3 := openSession(t, mgr, ps["alice"])
+	ca.Revoke(ps["alice"].cert.Serial)
+	if err := submit(g3.Token); !errors.Is(err, ErrSessionRevoked) {
+		t.Fatalf("revoked session = %v, want ErrSessionRevoked", err)
+	}
+	mgr.Close(g3.Token)
+	if err := submit(g3.Token); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("closed tombstone = %v, want ErrNoSession", err)
+	}
+
+	stats := mgr.Stats()
+	if stats.Live != 0 || stats.Opened != 3 || stats.Expired != 1 || stats.Evicted != 0 || stats.Revoked != 1 {
+		t.Fatalf("counters skewed by closes: %+v", stats)
+	}
+}
+
+// TestSessionCloseIdempotentOverTransport covers the wire form of the same
+// gap: session.close for an evicted token replies ok, twice.
+func TestSessionCloseIdempotentOverTransport(t *testing.T) {
+	clock := newFakeClock()
+	ca, ps := enrollAt(t, clock.now, "alice")
+	env := Env{CAKey: ca.PublicKey(), Now: clock.now}
+	orderer := ordering.New("op", ordering.VisibilityFull)
+	gw, err := NewGateway("gw", Config{Stages: []StageConfig{
+		{Name: StageSession, Params: map[string]string{"ttl": "10m", "idle": "2m"}},
+	}}, env, orderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.New()
+	if err := gw.AttachTransport(context.Background(), net, "gateway"); err != nil {
+		t.Fatal(err)
+	}
+	grant, err := openSessionOverAt(t, net, "gateway", ps["alice"], clock.now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := gw.Sessions().Stats()
+	for i := 0; i < 2; i++ {
+		if err := CloseSessionOver(net, "alice", "gateway", grant.Token); err != nil {
+			t.Fatalf("close %d: %v", i+1, err)
+		}
+	}
+	if err := CloseSessionOver(net, "alice", "gateway", "never-issued"); err != nil {
+		t.Fatalf("close of never-issued token: %v", err)
+	}
+	after := gw.Sessions().Stats()
+	if after.Live != 0 || after.Opened != before.Opened ||
+		after.Expired != before.Expired || after.Evicted != before.Evicted || after.Revoked != 0 {
+		t.Fatalf("counters skewed by closes: before %+v, after %+v", before, after)
+	}
+}
+
+// payloadVault collects committed transaction payloads for envelope
+// inspection.
+type payloadVault struct {
+	mu       sync.Mutex
+	payloads [][]byte
+}
+
+func (v *payloadVault) Name() string { return "vault" }
+
+func (v *payloadVault) Commit(b ledger.Block) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for _, tx := range b.Txs {
+		v.payloads = append(v.payloads, tx.Payload)
+	}
+	return nil
+}
+
+func (v *payloadVault) parse(t *testing.T, i int) Envelope {
+	t.Helper()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.payloads) <= i {
+		t.Fatalf("vault holds %d payloads, want index %d", len(v.payloads), i)
+	}
+	envl, err := ParseEnvelope(v.payloads[i])
+	if err != nil {
+		t.Fatalf("ParseEnvelope: %v", err)
+	}
+	return envl
+}
+
+// TestEncryptRevokeMemberRacingSeal hammers the cached encrypt stage with
+// concurrent sealers while members are revoked mid-flight. The invariant
+// under test is install-time exclusion: once RevokeMember returns, every
+// envelope sealed afterwards must exclude the revoked member — a racing
+// key wrap may not smuggle the revoked identity into a fresh cached epoch
+// (channelKeyFor's exclusion-generation re-check). Run under -race this
+// also covers the lock discipline of the retry loop.
+func TestEncryptRevokeMemberRacingSeal(t *testing.T) {
+	clock := newFakeClock()
+	_, ps := enrollAt(t, clock.now, "alice", "bob", "carol")
+	members := map[string]dcrypto.PublicKey{
+		"alice": ps["alice"].key.Public(),
+		"bob":   ps["bob"].key.Public(),
+		"carol": ps["carol"].key.Public(),
+	}
+	enc, err := NewCachedEncrypt(StaticDirectory{"deals": members}, time.Hour, clock.now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain((&accept{}).handler, enc)
+	seal := func() (Envelope, error) {
+		req := &Request{Channel: "deals", Principal: "alice", Payload: []byte("x")}
+		req.authenticated = true
+		if err := chain.Execute(context.Background(), req); err != nil {
+			return Envelope{}, err
+		}
+		return ParseEnvelope(req.Payload)
+	}
+
+	var bobRevoked, carolRevoked atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// Sample the flags BEFORE sealing: if a revocation had
+				// completed by then, the envelope must not include them.
+				bobGone, carolGone := bobRevoked.Load(), carolRevoked.Load()
+				envl, err := seal()
+				if err != nil {
+					t.Errorf("concurrent seal: %v", err)
+					return
+				}
+				if _, ok := envl.Keys["bob"]; ok && bobGone {
+					t.Errorf("envelope sealed after bob's revocation wraps a key for bob (epoch %d)", envl.Epoch)
+					return
+				}
+				if _, ok := envl.Keys["carol"]; ok && carolGone {
+					t.Errorf("envelope sealed after carol's revocation wraps a key for carol (epoch %d)", envl.Epoch)
+					return
+				}
+			}
+		}()
+	}
+	enc.RevokeMember("bob")
+	bobRevoked.Store(true)
+	enc.RevokeMember("carol")
+	carolRevoked.Store(true)
+	wg.Wait()
+
+	// Steady state: only alice remains a recipient.
+	envl, err := seal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(envl.Keys) != 1 {
+		t.Fatalf("post-revocation recipients = %d, want 1 (alice)", len(envl.Keys))
+	}
+	if _, err := OpenEnvelope(envl, "alice", ps["alice"].key); err != nil {
+		t.Fatalf("surviving member cannot open: %v", err)
+	}
+}
+
+// TestGatewayCloseDetachesRevocationPush pins the subscription lifecycle:
+// a closed gateway stops receiving revocation pushes (no sync, no session
+// eviction), while pull paths keep working.
+func TestGatewayCloseDetachesRevocationPush(t *testing.T) {
+	clock := newFakeClock()
+	ca, ps := enrollAt(t, clock.now, "alice")
+	env := Env{CAKey: ca.PublicKey(), Now: clock.now, Revoker: ca}
+	cfg := Config{Stages: []StageConfig{
+		{Name: StageSession, Params: map[string]string{"ttl": "10m", "idle": "5m", "revokecheck": "sweep", "revokesweep": "1h"}},
+	}}
+	gw, err := NewGateway("gw", cfg, env, ordering.New("op", ordering.VisibilityFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	openSession(t, gw.Sessions(), ps["alice"])
+
+	gw.Close()
+	gw.Close() // idempotent
+	ca.Revoke(ps["alice"].cert.Serial)
+	if got := gw.Stats(); got.RevocationSweeps != 0 || got.SessionsRevoked != 0 {
+		t.Fatalf("closed gateway still received the push: %+v", got)
+	}
+	// The pull path is unaffected: a direct sync still applies the delta.
+	if n := gw.SyncRevocations(); n != 1 {
+		t.Fatalf("SyncRevocations after Close = %d, want 1", n)
+	}
+}
+
+// TestSessionOpenRacingRevocation stresses the Open/Revoke interleaving:
+// whatever order a handshake and a revocation sweep land in, no session
+// rooted in the revoked certificate may survive once the sweep has run —
+// an Open that slipped past the unlocked fast-fail must be caught by the
+// in-lock re-check (or evicted by a later sweep), never left resolvable.
+func TestSessionOpenRacingRevocation(t *testing.T) {
+	clock := newFakeClock()
+	for i := 0; i < 60; i++ {
+		name := fmt.Sprintf("org-%d", i)
+		ca, ps, mgr := revocableManager(t, clock, RevokeCheckSweep, time.Hour, name)
+		hello, err := NewSessionHelloAt(name, ps[name].cert, ps[name].key, clock.now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var grant SessionGrant
+		var openErr error
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			grant, openErr = mgr.Open(hello)
+		}()
+		go func() {
+			defer wg.Done()
+			ca.Revoke(ps[name].cert.Serial)
+			mgr.SweepRevoked()
+		}()
+		wg.Wait()
+		// Settle: one more sweep covers the insert-then-revoke order.
+		mgr.SweepRevoked()
+		if openErr != nil {
+			if !errors.Is(openErr, ErrSessionRevoked) {
+				t.Fatalf("iteration %d: Open = %v, want ErrSessionRevoked", i, openErr)
+			}
+			continue
+		}
+		if _, _, err := mgr.resolve(grant.Token); err == nil {
+			t.Fatalf("iteration %d: revoked certificate kept a resolvable session", i)
+		}
+	}
+}
+
+// TestRevocationRotationFlowKeepsEnvelopeMembership pins the
+// superseded-cert semantics end to end: routine key rotation (re-enroll,
+// then revoke the old serial) kills sessions rooted in the old
+// certificate but must NOT exclude the identity from envelopes — and an
+// identity revoked outright can be readmitted after re-enrollment.
+func TestRevocationRotationFlowKeepsEnvelopeMembership(t *testing.T) {
+	clock := newFakeClock()
+	ca, ps := enrollAt(t, clock.now, "alice", "bob")
+	memberKeys := map[string]dcrypto.PublicKey{
+		"alice": ps["alice"].key.Public(),
+		"bob":   ps["bob"].key.Public(),
+	}
+	env := Env{
+		CAKey:     ca.PublicKey(),
+		Directory: StaticDirectory{"deals": memberKeys},
+		Log:       audit.NewLog(),
+		Now:       clock.now,
+		Revoker:   ca,
+	}
+	orderer := ordering.New("orderer-op", ordering.VisibilityEnvelope)
+	gw, err := NewGateway("gw", revocableGatewayConfig("resolve"), env, orderer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vault := &payloadVault{}
+	gw.Bind("deals", vault)
+	net := transport.New()
+	if err := gw.AttachTransport(context.Background(), net, "gateway"); err != nil {
+		t.Fatal(err)
+	}
+	aliceGrant, err := openSessionOverAt(t, net, "gateway", ps["alice"], clock.now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	submit := func(payload string) Envelope {
+		t.Helper()
+		req := sessionRequest(t, ps["alice"], aliceGrant.Token, "deals", []byte(payload))
+		if _, err := SubmitOver(net, "alice", "gateway", req); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		return vault.parse(t, len(vault.payloads)-1)
+	}
+
+	// Rotation: bob re-enrolls, then the CA revokes his old serial. Bob's
+	// old-cert session dies (serial-exact), but he stays an envelope
+	// recipient with no interruption.
+	bobOldGrant, err := openSessionOverAt(t, net, "gateway", ps["bob"], clock.now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldCert := ps["bob"].cert
+	renewed, err := ca.Enroll("bob", ps["bob"].key.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps["bob"].cert = renewed
+	ca.Revoke(oldCert.Serial)
+	stale := sessionRequest(t, ps["bob"], bobOldGrant.Token, "deals", []byte("x"))
+	if _, err := SubmitOver(net, "bob", "gateway", stale); !errors.Is(err, ErrSessionRevoked) {
+		t.Fatalf("old-cert session after rotation = %v, want ErrSessionRevoked", err)
+	}
+	if _, err := openSessionOverAt(t, net, "gateway", ps["bob"], clock.now()); err != nil {
+		t.Fatalf("re-open under renewed cert: %v", err)
+	}
+	envl := submit("post-rotation")
+	if _, err := OpenEnvelope(envl, "bob", ps["bob"].key); err != nil {
+		t.Fatalf("rotated member lost envelope membership: %v", err)
+	}
+
+	// Outright withdrawal: revoking bob's current cert excludes him...
+	ca.Revoke(renewed.Serial)
+	envl = submit("post-withdrawal")
+	if _, err := OpenEnvelope(envl, "bob", ps["bob"].key); !errors.Is(err, ErrNotRecipient) {
+		t.Fatalf("withdrawn member still a recipient: %v", err)
+	}
+	// ...and ReadmitMember brings him back on a fresh epoch after
+	// re-enrollment.
+	prevEpoch := envl.Epoch
+	if _, err := ca.Enroll("bob", ps["bob"].key.Public()); err != nil {
+		t.Fatal(err)
+	}
+	gw.ReadmitMember("bob")
+	envl = submit("post-readmission")
+	if envl.Epoch <= prevEpoch {
+		t.Fatalf("readmission did not re-key: epoch %d -> %d", prevEpoch, envl.Epoch)
+	}
+	if got, err := OpenEnvelope(envl, "bob", ps["bob"].key); err != nil || string(got) != "post-readmission" {
+		t.Fatalf("readmitted member read %q, %v", got, err)
+	}
+}

@@ -29,6 +29,13 @@ var (
 	// within the freshness window: a recorded hello cannot mint a second
 	// token.
 	ErrReplayedHello = errors.New("middleware: session hello replayed")
+	// ErrSessionRevoked is returned when the certificate a session was
+	// opened under has been revoked: the session is evicted, and requests
+	// carrying its token are rejected with this error (not ErrNoSession)
+	// until the token's original expiry, so clients can tell trust
+	// withdrawal from ordinary eviction. Opening a session with an
+	// already-revoked certificate fails the same way.
+	ErrSessionRevoked = errors.New("middleware: session certificate revoked")
 )
 
 // SessionHello is the signed handshake a client sends to open a session:
@@ -94,9 +101,12 @@ const sessionTokenBytes = 32
 
 // session is one established client session: the verified principal and
 // its certified key, cached so subsequent requests skip PKI verification.
+// serial is the certificate the trust was rooted in at Open, the handle
+// revocation checks match against.
 type session struct {
 	principal string
 	key       dcrypto.PublicKey
+	serial    uint64
 	openedAt  time.Time
 	lastUsed  time.Time
 	expiresAt time.Time
@@ -115,6 +125,11 @@ type SessionManager struct {
 	maxPerPrincipal int
 	now             func() time.Time
 
+	// Revocation plane, fixed at construction (WithRevocationChecks).
+	revoker       Revoker
+	revMode       RevokeCheckMode
+	revSweepEvery time.Duration
+
 	mu       sync.Mutex
 	sessions map[string]*session
 	// byPrincipal indexes live session tokens per principal so the
@@ -125,10 +140,21 @@ type SessionManager struct {
 	// closes, so a recorded hello cannot be replayed to mint a second
 	// token. Keyed by nonce hex, valued by forget-after time.
 	seenNonces map[string]time.Time
+	// revokedTokens are tombstones for sessions evicted by revocation:
+	// their tokens answer ErrSessionRevoked (not ErrNoSession) until the
+	// session's original expiry, so a revoked client sees why it was cut
+	// off. Keyed by token, valued by forget-after time. An explicit Close
+	// clears the tombstone.
+	revokedTokens map[string]time.Time
+	// revEpoch is the last revocation epoch applied; lastRevSweep stamps
+	// the last delta application for the sweep-mode interval check.
+	revEpoch     uint64
+	lastRevSweep time.Time
 	// Lifecycle counters, guarded by mu (every transition already holds it).
 	opened  uint64
 	expired uint64
 	evicted uint64
+	revoked uint64
 }
 
 // SessionStats is a snapshot of the manager's lifecycle counters, the
@@ -142,6 +168,9 @@ type SessionStats struct {
 	Expired uint64
 	// Evicted counts sessions displaced by the per-principal cap.
 	Evicted uint64
+	// Revoked counts sessions evicted because their certificate was
+	// revoked (never double-counted with Expired or Evicted).
+	Revoked uint64
 }
 
 // SessionOption configures a SessionManager beyond the required fields.
@@ -158,6 +187,28 @@ func WithMaxPerPrincipal(n int) SessionOption {
 	}
 }
 
+// defaultRevokeSweep is the sweep-mode interval when none is configured.
+const defaultRevokeSweep = 30 * time.Second
+
+// WithRevocationChecks wires the manager to a revocation plane. In mode
+// RevokeCheckResolve every token resolution probes the revoker's version
+// and applies the delta when it moved; in RevokeCheckSweep the delta is
+// applied every sweepEvery (<= 0 defaults to 30s) and on SweepRevoked
+// calls (the push/admin-notification path). Either way, opening a session
+// with a revoked certificate fails, evicted tokens answer
+// ErrSessionRevoked until their original expiry, and evictions are counted
+// in SessionStats.Revoked. Mode RevokeCheckOff ignores the revoker.
+func WithRevocationChecks(r Revoker, mode RevokeCheckMode, sweepEvery time.Duration) SessionOption {
+	return func(m *SessionManager) {
+		m.revoker = r
+		m.revMode = mode
+		if sweepEvery <= 0 {
+			sweepEvery = defaultRevokeSweep
+		}
+		m.revSweepEvery = sweepEvery
+	}
+}
+
 // NewSessionManager creates a manager pinned to the consortium CA key.
 // ttl bounds total session lifetime; idle evicts sessions unused that long.
 func NewSessionManager(caKey dcrypto.PublicKey, ttl, idle time.Duration, now func() time.Time, opts ...SessionOption) (*SessionManager, error) {
@@ -171,17 +222,22 @@ func NewSessionManager(caKey dcrypto.PublicKey, ttl, idle time.Duration, now fun
 		now = time.Now
 	}
 	m := &SessionManager{
-		caKey:       caKey,
-		ttl:         ttl,
-		idle:        idle,
-		now:         now,
-		sessions:    make(map[string]*session),
-		byPrincipal: make(map[string]map[string]bool),
-		seenNonces:  make(map[string]time.Time),
+		caKey:         caKey,
+		ttl:           ttl,
+		idle:          idle,
+		now:           now,
+		sessions:      make(map[string]*session),
+		byPrincipal:   make(map[string]map[string]bool),
+		seenNonces:    make(map[string]time.Time),
+		revokedTokens: make(map[string]time.Time),
 	}
 	for _, opt := range opts {
 		opt(m)
 	}
+	if m.revMode != RevokeCheckOff && m.revoker == nil {
+		return nil, fmt.Errorf("middleware: revocation checks (%v) need a revoker", m.revMode)
+	}
+	m.lastRevSweep = m.now()
 	return m, nil
 }
 
@@ -195,6 +251,15 @@ func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
 	}
 	if err := pki.VerifyCertificate(hello.Cert, m.caKey, now); err != nil {
 		return SessionGrant{}, fmt.Errorf("session open %s: %w", hello.Principal, err)
+	}
+	// A revoked certificate cannot root a new session, whatever the check
+	// mode does to established ones. This unlocked check is the cheap
+	// fast-fail; the authoritative re-check runs under the lock below, so
+	// a revocation sweeping between here and the insert cannot slip a
+	// revoked serial into the table.
+	if m.revMode != RevokeCheckOff && m.revoker.IsRevoked(hello.Cert.Serial) {
+		return SessionGrant{}, fmt.Errorf("%w: open by %s (serial %d)",
+			ErrSessionRevoked, hello.Principal, hello.Cert.Serial)
 	}
 	if hello.Cert.Identity != hello.Principal {
 		return SessionGrant{}, fmt.Errorf("%w: cert for %q, hello by %q",
@@ -225,11 +290,22 @@ func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
 		return SessionGrant{}, fmt.Errorf("%w: principal %s", ErrReplayedHello, hello.Principal)
 	}
 	m.seenNonces[nonceKey] = hello.IssuedAt.Add(2 * helloFreshness)
+	// Authoritative revocation re-check, under the same lock the delta
+	// sweeps take: a Revoke that landed after the unlocked check above has
+	// either already been applied (we must not insert a session its sweep
+	// can no longer see) or will be applied later (and will then evict the
+	// insert by serial). Either way no revoked serial survives.
+	if m.revMode != RevokeCheckOff && m.revoker.IsRevoked(hello.Cert.Serial) {
+		m.mu.Unlock()
+		return SessionGrant{}, fmt.Errorf("%w: open by %s (serial %d)",
+			ErrSessionRevoked, hello.Principal, hello.Cert.Serial)
+	}
 	m.capPrincipalLocked(hello.Principal)
 	m.opened++
 	m.insertLocked(token, &session{
 		principal: hello.Principal,
 		key:       key,
+		serial:    hello.Cert.Serial,
 		openedAt:  now,
 		lastUsed:  now,
 		expiresAt: expires,
@@ -239,10 +315,15 @@ func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
 }
 
 // Close ends a session. Closing an unknown token is a no-op: the token may
-// already have been evicted.
+// already have been evicted by expiry, the per-principal cap, or a
+// revocation sweep — a client draining its sessions must never see an
+// error or skew a lifecycle counter for losing that race. Closing a
+// revocation-tombstoned token clears the tombstone, so an explicitly
+// closed token degrades to ErrNoSession like any other closed one.
 func (m *SessionManager) Close(token string) {
 	m.mu.Lock()
 	m.deleteSessionLocked(token)
+	delete(m.revokedTokens, token)
 	m.mu.Unlock()
 }
 
@@ -276,11 +357,32 @@ func (m *SessionManager) deleteSessionLocked(token string) {
 }
 
 // resolve returns the verified principal and key bound to a token,
-// touching its idle clock. Expired or idle sessions are evicted here.
+// touching its idle clock. Expired or idle sessions are evicted here, and
+// the revocation plane is consulted per the configured mode: resolve mode
+// probes the revoker's version on every call (one atomic load when nothing
+// changed), sweep mode only applies the delta when the sweep interval has
+// elapsed.
 func (m *SessionManager) resolve(token string) (string, dcrypto.PublicKey, error) {
 	now := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	switch m.revMode {
+	case RevokeCheckResolve:
+		if m.revoker.RevocationVersion() != m.revEpoch {
+			m.applyRevocationDeltaLocked(now)
+		}
+	case RevokeCheckSweep:
+		if now.Sub(m.lastRevSweep) >= m.revSweepEvery {
+			m.applyRevocationDeltaLocked(now)
+		}
+	}
+	if forgetAfter, tombstoned := m.revokedTokens[token]; tombstoned {
+		if now.After(forgetAfter) {
+			delete(m.revokedTokens, token)
+			return "", dcrypto.PublicKey{}, ErrNoSession
+		}
+		return "", dcrypto.PublicKey{}, ErrSessionRevoked
+	}
 	s, ok := m.sessions[token]
 	if !ok {
 		return "", dcrypto.PublicKey{}, ErrNoSession
@@ -292,6 +394,44 @@ func (m *SessionManager) resolve(token string) (string, dcrypto.PublicKey, error
 	}
 	s.lastUsed = now
 	return s.principal, s.key, nil
+}
+
+// applyRevocationDeltaLocked pulls the revocations issued since the last
+// applied epoch and evicts every session rooted in a revoked certificate,
+// leaving a tombstone so the token answers ErrSessionRevoked until its
+// original expiry. Only the revoked identity's own sessions are scanned,
+// via the byPrincipal index. Called with the lock held.
+func (m *SessionManager) applyRevocationDeltaLocked(now time.Time) {
+	revs, version := m.revoker.RevokedSince(m.revEpoch)
+	m.revEpoch = version
+	m.lastRevSweep = now
+	for _, rev := range revs {
+		for token := range m.byPrincipal[rev.Identity] {
+			s := m.sessions[token]
+			if s.serial != rev.Serial {
+				continue // a newer cert of the same identity still stands
+			}
+			m.deleteSessionLocked(token)
+			m.revoked++
+			m.revokedTokens[token] = s.expiresAt
+		}
+	}
+}
+
+// SweepRevoked applies the pending revocation delta immediately — the
+// push path: the gateway calls it when the revocation source notifies or
+// an admin hits the revocation.notify topic. It reports how many sessions
+// the sweep evicted. A manager without revocation checks sweeps trivially.
+func (m *SessionManager) SweepRevoked() int {
+	if m.revMode == RevokeCheckOff {
+		return 0
+	}
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	before := m.revoked
+	m.applyRevocationDeltaLocked(now)
+	return int(m.revoked - before)
 }
 
 // sweepLocked evicts every session past its TTL or idle window, and every
@@ -308,6 +448,11 @@ func (m *SessionManager) sweepLocked(now time.Time) {
 	for nonce, forgetAfter := range m.seenNonces {
 		if now.After(forgetAfter) {
 			delete(m.seenNonces, nonce)
+		}
+	}
+	for token, forgetAfter := range m.revokedTokens {
+		if now.After(forgetAfter) {
+			delete(m.revokedTokens, token)
 		}
 	}
 }
@@ -353,6 +498,7 @@ func (m *SessionManager) Stats() SessionStats {
 		Opened:  m.opened,
 		Expired: m.expired,
 		Evicted: m.evicted,
+		Revoked: m.revoked,
 	}
 }
 

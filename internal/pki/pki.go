@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dltprivacy/internal/dcrypto"
@@ -74,18 +75,48 @@ func (c Certificate) Key() (dcrypto.PublicKey, error) {
 	return dcrypto.ParsePublicKey(c.PublicKey)
 }
 
+// Revocation is one entry of the CA's append-only revocation log: which
+// certificate was revoked, whose it was, and the revocation epoch the entry
+// carries. Epochs are dense and monotonic (the first revocation is epoch 1),
+// so relying parties cache the last epoch they applied and pull only the
+// delta with RevokedSince. Superseded records that the identity had
+// already re-enrolled under a newer certificate when the revocation was
+// issued: the routine key-rotation flow (enroll replacement, then revoke
+// the old serial), which withdraws one certificate, not the identity's
+// standing — relying parties keyed by identity (envelope membership) must
+// not act on it.
+type Revocation struct {
+	Serial     uint64   `json:"serial"`
+	Identity   string   `json:"identity"`
+	Kind       CertKind `json:"kind"`
+	Epoch      uint64   `json:"epoch"`
+	Superseded bool     `json:"superseded,omitempty"`
+}
+
 // CA is a certificate authority. It verifies identities of parties
 // onboarded to the platform and optionally exposes a global membership list
-// so that parties may establish relationships (§2.1).
+// so that parties may establish relationships (§2.1). It also runs the
+// revocation plane: an append-only revocation log with a monotonic epoch,
+// a cheap version probe for hot-path freshness checks, and a subscription
+// hook so in-process relying parties learn about revocations immediately.
 type CA struct {
 	name string
 	key  *dcrypto.PrivateKey
 	now  func() time.Time
 
+	// revEpoch is the current revocation epoch, read lock-free by
+	// RevocationVersion so per-request freshness probes stay off the CA
+	// mutex. Bumped only under mu, so it is in lockstep with revLog.
+	revEpoch atomic.Uint64
+
 	mu         sync.Mutex
 	serial     uint64
 	enrolled   map[string]Certificate // identity -> identity cert
+	issued     map[uint64]Revocation  // serial -> identity/kind, pre-filled at issue
 	revoked    map[uint64]bool
+	revLog     []Revocation // append-only; entry i carries epoch i+1
+	onRevoke   map[uint64]func(Revocation)
+	nextSub    uint64
 	exposeList bool
 }
 
@@ -114,6 +145,7 @@ func NewCA(name string, opts ...Option) (*CA, error) {
 		key:      key,
 		now:      time.Now,
 		enrolled: make(map[string]Certificate),
+		issued:   make(map[uint64]Revocation),
 		revoked:  make(map[uint64]bool),
 	}
 	for _, opt := range opts {
@@ -164,6 +196,7 @@ func (ca *CA) issue(kind CertKind, identity string, pub dcrypto.PublicKey) (Cert
 	ca.mu.Lock()
 	ca.serial++
 	serial := ca.serial
+	ca.issued[serial] = Revocation{Serial: serial, Identity: identity, Kind: kind}
 	ca.mu.Unlock()
 
 	now := ca.now()
@@ -184,11 +217,93 @@ func (ca *CA) issue(kind CertKind, identity string, pub dcrypto.PublicKey) (Cert
 	return cert, nil
 }
 
-// Revoke invalidates a certificate by serial number.
+// Revoke invalidates a certificate by serial number, appends the
+// revocation to the log under a fresh epoch, and notifies subscribers.
+// Revoking an already-revoked serial is a no-op: the epoch never advances
+// without a log entry, so delta reads stay exact. Subscribers run after the
+// CA lock is released, so a subscriber may call back into the CA (e.g.
+// RevokedSince) without deadlocking.
 func (ca *CA) Revoke(serial uint64) {
 	ca.mu.Lock()
-	defer ca.mu.Unlock()
+	if ca.revoked[serial] {
+		ca.mu.Unlock()
+		return
+	}
 	ca.revoked[serial] = true
+	rev := ca.issued[serial] // zero Identity/Kind for a serial this CA never issued
+	// The issuance record is only ever needed here; dropping it caps
+	// ca.issued growth for revoked serials (the data lives on in revLog).
+	delete(ca.issued, serial)
+	rev.Serial = serial
+	rev.Epoch = ca.revEpoch.Add(1)
+	if rev.Kind == KindIdentity {
+		if cur, enrolled := ca.enrolled[rev.Identity]; enrolled && cur.Serial != serial {
+			rev.Superseded = true
+		}
+	}
+	ca.revLog = append(ca.revLog, rev)
+	subs := make([]func(Revocation), 0, len(ca.onRevoke))
+	for _, fn := range ca.onRevoke {
+		subs = append(subs, fn)
+	}
+	ca.mu.Unlock()
+	for _, fn := range subs {
+		fn(rev)
+	}
+}
+
+// RevocationVersion returns the current revocation epoch: 0 before any
+// revocation, then the epoch of the latest log entry. It is lock-free, so
+// relying parties can probe it on every request and fetch the delta only
+// when the version moved.
+func (ca *CA) RevocationVersion() uint64 { return ca.revEpoch.Load() }
+
+// RevokedSince returns the revocations issued after the given epoch, in
+// epoch order, plus the current revocation version. A caller that applies
+// the delta and remembers the returned version sees every revocation
+// exactly once.
+func (ca *CA) RevokedSince(epoch uint64) ([]Revocation, uint64) {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	v := ca.revEpoch.Load()
+	if epoch >= v {
+		return nil, v
+	}
+	// Epochs are dense: log entry i carries epoch i+1, so the delta after
+	// `epoch` starts at index `epoch`.
+	return append([]Revocation(nil), ca.revLog[epoch:]...), v
+}
+
+// IsRevoked reports whether a serial has been revoked.
+func (ca *CA) IsRevoked(serial uint64) bool {
+	ca.mu.Lock()
+	defer ca.mu.Unlock()
+	return ca.revoked[serial]
+}
+
+// OnRevoke subscribes to revocations: fn runs on every future Revoke, after
+// the CA lock is released, in revocation order with respect to that serial.
+// Subscribers must be fast or hand off; they run on the revoker's
+// goroutine. The returned cancel detaches the subscription (idempotent) —
+// a relying party that does not outlive the CA must call it, or the CA
+// keeps it reachable and keeps notifying it forever.
+func (ca *CA) OnRevoke(fn func(Revocation)) (cancel func()) {
+	if fn == nil {
+		return func() {}
+	}
+	ca.mu.Lock()
+	if ca.onRevoke == nil {
+		ca.onRevoke = make(map[uint64]func(Revocation))
+	}
+	id := ca.nextSub
+	ca.nextSub++
+	ca.onRevoke[id] = fn
+	ca.mu.Unlock()
+	return func() {
+		ca.mu.Lock()
+		delete(ca.onRevoke, id)
+		ca.mu.Unlock()
+	}
 }
 
 // Verify checks a certificate's signature, validity window, and revocation

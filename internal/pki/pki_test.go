@@ -185,3 +185,164 @@ func TestVerifyCertificatePinnedKey(t *testing.T) {
 		t.Fatalf("VerifyCertificate: %v", err)
 	}
 }
+
+func TestRevocationPlaneEpochsAndDeltas(t *testing.T) {
+	ca := newTestCA(t)
+	certs := make([]Certificate, 3)
+	for i, id := range []string{"BankA", "BankB", "BankC"} {
+		key, _ := dcrypto.GenerateKey()
+		cert, err := ca.Enroll(id, key.Public())
+		if err != nil {
+			t.Fatalf("Enroll %s: %v", id, err)
+		}
+		certs[i] = cert
+	}
+	if v := ca.RevocationVersion(); v != 0 {
+		t.Fatalf("fresh CA revocation version = %d, want 0", v)
+	}
+	if revs, v := ca.RevokedSince(0); len(revs) != 0 || v != 0 {
+		t.Fatalf("fresh CA RevokedSince(0) = %v, %d", revs, v)
+	}
+
+	ca.Revoke(certs[0].Serial)
+	ca.Revoke(certs[1].Serial)
+	if v := ca.RevocationVersion(); v != 2 {
+		t.Fatalf("version after two revocations = %d, want 2", v)
+	}
+	if !ca.IsRevoked(certs[0].Serial) || ca.IsRevoked(certs[2].Serial) {
+		t.Fatal("IsRevoked does not reflect the revocation set")
+	}
+
+	// Full read from epoch 0, ordered, with identities and epochs filled.
+	revs, v := ca.RevokedSince(0)
+	if v != 2 || len(revs) != 2 {
+		t.Fatalf("RevokedSince(0) = %v, %d", revs, v)
+	}
+	if revs[0].Identity != "BankA" || revs[0].Epoch != 1 || revs[0].Kind != KindIdentity {
+		t.Fatalf("first revocation entry = %+v", revs[0])
+	}
+	if revs[1].Identity != "BankB" || revs[1].Epoch != 2 {
+		t.Fatalf("second revocation entry = %+v", revs[1])
+	}
+
+	// Delta read: a caller at epoch 1 sees only the second revocation.
+	revs, v = ca.RevokedSince(1)
+	if v != 2 || len(revs) != 1 || revs[0].Serial != certs[1].Serial {
+		t.Fatalf("RevokedSince(1) = %v, %d", revs, v)
+	}
+	// A caller already at the current version sees an empty delta.
+	if revs, v := ca.RevokedSince(2); len(revs) != 0 || v != 2 {
+		t.Fatalf("RevokedSince(current) = %v, %d", revs, v)
+	}
+}
+
+func TestRevokeIdempotent(t *testing.T) {
+	ca := newTestCA(t)
+	key, _ := dcrypto.GenerateKey()
+	cert, err := ca.Enroll("BankA", key.Public())
+	if err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	ca.Revoke(cert.Serial)
+	ca.Revoke(cert.Serial) // second revocation must not bump the epoch
+	if v := ca.RevocationVersion(); v != 1 {
+		t.Fatalf("version after double revoke = %d, want 1", v)
+	}
+	if revs, _ := ca.RevokedSince(0); len(revs) != 1 {
+		t.Fatalf("log after double revoke = %v, want one entry", revs)
+	}
+}
+
+func TestOnRevokeNotifiesAfterUnlock(t *testing.T) {
+	ca := newTestCA(t)
+	key, _ := dcrypto.GenerateKey()
+	cert, err := ca.Enroll("BankA", key.Public())
+	if err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	var got []Revocation
+	// The subscriber calls back into the CA: it must not deadlock, and the
+	// delta it reads must already include the revocation it was notified of.
+	ca.OnRevoke(func(r Revocation) {
+		revs, v := ca.RevokedSince(0)
+		if v != r.Epoch || len(revs) == 0 {
+			t.Errorf("subscriber read version %d, want %d", v, r.Epoch)
+		}
+		got = append(got, r)
+	})
+	ca.Revoke(cert.Serial)
+	if len(got) != 1 || got[0].Identity != "BankA" || got[0].Serial != cert.Serial {
+		t.Fatalf("subscriber saw %+v", got)
+	}
+	ca.Revoke(cert.Serial) // idempotent revoke must not re-notify
+	if len(got) != 1 {
+		t.Fatalf("subscriber re-notified on idempotent revoke: %+v", got)
+	}
+}
+
+func TestRevocationOfOneTimeCertCarriesKind(t *testing.T) {
+	ca := newTestCA(t)
+	idKey, _ := dcrypto.GenerateKey()
+	if _, err := ca.Enroll("SellerCo", idKey.Public()); err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	otKey, _ := dcrypto.GenerateKey()
+	cert, err := ca.IssueOneTime("SellerCo", otKey.Public())
+	if err != nil {
+		t.Fatalf("IssueOneTime: %v", err)
+	}
+	ca.Revoke(cert.Serial)
+	revs, _ := ca.RevokedSince(0)
+	if len(revs) != 1 || revs[0].Kind != KindOneTime || revs[0].Identity != "SellerCo" {
+		t.Fatalf("one-time revocation entry = %+v", revs)
+	}
+}
+
+func TestOnRevokeCancelDetaches(t *testing.T) {
+	ca := newTestCA(t)
+	key, _ := dcrypto.GenerateKey()
+	c1, err := ca.Enroll("BankA", key.Public())
+	if err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	c2, err := ca.Enroll("BankB", key.Public())
+	if err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	var notified int
+	cancel := ca.OnRevoke(func(Revocation) { notified++ })
+	ca.Revoke(c1.Serial)
+	cancel()
+	cancel() // idempotent
+	ca.Revoke(c2.Serial)
+	if notified != 1 {
+		t.Fatalf("subscriber notified %d times, want 1 (cancel must detach)", notified)
+	}
+}
+
+func TestRevocationMarksSupersededCerts(t *testing.T) {
+	ca := newTestCA(t)
+	key, _ := dcrypto.GenerateKey()
+	old, err := ca.Enroll("BankA", key.Public())
+	if err != nil {
+		t.Fatalf("Enroll: %v", err)
+	}
+	renewed, err := ca.Enroll("BankA", key.Public())
+	if err != nil {
+		t.Fatalf("re-Enroll: %v", err)
+	}
+	// Rotation flow: the old serial is revoked after its replacement is
+	// enrolled — the log entry records the identity's standing survives.
+	ca.Revoke(old.Serial)
+	revs, _ := ca.RevokedSince(0)
+	if len(revs) != 1 || !revs[0].Superseded {
+		t.Fatalf("superseded revocation entry = %+v, want Superseded", revs)
+	}
+	// Revoking the identity's current certificate is an outright
+	// withdrawal.
+	ca.Revoke(renewed.Serial)
+	revs, _ = ca.RevokedSince(1)
+	if len(revs) != 1 || revs[0].Superseded {
+		t.Fatalf("outright revocation entry = %+v, want !Superseded", revs)
+	}
+}
