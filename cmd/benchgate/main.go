@@ -3,15 +3,19 @@
 // of cmd/dltbench's report encoders: parse the gateway benchmarks, emit
 // BENCH_gateway.json (uploaded as a CI artifact), and fail when any
 // benchmark present in the checked-in baseline regresses beyond the
-// tolerance, or when a required speedup ratio (e.g. 4-shard vs 1-shard
-// ordering) is not met.
+// tolerance — on ns/op, B/op, or allocs/op — or when a required speedup
+// ratio (e.g. 4-shard vs 1-shard ordering, or the session MAC path's
+// allocation budget) is not met. Speedup rules take an optional fourth
+// field naming the metric (ns, allocs, or bytes; ns is the default), so
+// "at least 50% fewer allocations" is expressed as a 2.0 allocs rule.
 //
 // Typical CI usage:
 //
 //	go test -run '^$' -bench 'BenchmarkGateway' -benchtime 300x . | tee bench.txt
 //	benchgate -in bench.txt -out BENCH_gateway.json \
 //	    -baseline bench_baseline.json -tolerance 0.25 \
-//	    -speedup 'BenchmarkGatewaySharded/shards=4,BenchmarkGatewaySharded/shards=1,1.7'
+//	    -speedup 'BenchmarkGatewaySharded/shards=4,BenchmarkGatewaySharded/shards=1,1.7' \
+//	    -speedup 'BenchmarkGatewaySessionMAC/reqauth=mac,BenchmarkGatewaySession/session(amortized-authn+keycache),2.0,allocs'
 //
 // Refresh the baseline after an intentional performance change — or when
 // the CI runner hardware or Go toolchain shifts enough to move absolute
@@ -31,6 +35,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 )
 
 func main() {
@@ -59,12 +64,27 @@ type Report struct {
 	Benchmarks []Result `json:"benchmarks"`
 }
 
-// speedupRule requires Fast to run at least MinRatio times faster than
-// Slow (by ns/op).
+// speedupRule requires Fast to beat Slow by at least MinRatio on the
+// chosen metric: "ns" (ns/op, the default), "allocs" (allocs/op), or
+// "bytes" (B/op). An allocs rule of 2.0 is the benchgate form of "at least
+// 50% fewer allocations".
 type speedupRule struct {
 	Fast     string
 	Slow     string
 	MinRatio float64
+	Metric   string
+}
+
+// metricOf extracts the rule's metric from a parsed result.
+func (r speedupRule) metricOf(res Result) float64 {
+	switch r.Metric {
+	case "allocs":
+		return res.AllocsPerOp
+	case "bytes":
+		return res.BytesPerOp
+	default:
+		return res.NsPerOp
+	}
 }
 
 type speedupFlags []speedupRule
@@ -73,14 +93,23 @@ func (s *speedupFlags) String() string { return fmt.Sprint(*s) }
 
 func (s *speedupFlags) Set(v string) error {
 	parts := strings.Split(v, ",")
-	if len(parts) != 3 {
-		return fmt.Errorf("speedup rule %q: want fast,slow,ratio", v)
+	if len(parts) != 3 && len(parts) != 4 {
+		return fmt.Errorf("speedup rule %q: want fast,slow,ratio[,metric]", v)
 	}
 	ratio, err := strconv.ParseFloat(parts[2], 64)
 	if err != nil || ratio <= 0 {
 		return fmt.Errorf("speedup rule %q: bad ratio %q", v, parts[2])
 	}
-	*s = append(*s, speedupRule{Fast: parts[0], Slow: parts[1], MinRatio: ratio})
+	rule := speedupRule{Fast: parts[0], Slow: parts[1], MinRatio: ratio, Metric: "ns"}
+	if len(parts) == 4 {
+		switch parts[3] {
+		case "ns", "allocs", "bytes":
+			rule.Metric = parts[3]
+		default:
+			return fmt.Errorf("speedup rule %q: unknown metric %q (want ns, allocs, or bytes)", v, parts[3])
+		}
+	}
+	*s = append(*s, rule)
 	return nil
 }
 
@@ -90,11 +119,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		in        = fs.String("in", "", "benchmark output to parse (default stdin)")
 		out       = fs.String("out", "", "write the JSON report here (default stdout)")
 		baseline  = fs.String("baseline", "", "checked-in baseline report to gate against")
-		tolerance = fs.Float64("tolerance", 0.25, "allowed fractional ns/op regression before failing")
+		tolerance = fs.Float64("tolerance", 0.25, "allowed fractional regression (ns/op, B/op, allocs/op) before failing")
 		update    = fs.Bool("update", false, "rewrite the baseline from this run instead of gating")
 		speedups  speedupFlags
 	)
-	fs.Var(&speedups, "speedup", "required ratio 'fast,slow,minRatio' (repeatable): ns/op of slow must be >= minRatio * ns/op of fast")
+	fs.Var(&speedups, "speedup", "required ratio 'fast,slow,minRatio[,metric]' (repeatable; metric ns|allocs|bytes, default ns): slow must be >= minRatio * fast on the metric")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,6 +156,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := writeReport(report, *out, stdout); err != nil {
 		return err
 	}
+	// The three-column summary lands in the CI log beside the JSON
+	// artifact, so a regression is readable without downloading anything.
+	// It goes to stderr so piping the stdout report stays clean.
+	printTable(report.Benchmarks, os.Stderr)
 
 	if err := checkSpeedups(results, speedups); err != nil {
 		return err
@@ -207,6 +240,17 @@ func parseBench(r io.Reader) ([]Result, error) {
 	return out, sc.Err()
 }
 
+// printTable renders the parsed benchmarks as an aligned three-column
+// (ns/op, B/op, allocs/op) summary.
+func printTable(results []Result, w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "BENCHMARK\tNS/OP\tB/OP\tALLOCS/OP")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.0f\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+	tw.Flush()
+}
+
 func writeReport(report Report, path string, stdout io.Writer) error {
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -232,9 +276,11 @@ func readReport(path string) (Report, error) {
 	return report, nil
 }
 
-// gate fails when any baseline benchmark regressed beyond tolerance or
-// vanished from the current run. Benchmarks absent from the baseline are
-// new and pass freely (they start gating once the baseline is refreshed).
+// gate fails when any baseline benchmark regressed beyond tolerance — on
+// ns/op, B/op, or allocs/op — or vanished from the current run. Benchmarks
+// absent from the baseline are new and pass freely (they start gating once
+// the baseline is refreshed); a baseline column recorded as zero gates
+// nothing, so old baselines without memory columns keep working.
 func gate(current, baseline []Result, tolerance float64) error {
 	cur := make(map[string]Result, len(current))
 	for _, r := range current {
@@ -247,10 +293,22 @@ func gate(current, baseline []Result, tolerance float64) error {
 			failures = append(failures, fmt.Sprintf("%s: present in baseline but missing from this run", base.Name))
 			continue
 		}
-		limit := base.NsPerOp * (1 + tolerance)
-		if got.NsPerOp > limit {
-			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%% (limit %.0f)",
-				base.Name, got.NsPerOp, base.NsPerOp, tolerance*100, limit))
+		for _, col := range []struct {
+			unit      string
+			base, got float64
+		}{
+			{"ns/op", base.NsPerOp, got.NsPerOp},
+			{"B/op", base.BytesPerOp, got.BytesPerOp},
+			{"allocs/op", base.AllocsPerOp, got.AllocsPerOp},
+		} {
+			if col.base <= 0 {
+				continue
+			}
+			limit := col.base * (1 + tolerance)
+			if col.got > limit {
+				failures = append(failures, fmt.Sprintf("%s: %.0f %s exceeds baseline %.0f %s by more than %.0f%% (limit %.0f)",
+					base.Name, col.got, col.unit, col.base, col.unit, tolerance*100, limit))
+			}
 		}
 	}
 	if len(failures) > 0 {
@@ -274,12 +332,12 @@ func checkSpeedups(current []Result, rules []speedupRule) error {
 			failures = append(failures, fmt.Sprintf("speedup rule: %s missing from this run", rule.Fast))
 		case !okS:
 			failures = append(failures, fmt.Sprintf("speedup rule: %s missing from this run", rule.Slow))
-		case fast.NsPerOp <= 0:
-			failures = append(failures, fmt.Sprintf("speedup rule: %s reports %.0f ns/op", rule.Fast, fast.NsPerOp))
+		case rule.metricOf(fast) <= 0:
+			failures = append(failures, fmt.Sprintf("speedup rule: %s reports %.0f %s", rule.Fast, rule.metricOf(fast), rule.Metric))
 		default:
-			if ratio := slow.NsPerOp / fast.NsPerOp; ratio < rule.MinRatio {
-				failures = append(failures, fmt.Sprintf("%s is only %.2fx faster than %s, want >= %.2fx",
-					rule.Fast, ratio, rule.Slow, rule.MinRatio))
+			if ratio := rule.metricOf(slow) / rule.metricOf(fast); ratio < rule.MinRatio {
+				failures = append(failures, fmt.Sprintf("%s is only %.2fx better than %s on %s, want >= %.2fx",
+					rule.Fast, ratio, rule.Slow, rule.Metric, rule.MinRatio))
 			}
 		}
 	}

@@ -82,6 +82,33 @@ func TestGate(t *testing.T) {
 	}
 }
 
+func TestGateMemoryColumns(t *testing.T) {
+	current := parseSample(t)
+	// The baseline chain ran at 12 allocs/op and 1500 B/op; the sample's
+	// 18 allocs / 2048 B regress both beyond 25%.
+	base := []Result{{
+		Name:    "BenchmarkGatewayChain/baseline(ratelimit-only)",
+		NsPerOp: 9824, BytesPerOp: 1500, AllocsPerOp: 12,
+	}}
+	err := gate(current, base, 0.25)
+	if err == nil {
+		t.Fatal("alloc/byte regression passed the gate")
+	}
+	if !strings.Contains(err.Error(), "allocs/op") || !strings.Contains(err.Error(), "B/op") {
+		t.Fatalf("failure does not name the regressed columns: %v", err)
+	}
+	// Inside tolerance on every column passes.
+	base[0].BytesPerOp, base[0].AllocsPerOp = 2000, 17
+	if err := gate(current, base, 0.25); err != nil {
+		t.Fatalf("in-tolerance memory columns failed: %v", err)
+	}
+	// A baseline without memory columns (recorded as zero) gates ns only.
+	base[0].BytesPerOp, base[0].AllocsPerOp = 0, 0
+	if err := gate(current, base, 0.25); err != nil {
+		t.Fatalf("zero-column baseline gated memory: %v", err)
+	}
+}
+
 func TestCheckSpeedups(t *testing.T) {
 	current := parseSample(t)
 	pass := []speedupRule{{
@@ -106,6 +133,32 @@ func TestCheckSpeedups(t *testing.T) {
 	}
 }
 
+func TestCheckSpeedupsMetrics(t *testing.T) {
+	current := []Result{
+		{Name: "fast", NsPerOp: 10, BytesPerOp: 100, AllocsPerOp: 20},
+		{Name: "slow", NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 80},
+	}
+	// 4x fewer allocs passes a 2x allocs rule ("at least 50% fewer").
+	if err := checkSpeedups(current, []speedupRule{
+		{Fast: "fast", Slow: "slow", MinRatio: 2, Metric: "allocs"},
+	}); err != nil {
+		t.Fatalf("4x alloc win failed a 2x allocs rule: %v", err)
+	}
+	// ...and fails a 5x allocs rule, naming the metric.
+	err := checkSpeedups(current, []speedupRule{
+		{Fast: "fast", Slow: "slow", MinRatio: 5, Metric: "allocs"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "allocs") {
+		t.Fatalf("4x alloc win vs 5x allocs rule: %v", err)
+	}
+	// bytes metric works the same way.
+	if err := checkSpeedups(current, []speedupRule{
+		{Fast: "fast", Slow: "slow", MinRatio: 10, Metric: "bytes"},
+	}); err != nil {
+		t.Fatalf("10x bytes win failed a 10x bytes rule: %v", err)
+	}
+}
+
 func TestUpdateNeedsBaseline(t *testing.T) {
 	in := t.TempDir() + "/bench.txt"
 	if err := os.WriteFile(in, []byte(sampleBench), 0o644); err != nil {
@@ -122,10 +175,16 @@ func TestSpeedupFlagParsing(t *testing.T) {
 	if err := s.Set("a,b,1.7"); err != nil {
 		t.Fatalf("Set: %v", err)
 	}
-	if len(s) != 1 || s[0].Fast != "a" || s[0].Slow != "b" || s[0].MinRatio != 1.7 {
+	if len(s) != 1 || s[0].Fast != "a" || s[0].Slow != "b" || s[0].MinRatio != 1.7 || s[0].Metric != "ns" {
 		t.Fatalf("parsed %+v", s)
 	}
-	for _, bad := range []string{"a,b", "a,b,zero", "a,b,-1"} {
+	if err := s.Set("a,b,2.0,allocs"); err != nil {
+		t.Fatalf("Set with metric: %v", err)
+	}
+	if len(s) != 2 || s[1].Metric != "allocs" {
+		t.Fatalf("metric rule parsed %+v", s)
+	}
+	for _, bad := range []string{"a,b", "a,b,zero", "a,b,-1", "a,b,2,latency", "a,b,2,allocs,extra"} {
 		if err := s.Set(bad); err == nil {
 			t.Fatalf("Set(%q) accepted", bad)
 		}

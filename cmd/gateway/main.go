@@ -45,14 +45,16 @@ func main() {
 	shards := flag.Int("shards", 2, "ordering shards behind the gateway")
 	channels := flag.Int("channels", 2, "channels to spread trades across")
 	revokeCheck := flag.String("revokecheck", "resolve", "session revocation check mode: off, resolve, or sweep")
+	reqauth := flag.String("reqauth", "mac", "steady-state session request auth: sig (per-request ECDSA) or mac (per-session HMAC)")
+	codec := flag.String("codec", "binary", "gateway wire codec: json or binary")
 	flag.Parse()
-	if err := run(*trades, *batch, *seed, *shards, *channels, *revokeCheck); err != nil {
+	if err := run(*trades, *batch, *seed, *shards, *channels, *revokeCheck, *reqauth, *codec); err != nil {
 		fmt.Fprintln(os.Stderr, "gateway:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck string) error {
+func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck, reqauth, codec string) error {
 	if nShards < 1 || nChannels < 1 {
 		return fmt.Errorf("need at least 1 shard and 1 channel, got %d/%d", nShards, nChannels)
 	}
@@ -119,6 +121,7 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 	sessionParams := map[string]string{
 		"ttl": "10m", "idle": "2m", "maxperprincipal": "4",
 		"revokecheck": revokeCheck,
+		"reqauth":     reqauth,
 	}
 	if revokeCheck == "sweep" {
 		sessionParams["revokesweep"] = "30s"
@@ -136,6 +139,7 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 		},
 		Shards:    nShards,
 		ShardPins: map[string]int{channels[0]: 0},
+		Codec:     codec,
 	}
 	dir := middleware.StaticDirectory{}
 	for _, ch := range channels {
@@ -162,13 +166,25 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 
 	// Each member opens one session: the full certificate verification is
 	// paid here, once, and every subsequent submission rides the token.
-	tokens := make(map[string]string, len(members))
+	// Under -reqauth mac the grant also carries the per-session HMAC key
+	// (the symmetric fast path), and under -codec binary the grant
+	// negotiates the binary wire framing.
+	grants := make(map[string]middleware.SessionGrant, len(members))
 	for _, m := range members {
-		grant, err := middleware.OpenSessionOver(net, m, "gateway", certs[m], keys[m])
+		grant, err := middleware.OpenSessionOverCodec(net, m, "gateway", certs[m], keys[m], codec)
 		if err != nil {
 			return fmt.Errorf("open session for %s: %w", m, err)
 		}
-		tokens[m] = grant.Token
+		grants[m] = grant
+	}
+	// authenticate binds a request to its session per the configured mode:
+	// a ~1µs HMAC under the grant key, or a per-request ECDSA signature.
+	authenticate := func(req *middleware.Request) error {
+		if reqauth == "mac" {
+			middleware.MACRequest(req, grants[req.Principal].MacKey)
+			return nil
+		}
+		return middleware.SignRequest(req, keys[req.Principal])
 	}
 
 	start := time.Now()
@@ -181,12 +197,12 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 			Channel:      channels[i%len(channels)],
 			Principal:    tr.Buyer,
 			Payload:      payload,
-			SessionToken: tokens[tr.Buyer],
+			SessionToken: grants[tr.Buyer].Token,
 		}
-		if err := middleware.SignRequest(req, keys[tr.Buyer]); err != nil {
+		if err := authenticate(req); err != nil {
 			return err
 		}
-		if _, err := middleware.SubmitOver(net, tr.Buyer, "gateway", req); err != nil {
+		if _, err := middleware.SubmitOverCodec(net, tr.Buyer, "gateway", req, grants[tr.Buyer].Codec); err != nil {
 			return fmt.Errorf("submit %s: %w", tr.ID, err)
 		}
 	}
@@ -232,21 +248,21 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 		fmt.Printf("  %-14s txdata=%v\n", op, saw)
 	}
 	// A rejected submission: tampered payload fails the per-request
-	// signature check even on a live session.
+	// authentication check — MAC or signature — even on a live session.
 	bad := &middleware.Request{
 		Channel:      channels[0],
 		Principal:    members[0],
 		Payload:      []byte("legit"),
-		SessionToken: tokens[members[0]],
+		SessionToken: grants[members[0]].Token,
 	}
-	if err := middleware.SignRequest(bad, keys[members[0]]); err != nil {
+	if err := authenticate(bad); err != nil {
 		return err
 	}
 	bad.Payload = []byte("tampered")
-	if _, err := middleware.SubmitOver(net, members[0], "gateway", bad); !errors.Is(err, middleware.ErrBadSignature) {
+	if _, err := middleware.SubmitOver(net, members[0], "gateway", bad); !errors.Is(err, middleware.ErrBadSignature) && !errors.Is(err, middleware.ErrBadMAC) {
 		return fmt.Errorf("tampered submission was not rejected: %v", err)
 	}
-	fmt.Println("\ntampered submission rejected on the session path, as configured")
+	fmt.Printf("\ntampered submission rejected on the session path (reqauth=%s), as configured\n", reqauth)
 
 	// A forged token never reaches the chain's downstream stages.
 	forged := &middleware.Request{
@@ -274,9 +290,11 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 			Channel:      channels[0],
 			Principal:    revoked,
 			Payload:      []byte("post-revocation"),
-			SessionToken: tokens[revoked],
+			SessionToken: grants[revoked].Token,
 		}
-		if err := middleware.SignRequest(late, keys[revoked]); err != nil {
+		// Even a valid MAC under the granted session key is refused: the
+		// key died with the session when the certificate was revoked.
+		if err := authenticate(late); err != nil {
 			return err
 		}
 		if _, err := middleware.SubmitOver(net, revoked, "gateway", late); !errors.Is(err, middleware.ErrSessionRevoked) {
@@ -289,9 +307,9 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 			Channel:      channels[0],
 			Principal:    members[0],
 			Payload:      []byte("post-revocation re-key"),
-			SessionToken: tokens[members[0]],
+			SessionToken: grants[members[0]].Token,
 		}
-		if err := middleware.SignRequest(fresh, keys[members[0]]); err != nil {
+		if err := authenticate(fresh); err != nil {
 			return err
 		}
 		if _, err := middleware.SubmitOver(net, members[0], "gateway", fresh); err != nil {
@@ -309,7 +327,7 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 	// Sessions closed; their tokens die with them (closing the revoked
 	// member's already-evicted token is an idempotent no-op).
 	for _, m := range members {
-		if err := middleware.CloseSessionOver(net, m, "gateway", tokens[m]); err != nil {
+		if err := middleware.CloseSessionOver(net, m, "gateway", grants[m].Token); err != nil {
 			return err
 		}
 	}

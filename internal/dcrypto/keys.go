@@ -210,9 +210,11 @@ func (pk PublicKey) IsZero() bool { return pk.X == nil && pk.Y == nil }
 func Hash(data []byte) [32]byte { return sha256.Sum256(data) }
 
 // HashConcat hashes the concatenation of the given byte slices with
-// unambiguous length prefixes.
+// unambiguous length prefixes. The hash state comes from the shared pool
+// and the digest is summed into a stack value, so the call itself is
+// allocation-free — it sits on the per-request digest path of the gateway.
 func HashConcat(parts ...[]byte) [32]byte {
-	h := sha256.New()
+	h := getSHA256()
 	var lenbuf [8]byte
 	for _, p := range parts {
 		putUint64(lenbuf[:], uint64(len(p)))
@@ -220,7 +222,8 @@ func HashConcat(parts ...[]byte) [32]byte {
 		h.Write(p)
 	}
 	var out [32]byte
-	copy(out[:], h.Sum(nil))
+	h.Sum(out[:0])
+	putSHA256(h)
 	return out
 }
 

@@ -1,0 +1,125 @@
+package dcrypto
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"hash"
+	"sync"
+)
+
+// ErrInvalidMAC is returned when a message authentication code does not
+// verify. Like ErrDecrypt, the cause is deliberately opaque.
+var ErrInvalidMAC = errors.New("dcrypto: invalid mac")
+
+// MACSize is the HMAC-SHA256 output length in bytes.
+const MACSize = 32
+
+// MACKeySize is the symmetric authentication key length handed out by the
+// session layer (one SHA-256 block would also work; 32 bytes matches the
+// AES-256 and HKDF output sizes used everywhere else).
+const MACKeySize = 32
+
+// sha256Pool recycles SHA-256 states across the hashing hot paths
+// (HashConcat, MAC, HKDF): request digests and request MACs are computed
+// several times per gateway submission, and a pooled state turns each of
+// those from two heap allocations into zero.
+var sha256Pool = sync.Pool{New: func() any { return sha256.New() }}
+
+func getSHA256() hash.Hash {
+	h := sha256Pool.Get().(hash.Hash)
+	h.Reset()
+	return h
+}
+
+func putSHA256(h hash.Hash) { sha256Pool.Put(h) }
+
+// hmacBlockSize is the SHA-256 block length HMAC pads keys to.
+const hmacBlockSize = 64
+
+// macScratch is the working memory of one MAC computation. Pads and sums
+// would escape to the heap if stack-allocated (they pass through the
+// hash.Hash interface), so they are pooled alongside the hash states.
+type macScratch struct {
+	ipad, opad [hmacBlockSize]byte
+	sum        [32]byte
+}
+
+var macScratchPool = sync.Pool{New: func() any { return new(macScratch) }}
+
+// MAC computes HMAC-SHA256 (RFC 2104) of the concatenated parts under key.
+// It is implemented over pooled hash states and scratch rather than
+// crypto/hmac so the per-request authentication path of the gateway
+// allocates nothing.
+func MAC(key []byte, parts ...[]byte) [32]byte {
+	s := macScratchPool.Get().(*macScratch)
+	h := getSHA256()
+	k := key
+	if len(k) > hmacBlockSize {
+		h.Write(k)
+		h.Sum(s.sum[:0])
+		h.Reset()
+		k = s.sum[:]
+	}
+	copy(s.ipad[:], k)
+	copy(s.opad[:], k)
+	for i := len(k); i < hmacBlockSize; i++ {
+		s.ipad[i], s.opad[i] = 0, 0
+	}
+	for i := range s.ipad {
+		s.ipad[i] ^= 0x36
+		s.opad[i] ^= 0x5c
+	}
+	h.Write(s.ipad[:])
+	for _, p := range parts {
+		h.Write(p)
+	}
+	h.Sum(s.sum[:0])
+	h.Reset()
+	h.Write(s.opad[:])
+	h.Write(s.sum[:])
+	h.Sum(s.sum[:0])
+	out := s.sum
+	putSHA256(h)
+	macScratchPool.Put(s)
+	return out
+}
+
+// VerifyMAC checks an HMAC-SHA256 tag over msg in constant time. It returns
+// ErrInvalidMAC for a tag of the wrong length or wrong value — a tag with
+// no bytes (the zero value, or one JSON-decoded from a hostile wire
+// message) is invalid, never a panic.
+func VerifyMAC(key, msg, tag []byte) error {
+	if len(tag) != MACSize {
+		return ErrInvalidMAC
+	}
+	want := MAC(key, msg)
+	if subtle.ConstantTimeCompare(want[:], tag) != 1 {
+		return ErrInvalidMAC
+	}
+	return nil
+}
+
+// HKDF derives n bytes from a secret via RFC 5869 extract-and-expand over
+// HMAC-SHA256. salt is the optional non-secret randomizer (the session
+// layer passes the handshake transcript digest, binding the derived key to
+// the verified handshake) and info the context label separating uses of the
+// same secret. n is capped at 255 blocks per the RFC.
+func HKDF(secret, salt, info []byte, n int) ([]byte, error) {
+	if len(secret) == 0 {
+		return nil, errors.New("dcrypto: hkdf needs a secret")
+	}
+	if n <= 0 || n > 255*MACSize {
+		return nil, fmt.Errorf("dcrypto: hkdf output length %d outside (0, %d]", n, 255*MACSize)
+	}
+	prk := MAC(salt, secret) // extract
+	out := make([]byte, 0, ((n+MACSize-1)/MACSize)*MACSize)
+	var t []byte
+	for i := byte(1); len(out) < n; i++ {
+		block := MAC(prk[:], t, info, []byte{i})
+		out = append(out, block[:]...)
+		t = out[len(out)-MACSize:]
+	}
+	return out[:n], nil
+}

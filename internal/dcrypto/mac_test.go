@@ -1,0 +1,159 @@
+package dcrypto
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// TestMACMatchesStdlib pins the hand-rolled pooled HMAC to crypto/hmac
+// across key lengths, including keys longer than the block size.
+func TestMACMatchesStdlib(t *testing.T) {
+	msgs := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("payload"), 100)}
+	keys := [][]byte{
+		[]byte("k"),
+		bytes.Repeat([]byte{0xaa}, 32),
+		bytes.Repeat([]byte{0xbb}, 64),
+		bytes.Repeat([]byte{0xcc}, 200), // > block size: hashed down first
+	}
+	for _, key := range keys {
+		for _, msg := range msgs {
+			ref := hmac.New(sha256.New, key)
+			ref.Write(msg)
+			want := ref.Sum(nil)
+			got := MAC(key, msg)
+			if !bytes.Equal(got[:], want) {
+				t.Fatalf("MAC(key len %d, msg len %d) = %x, stdlib %x", len(key), len(msg), got, want)
+			}
+		}
+	}
+}
+
+// TestMACParts checks that variadic parts concatenate, matching a single
+// contiguous message.
+func TestMACParts(t *testing.T) {
+	key := []byte("session-key")
+	whole := MAC(key, []byte("abcdef"))
+	split := MAC(key, []byte("ab"), []byte("cd"), []byte("ef"))
+	if whole != split {
+		t.Fatalf("split parts MAC differs from contiguous MAC")
+	}
+}
+
+func TestVerifyMAC(t *testing.T) {
+	key := []byte("session-key")
+	msg := []byte("request digest")
+	tag := MAC(key, msg)
+	if err := VerifyMAC(key, msg, tag[:]); err != nil {
+		t.Fatalf("valid tag rejected: %v", err)
+	}
+	bad := append([]byte(nil), tag[:]...)
+	bad[0] ^= 1
+	if err := VerifyMAC(key, msg, bad); err != ErrInvalidMAC {
+		t.Fatalf("flipped tag: got %v, want ErrInvalidMAC", err)
+	}
+	if err := VerifyMAC(key, msg, tag[:16]); err != ErrInvalidMAC {
+		t.Fatalf("truncated tag: got %v, want ErrInvalidMAC", err)
+	}
+	if err := VerifyMAC(key, msg, nil); err != ErrInvalidMAC {
+		t.Fatalf("nil tag: got %v, want ErrInvalidMAC", err)
+	}
+	if err := VerifyMAC([]byte("other-key"), msg, tag[:]); err != ErrInvalidMAC {
+		t.Fatalf("wrong key: got %v, want ErrInvalidMAC", err)
+	}
+}
+
+// TestHKDFVectorRFC5869 pins the implementation to RFC 5869 appendix A.1
+// (SHA-256, basic test case).
+func TestHKDFVectorRFC5869(t *testing.T) {
+	ikm, _ := hex.DecodeString("0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b0b")
+	salt, _ := hex.DecodeString("000102030405060708090a0b0c")
+	info, _ := hex.DecodeString("f0f1f2f3f4f5f6f7f8f9")
+	want, _ := hex.DecodeString("3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865")
+	got, err := HKDF(ikm, salt, info, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("HKDF = %x, want %x", got, want)
+	}
+}
+
+func TestHKDFProperties(t *testing.T) {
+	secret := []byte("handshake secret")
+	a, err := HKDF(secret, []byte("salt"), []byte("info"), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HKDF(secret, []byte("salt"), []byte("info"), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("HKDF is not deterministic")
+	}
+	c, _ := HKDF(secret, []byte("salt"), []byte("other info"), 32)
+	if bytes.Equal(a, c) {
+		t.Fatal("HKDF output does not separate by info")
+	}
+	d, _ := HKDF(secret, []byte("other salt"), []byte("info"), 32)
+	if bytes.Equal(a, d) {
+		t.Fatal("HKDF output does not separate by salt")
+	}
+	long, err := HKDF(secret, nil, nil, 100)
+	if err != nil || len(long) != 100 {
+		t.Fatalf("multi-block HKDF: len %d err %v", len(long), err)
+	}
+	if _, err := HKDF(nil, nil, nil, 32); err == nil {
+		t.Fatal("empty secret accepted")
+	}
+	if _, err := HKDF(secret, nil, nil, 0); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	if _, err := HKDF(secret, nil, nil, 255*32+1); err == nil {
+		t.Fatal("over-long output accepted")
+	}
+}
+
+// TestEncryptWithAEAD checks the reusable-AEAD seal path interoperates with
+// the one-shot helpers.
+func TestEncryptWithAEAD(t *testing.T) {
+	key, err := NewSymmetricKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aead, err := NewAEAD(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("hello envelope")
+	ad := []byte("channel-ad")
+	ct, err := EncryptWithAEAD(aead, pt, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecryptSymmetric(key, ct, ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("roundtrip = %q, want %q", got, pt)
+	}
+	if _, err := DecryptSymmetric(key, ct, []byte("wrong-ad")); err == nil {
+		t.Fatal("wrong AD accepted")
+	}
+	if _, err := NewAEAD([]byte("short")); err == nil {
+		t.Fatal("short key accepted")
+	}
+}
+
+func BenchmarkMAC(b *testing.B) {
+	key := bytes.Repeat([]byte{0xaa}, 32)
+	msg := bytes.Repeat([]byte{0xbb}, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MAC(key, msg)
+	}
+}

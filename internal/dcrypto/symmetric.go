@@ -8,6 +8,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"io"
 )
 
 // Errors returned by the symmetric and hybrid encryption helpers.
@@ -38,12 +39,23 @@ func EncryptSymmetric(key, plaintext, associatedData []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	nonce, err := RandomBytes(aead.NonceSize())
-	if err != nil {
-		return nil, err
+	return EncryptWithAEAD(aead, plaintext, associatedData)
+}
+
+// NewAEAD builds the AES-256-GCM AEAD for a symmetric key once, so callers
+// sealing many payloads under the same key (the encrypt stage's epoch key
+// cache) skip the per-call AES key schedule and GCM table setup.
+func NewAEAD(key []byte) (cipher.AEAD, error) { return newAEAD(key) }
+
+// EncryptWithAEAD seals like EncryptSymmetric under a prebuilt AEAD: a
+// random prepended nonce, a single exactly-sized output allocation.
+func EncryptWithAEAD(aead cipher.AEAD, plaintext, associatedData []byte) ([]byte, error) {
+	ns := aead.NonceSize()
+	out := make([]byte, ns, ns+len(plaintext)+aead.Overhead())
+	if _, err := io.ReadFull(rand.Reader, out); err != nil {
+		return nil, fmt.Errorf("read random: %w", err)
 	}
-	out := aead.Seal(nonce, nonce, plaintext, associatedData)
-	return out, nil
+	return aead.Seal(out, out[:ns], plaintext, associatedData), nil
 }
 
 // DecryptSymmetric reverses EncryptSymmetric.

@@ -1,7 +1,6 @@
 package ledger
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"strings"
@@ -29,17 +28,18 @@ type Block struct {
 	Txs      []Transaction `json:"txs"`
 }
 
-// computeDataHash hashes the block's transactions.
+// computeDataHash hashes the block's transactions by chaining their
+// canonical digests — endorsements included via a second digest dimension
+// would be redundant here; the per-tx Digest already covers the ordered
+// content, and hashing 32-byte digests instead of re-marshalling every
+// transaction keeps block cutting off the allocation profile.
 func computeDataHash(txs []Transaction) [32]byte {
-	parts := make([][]byte, 0, len(txs))
+	h := make([]byte, 0, 32*len(txs))
 	for _, tx := range txs {
-		b, err := json.Marshal(tx)
-		if err != nil {
-			continue
-		}
-		parts = append(parts, b)
+		d := tx.Digest()
+		h = append(h, d[:]...)
 	}
-	return dcrypto.HashConcat(parts...)
+	return dcrypto.Hash(h)
 }
 
 // NewBlock assembles a block for an external block producer (an ordering

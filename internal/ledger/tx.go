@@ -7,10 +7,13 @@
 package ledger
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"dltprivacy/internal/dcrypto"
@@ -54,16 +57,72 @@ type Transaction struct {
 	Endorsements []Endorsement `json:"endorsements,omitempty"`
 }
 
-// Digest returns the signed content of the transaction (everything except
-// the endorsements).
+// digestBufPool recycles the staging buffers of transaction digests: the
+// digest sits on the ordering submit path (once for the operator's audit
+// observation, once per block cut), so it must not re-serialize the whole
+// transaction through reflection on every call.
+var digestBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeLenPrefixed appends a length-prefixed field, keeping the encoding
+// injective (no field concatenation can collide with another split).
+func writeLenPrefixed(buf *bytes.Buffer, b []byte) {
+	var l [8]byte
+	binary.BigEndian.PutUint64(l[:], uint64(len(b)))
+	buf.Write(l[:])
+	buf.Write(b)
+}
+
+func writeLenPrefixedString(buf *bytes.Buffer, s string) {
+	var l [8]byte
+	binary.BigEndian.PutUint64(l[:], uint64(len(s)))
+	buf.Write(l[:])
+	buf.WriteString(s)
+}
+
+// Digest returns the canonical hash of the signed content of the
+// transaction (everything except the endorsements): length-prefixed fields
+// in fixed order, meta keys sorted, the timestamp as UTC nanoseconds. The
+// canonical form is hashed straight out of a pooled buffer — no JSON, no
+// reflection — because every ordered transaction pays this at least twice
+// (submit-side observation and block data hash).
 func (tx Transaction) Digest() [32]byte {
-	clone := tx
-	clone.Endorsements = nil
-	b, err := json.Marshal(clone)
-	if err != nil {
-		return [32]byte{}
+	buf := digestBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteString("ledger/tx/v2")
+	writeLenPrefixedString(buf, tx.Channel)
+	writeLenPrefixedString(buf, tx.Creator)
+	writeLenPrefixedString(buf, tx.Contract)
+	writeLenPrefixed(buf, tx.Payload)
+	var l [8]byte
+	binary.BigEndian.PutUint64(l[:], uint64(len(tx.Writes)))
+	buf.Write(l[:])
+	for _, w := range tx.Writes {
+		writeLenPrefixedString(buf, w.Key)
+		writeLenPrefixed(buf, w.Value)
+		if w.Delete {
+			buf.WriteByte(1)
+		} else {
+			buf.WriteByte(0)
+		}
 	}
-	return dcrypto.Hash(b)
+	binary.BigEndian.PutUint64(l[:], uint64(len(tx.Meta)))
+	buf.Write(l[:])
+	if len(tx.Meta) > 0 {
+		keys := make([]string, 0, len(tx.Meta))
+		for k := range tx.Meta {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			writeLenPrefixedString(buf, k)
+			writeLenPrefixedString(buf, tx.Meta[k])
+		}
+	}
+	binary.BigEndian.PutUint64(l[:], uint64(tx.Timestamp.UTC().UnixNano()))
+	buf.Write(l[:])
+	out := dcrypto.Hash(buf.Bytes())
+	digestBufPool.Put(buf)
+	return out
 }
 
 // ID returns the transaction identifier, the hex form of the digest.

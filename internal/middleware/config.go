@@ -32,10 +32,13 @@ var ErrBadConfig = errors.New("middleware: invalid pipeline configuration")
 //	session    — ttl (duration, default 10m), idle (duration, default 2m),
 //	             maxperprincipal (default 0 = unlimited; > 0 caps live
 //	             sessions per principal, evicting the oldest on overflow),
-//	             revokecheck (off|resolve|sweep, default off; anything but
-//	             off requires Env.Revoker), revokesweep (duration, default
-//	             30s; the sweep-mode interval, only valid with
-//	             revokecheck=sweep)
+//	             reqauth (sig|mac, default sig; mac authenticates
+//	             steady-state session requests with a per-session HMAC key
+//	             handed out in the grant instead of a per-request ECDSA
+//	             signature), revokecheck (off|resolve|sweep, default off;
+//	             anything but off requires Env.Revoker), revokesweep
+//	             (duration, default 30s; the sweep-mode interval, only
+//	             valid with revokecheck=sweep)
 //	authn      — (no parameters)
 //	encrypt    — keyttl (duration, default 0 = fresh data key per request;
 //	             > 0 caches the wrapped channel key per epoch; members come
@@ -65,6 +68,15 @@ type Config struct {
 	// overriding consistent hashing — the knob for hot channels that should
 	// own a shard. Requires Shards > 0; every index must be in [0, Shards).
 	ShardPins map[string]int
+
+	// Codec selects the gateway's wire codec: "json" (or empty, the
+	// default) keeps every wire structure JSON-encoded; "binary" enables
+	// the length-prefixed binary v2 framing for submissions and envelopes.
+	// A binary gateway still accepts JSON submissions (the two framings
+	// are sniffed apart by their first byte) and clients negotiate per
+	// session via SessionHello.Codec, so mixed populations keep working;
+	// JSON-only gateways reject binary frames.
+	Codec string
 }
 
 // Env carries the shared dependencies stages draw on. Zero fields default
@@ -156,6 +168,12 @@ func (c Config) Build(env Env, terminal Handler) (*Chain, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 		}
+		// The gateway codec reaches into the encrypt stage: a binary
+		// gateway seals envelopes in the binary framing, dropping the JSON
+		// marshal from the per-request path.
+		if e, ok := s.(*Encrypt); ok && c.Codec == CodecBinary {
+			e.useBinaryEnvelopes()
+		}
 		stages = append(stages, s)
 	}
 	return NewChain(terminal, stages...), nil
@@ -219,6 +237,11 @@ func (c Config) validate() error {
 	if bi, ok := pos[StageBatch]; ok && bi != len(c.Stages)-1 {
 		return fmt.Errorf("%w: %q must be the final stage (any later stage would be skipped for batched requests)", ErrBadConfig, StageBatch)
 	}
+	switch c.Codec {
+	case "", CodecJSON, CodecBinary:
+	default:
+		return fmt.Errorf("%w: unknown codec %q (want %s or %s)", ErrBadConfig, c.Codec, CodecJSON, CodecBinary)
+	}
 	return c.validateSharding()
 }
 
@@ -264,6 +287,10 @@ func buildStage(sc StageConfig, env Env) (Stage, error) {
 			ttl := p.duration("ttl", 10*time.Minute)
 			idle := p.duration("idle", 2*time.Minute)
 			maxPer := p.intVal("maxperprincipal", 0)
+			reqauth, aerr := ParseRequestAuthMode(p.str("reqauth", "sig"))
+			if aerr != nil {
+				return nil, fmt.Errorf("stage %s: %v", sc.Name, aerr)
+			}
 			mode, merr := ParseRevokeCheckMode(p.str("revokecheck", "off"))
 			if merr != nil {
 				return nil, fmt.Errorf("stage %s: %v", sc.Name, merr)
@@ -288,6 +315,7 @@ func buildStage(sc StageConfig, env Env) (Stage, error) {
 			}
 			mgr, err = NewSessionManager(env.CAKey, ttl, idle, env.Now,
 				WithMaxPerPrincipal(maxPer),
+				WithRequestAuth(reqauth),
 				WithRevocationChecks(env.Revoker, mode, sweepEvery))
 			if err != nil {
 				return nil, err

@@ -68,7 +68,57 @@
 // additionally sweeps expired sessions on every Open, so an abandoned
 // client population cannot grow the table without bound. A compromised
 // token alone cannot forge traffic: every submission still needs a
-// signature under the principal's private key.
+// signature under the principal's private key — or, under reqauth=mac
+// (below), a MAC under the per-session key from the grant.
+//
+// # Performance
+//
+// The session path exists to push steady-state per-request cost toward
+// the symmetric-crypto floor; three knobs finish the job:
+//
+//   - reqauth (session stage parameter, "sig" default | "mac"). Under
+//     "mac", Open derives a per-session HMAC-SHA256 key via HKDF — salted
+//     with the handshake transcript digest, so the key is rooted in the
+//     very PKI handshake it amortizes — and returns it in the
+//     SessionGrant. Steady-state submissions then carry MACRequest output
+//     instead of an ECDSA signature: a ~0.5µs pooled, allocation-free
+//     verify in place of a ~80µs public-key operation. The trust argument:
+//     the key is minted only after full certificate verification, is bound
+//     to one session, travels the same channel the bearer token already
+//     does, and dies with the session — expiry, close, or revocation (a
+//     revoked certificate evicts the session and with it the server's
+//     copy of the key, so the fast path cannot outlive trust; see
+//     BenchmarkGatewaySessionMAC and the revocation suite). Requests
+//     without a MAC fall back to the signature path, so first-contact and
+//     mixed populations keep working; sessionless traffic still flows
+//     through the authn stage unchanged.
+//   - Config.Codec ("json" default | "binary"). The binary v2 framing is
+//     a length-prefixed encoding for submissions and envelopes: no field
+//     names, no base64, no reflection; decodes alias the inbound buffer
+//     and encodes are a single exactly-sized allocation. Clients ask for
+//     it per session (SessionHello.Codec) and the grant reports what the
+//     gateway offers; JSON submissions are always accepted (the framings
+//     are sniffed apart by first byte), so enabling binary never strands
+//     a client. ParseEnvelope likewise reads both framings.
+//   - Striped, read-mostly caches. The session token table is sharded
+//     across independent RWMutex stripes keyed by token hash, so resolve —
+//     the per-request path — takes one read lock on one stripe, with idle
+//     clocks and counters atomic; opens, sweeps, the per-principal cap,
+//     and revocation deltas serialize on a separate control mutex. The
+//     encrypt stage precomputes the per-channel associated data and the
+//     sealing AEAD once per epoch, and over a GenerationalDirectory
+//     (SyncDirectory is the stock implementation) caches the member-set
+//     fingerprint per (channel, directory generation, exclusion
+//     generation), so steady-state membership checks cost two integer
+//     compares instead of a sort-and-hash. Digest and MAC computations
+//     run on pooled hash states.
+//
+// BenchmarkGatewaySessionMAC and BenchmarkGatewayParallel hold the
+// resulting claim in CI — reqauth=mac is at least 2x lower ns/op and at
+// least 50% fewer allocs/op than the signature/JSON session baseline
+// (measured ~11x and ~2.6x with the binary codec) — via cmd/benchgate
+// speedup rules, and the benchmark gate tracks ns/op, B/op, and allocs/op
+// against bench_baseline.json.
 //
 // # Channel key rotation
 //

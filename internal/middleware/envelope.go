@@ -1,7 +1,9 @@
 package middleware
 
 import (
+	"bytes"
 	"context"
+	"crypto/cipher"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -42,6 +44,13 @@ func envelopeAD(channel string) []byte {
 
 // SealEnvelope encrypts payload for the given member keys.
 func SealEnvelope(channel string, payload []byte, members map[string]dcrypto.PublicKey) (Envelope, error) {
+	return sealEnvelope(channel, payload, members, envelopeAD(channel))
+}
+
+// sealEnvelope is SealEnvelope with the channel AD precomputed — the
+// encrypt stage passes its per-channel cached AD so the string concat and
+// allocation happen once per channel, not once per request.
+func sealEnvelope(channel string, payload []byte, members map[string]dcrypto.PublicKey, ad []byte) (Envelope, error) {
 	if len(members) == 0 {
 		return Envelope{}, fmt.Errorf("middleware: no member keys for channel %s", channel)
 	}
@@ -49,7 +58,7 @@ func SealEnvelope(channel string, payload []byte, members map[string]dcrypto.Pub
 	if err != nil {
 		return Envelope{}, fmt.Errorf("middleware: data key: %w", err)
 	}
-	ct, err := dcrypto.EncryptSymmetric(dataKey, payload, envelopeAD(channel))
+	ct, err := dcrypto.EncryptSymmetric(dataKey, payload, ad)
 	if err != nil {
 		return Envelope{}, fmt.Errorf("middleware: seal payload: %w", err)
 	}
@@ -60,7 +69,7 @@ func SealEnvelope(channel string, payload []byte, members map[string]dcrypto.Pub
 		Keys:       make(map[string]dcrypto.HybridCiphertext, len(members)),
 	}
 	for id, pub := range members {
-		wrapped, err := dcrypto.EncryptHybrid(pub, dataKey, envelopeAD(channel))
+		wrapped, err := dcrypto.EncryptHybrid(pub, dataKey, ad)
 		if err != nil {
 			return Envelope{}, fmt.Errorf("middleware: wrap key for %s: %w", id, err)
 		}
@@ -86,8 +95,16 @@ func OpenEnvelope(env Envelope, member string, key *dcrypto.PrivateKey) ([]byte,
 }
 
 // ParseEnvelope decodes a marshalled envelope (a transaction payload the
-// encrypt stage produced).
+// encrypt stage produced), in either wire codec: binary frames are sniffed
+// by their magic byte, everything else parses as JSON.
 func ParseEnvelope(b []byte) (Envelope, error) {
+	if isBinaryFrame(b) {
+		env, err := decodeEnvelopeBinary(b)
+		if err != nil {
+			return Envelope{}, fmt.Errorf("middleware: parse envelope: %w", err)
+		}
+		return env, nil
+	}
 	var env Envelope
 	if err := json.Unmarshal(b, &env); err != nil {
 		return Envelope{}, fmt.Errorf("middleware: parse envelope: %w", err)
@@ -99,6 +116,18 @@ func ParseEnvelope(b []byte) (Envelope, error) {
 // recipient set of envelope encryption.
 type Directory interface {
 	MemberKeys(channel string) (map[string]dcrypto.PublicKey, error)
+}
+
+// GenerationalDirectory is a Directory that can report membership change
+// cheaply: Generation returns a value that differs whenever any channel's
+// member set has changed since an earlier call. The encrypt stage uses it
+// to cache the member-set fingerprint per (channel, generation) instead of
+// re-sorting and re-hashing the member set on every request. A directory
+// implementing it must treat every map it has handed out as immutable —
+// membership changes install a fresh map and bump the generation.
+type GenerationalDirectory interface {
+	Directory
+	Generation() uint64
 }
 
 // StaticDirectory is a fixed channel -> member -> key map.
@@ -113,6 +142,62 @@ func (d StaticDirectory) MemberKeys(channel string) (map[string]dcrypto.PublicKe
 	return members, nil
 }
 
+// SyncDirectory is a concurrency-safe GenerationalDirectory: channels are
+// installed and replaced whole via SetChannel, which copies the member map
+// and bumps the generation, so readers always see immutable snapshots and
+// the encrypt stage's fingerprint cache stays exact.
+type SyncDirectory struct {
+	mu       sync.RWMutex
+	gen      uint64
+	channels map[string]map[string]dcrypto.PublicKey
+}
+
+// NewSyncDirectory creates an empty SyncDirectory.
+func NewSyncDirectory() *SyncDirectory {
+	return &SyncDirectory{channels: make(map[string]map[string]dcrypto.PublicKey)}
+}
+
+// SetChannel installs (or replaces) a channel's member set. The map is
+// copied; later mutation of the argument does not leak in. Passing an
+// empty or nil map removes the channel.
+func (d *SyncDirectory) SetChannel(channel string, members map[string]dcrypto.PublicKey) {
+	var snap map[string]dcrypto.PublicKey
+	if len(members) > 0 {
+		snap = make(map[string]dcrypto.PublicKey, len(members))
+		for id, key := range members {
+			snap[id] = key
+		}
+	}
+	d.mu.Lock()
+	if snap == nil {
+		delete(d.channels, channel)
+	} else {
+		d.channels[channel] = snap
+	}
+	d.gen++
+	d.mu.Unlock()
+}
+
+// MemberKeys implements Directory. The returned map is an immutable
+// snapshot; callers must not modify it.
+func (d *SyncDirectory) MemberKeys(channel string) (map[string]dcrypto.PublicKey, error) {
+	d.mu.RLock()
+	members, ok := d.channels[channel]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("middleware: no members registered for channel %s", channel)
+	}
+	return members, nil
+}
+
+// Generation implements GenerationalDirectory.
+func (d *SyncDirectory) Generation() uint64 {
+	d.mu.RLock()
+	g := d.gen
+	d.mu.RUnlock()
+	return g
+}
+
 // Encrypt is the envelope-encryption stage. It refuses unauthenticated
 // requests even if misassembled by hand: sealing ciphertext for an
 // unverified submitter would lend member-only confidentiality to spoofed
@@ -125,13 +210,29 @@ func (d StaticDirectory) MemberKeys(channel string) (map[string]dcrypto.PublicKe
 // epoch's TTL elapses, when the channel's member set changes, or on an
 // explicit Rotate call (e.g. after revoking a member).
 type Encrypt struct {
-	dir    Directory
+	dir Directory
+	// gdir is dir downcast to its generational form, nil otherwise; with
+	// it, the member-set fingerprint is cached per (channel, directory
+	// generation, exclusion generation) instead of recomputed per request.
+	gdir   GenerationalDirectory
 	keyTTL time.Duration
 	now    func() time.Time
+	// binary switches envelope marshalling to the binary v2 framing
+	// (Config.Codec = "binary"); set at Build time, before traffic.
+	binary bool
+
+	// adCache holds the per-channel associated-data strings, computed once
+	// per channel instead of concatenated per request.
+	adCache sync.Map // channel string -> []byte
 
 	mu     sync.Mutex
 	keys   map[string]*channelKey
 	epochs map[string]uint64 // next epoch per channel; survives rotation
+	// fps caches the member-set fingerprint (and the effective member
+	// snapshot it was computed from) per channel, valid while both the
+	// directory generation and the exclusion generation stand still.
+	// Guarded by mu; only populated for generational directories.
+	fps map[string]*fpEntry
 	// excluded holds identities whose certificates were revoked: they are
 	// dropped from every member set before sealing, so no envelope after
 	// the revocation wraps a key they can unwrap. exclGen counts
@@ -148,13 +249,30 @@ type Encrypt struct {
 	revokedRotations uint64
 }
 
-// channelKey is one cached (channel, epoch) data-key generation.
+// channelKey is one cached (channel, epoch) data-key generation. Beyond
+// the wrapped key material it carries everything the per-request seal
+// would otherwise recompute: the prebuilt AEAD (AES key schedule + GCM
+// tables), the channel associated data, and the recipient IDs presorted
+// for deterministic binary encoding.
 type channelKey struct {
 	epoch     uint64
 	dataKey   []byte
+	aead      cipher.AEAD
+	ad        []byte
 	wrapped   map[string]dcrypto.HybridCiphertext
+	ids       []string // sorted recipient identities
 	members   [32]byte // fingerprint of the member set the key was wrapped to
 	expiresAt time.Time
+}
+
+// fpEntry is one cached member-set fingerprint: the directory and
+// exclusion generations it is valid for, the fingerprint, and the
+// effective (exclusions-applied) member snapshot it covers.
+type fpEntry struct {
+	dirGen  uint64
+	exclGen uint64
+	fp      [32]byte
+	members map[string]dcrypto.PublicKey
 }
 
 // NewEncrypt creates the encrypt stage over a membership directory with no
@@ -163,7 +281,24 @@ func NewEncrypt(dir Directory) (*Encrypt, error) {
 	if dir == nil {
 		return nil, errors.New("middleware: encrypt stage needs a membership directory")
 	}
-	return &Encrypt{dir: dir}, nil
+	gdir, _ := dir.(GenerationalDirectory)
+	return &Encrypt{dir: dir, gdir: gdir}, nil
+}
+
+// useBinaryEnvelopes switches envelope marshalling to the binary v2
+// framing. Called by Config.Build when the gateway codec is binary, before
+// any traffic.
+func (e *Encrypt) useBinaryEnvelopes() { e.binary = true }
+
+// adFor returns the channel's associated data, computing and caching it on
+// first use.
+func (e *Encrypt) adFor(channel string) []byte {
+	if v, ok := e.adCache.Load(channel); ok {
+		return v.([]byte)
+	}
+	ad := envelopeAD(channel)
+	e.adCache.Store(channel, ad)
+	return ad
 }
 
 // NewCachedEncrypt creates the encrypt stage with an epoch-based channel
@@ -184,6 +319,7 @@ func NewCachedEncrypt(dir Directory, keyTTL time.Duration, now func() time.Time)
 	e.now = now
 	e.keys = make(map[string]*channelKey)
 	e.epochs = make(map[string]uint64)
+	e.fps = make(map[string]*fpEntry)
 	return e, nil
 }
 
@@ -341,45 +477,77 @@ func memberFingerprint(members map[string]dcrypto.PublicKey) [32]byte {
 // expensive per-member wrap runs outside the lock so a rotation on one
 // channel never stalls sealing on others; racing rotators are resolved by
 // a double-checked install (the loser's freshly wrapped key is discarded).
-func (e *Encrypt) channelKeyFor(channel string, members map[string]dcrypto.PublicKey) (*channelKey, error) {
+//
+// Over a GenerationalDirectory the steady state is one lock acquisition
+// and zero hashing: the member-set fingerprint is cached per (channel,
+// directory generation, exclusion generation), so detecting "nothing
+// changed" costs two integer compares instead of a sort-and-hash of the
+// member set. dirGen is the generation the caller read BEFORE fetching
+// members (Handle enforces the order): a concurrent directory update can
+// therefore only make members newer than the tag, never older, so a cache
+// entry never advertises a stale member set under a fresh generation —
+// the next request at the new generation recomputes and converges.
+func (e *Encrypt) channelKeyFor(channel string, dirGen uint64, members map[string]dcrypto.PublicKey) (*channelKey, error) {
 	now := e.now()
 	for {
-		// Snapshot the exclusion state, then fingerprint outside the lock:
-		// the O(n log n) sort-and-hash of the member set must not sit in
-		// the critical section every seal on every channel shares. The
-		// generation re-checks below invalidate the snapshot if a
-		// revocation lands meanwhile.
+		var (
+			fp       [32]byte
+			sealable map[string]dcrypto.PublicKey
+		)
 		e.mu.Lock()
 		gen := e.exclGen
-		sealable := e.effectiveMembersLocked(members)
-		e.mu.Unlock()
-		fp := memberFingerprint(sealable)
-		live := func(ck *channelKey) bool {
-			return ck != nil && ck.members == fp && !now.After(ck.expiresAt)
-		}
-
-		e.mu.Lock()
-		if e.exclGen != gen {
+		if fe := e.fps[channel]; e.gdir != nil && fe != nil && fe.dirGen == dirGen && fe.exclGen == gen {
+			// Fingerprint cache hit: if the channel key matches too, this
+			// is the whole fast path — one lock, two compares.
+			if ck := e.keys[channel]; ck != nil && ck.members == fe.fp && !now.After(ck.expiresAt) {
+				e.mu.Unlock()
+				return ck, nil
+			}
+			fp, sealable = fe.fp, fe.members
 			e.mu.Unlock()
-			continue
-		}
-		if ck := e.keys[channel]; live(ck) {
+		} else {
+			// Snapshot the exclusion state, then fingerprint outside the
+			// lock: the O(n log n) sort-and-hash of the member set must not
+			// sit in the critical section every seal on every channel
+			// shares. The generation re-checks below invalidate the
+			// snapshot if a revocation lands meanwhile.
+			sealable = e.effectiveMembersLocked(members)
 			e.mu.Unlock()
-			return ck, nil
+			fp = memberFingerprint(sealable)
+			e.mu.Lock()
+			if e.exclGen != gen {
+				e.mu.Unlock()
+				continue
+			}
+			if e.gdir != nil {
+				e.fps[channel] = &fpEntry{dirGen: dirGen, exclGen: gen, fp: fp, members: sealable}
+			}
+			if ck := e.keys[channel]; ck != nil && ck.members == fp && !now.After(ck.expiresAt) {
+				e.mu.Unlock()
+				return ck, nil
+			}
+			e.mu.Unlock()
 		}
-		e.mu.Unlock()
 
 		dataKey, err := dcrypto.NewSymmetricKey()
 		if err != nil {
 			return nil, fmt.Errorf("middleware: data key: %w", err)
 		}
+		ad := e.adFor(channel)
 		wrapped := make(map[string]dcrypto.HybridCiphertext, len(sealable))
+		ids := make([]string, 0, len(sealable))
 		for id, pub := range sealable {
-			w, err := dcrypto.EncryptHybrid(pub, dataKey, envelopeAD(channel))
+			w, err := dcrypto.EncryptHybrid(pub, dataKey, ad)
 			if err != nil {
 				return nil, fmt.Errorf("middleware: wrap key for %s: %w", id, err)
 			}
 			wrapped[id] = w
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		aead, err := dcrypto.NewAEAD(dataKey)
+		if err != nil {
+			return nil, fmt.Errorf("middleware: data key aead: %w", err)
 		}
 
 		e.mu.Lock()
@@ -389,7 +557,7 @@ func (e *Encrypt) channelKeyFor(channel string, members map[string]dcrypto.Publi
 			e.mu.Unlock()
 			continue
 		}
-		if ck := e.keys[channel]; live(ck) {
+		if ck := e.keys[channel]; ck != nil && ck.members == fp && !now.After(ck.expiresAt) {
 			e.mu.Unlock()
 			return ck, nil
 		}
@@ -398,7 +566,10 @@ func (e *Encrypt) channelKeyFor(channel string, members map[string]dcrypto.Publi
 		ck := &channelKey{
 			epoch:     e.epochs[channel],
 			dataKey:   dataKey,
+			aead:      aead,
+			ad:        ad,
 			wrapped:   wrapped,
+			ids:       ids,
 			members:   fp,
 			expiresAt: now.Add(e.keyTTL),
 		}
@@ -408,24 +579,60 @@ func (e *Encrypt) channelKeyFor(channel string, members map[string]dcrypto.Publi
 	}
 }
 
+// jsonBufPool recycles the staging buffers of JSON envelope marshalling:
+// the encoder writes into a pooled buffer and only the exactly-sized final
+// payload is allocated fresh (it outlives the request as the transaction
+// payload, so it cannot itself be pooled).
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// marshalEnvelope encodes the sealed envelope in the stage's codec.
+// sortedIDs orders the binary key section without a per-request sort; it
+// may be nil on the fresh-key (non-cached) path.
+func (e *Encrypt) marshalEnvelope(env *Envelope, sortedIDs []string) ([]byte, error) {
+	if e.binary {
+		return encodeEnvelopeBinary(env, sortedIDs), nil
+	}
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(env); err != nil {
+		jsonBufPool.Put(buf)
+		return nil, fmt.Errorf("middleware: marshal envelope: %w", err)
+	}
+	staged := buf.Bytes()
+	staged = staged[:len(staged)-1] // Encode appends a newline Marshal would not
+	out := make([]byte, len(staged))
+	copy(out, staged)
+	jsonBufPool.Put(buf)
+	return out, nil
+}
+
 // Handle implements Stage.
 func (e *Encrypt) Handle(ctx context.Context, req *Request, next Handler) error {
 	if !req.authenticated {
 		return ErrNotAuthenticated
+	}
+	// The directory generation is read BEFORE the member fetch: if an
+	// update lands in between, the snapshot is newer than the tag, which
+	// is safe (the fingerprint cache can run a request behind, never seal
+	// to a member set older than its recorded generation).
+	var dirGen uint64
+	if e.gdir != nil {
+		dirGen = e.gdir.Generation()
 	}
 	members, err := e.dir.MemberKeys(req.Channel)
 	if err != nil {
 		return err
 	}
 	var env Envelope
+	var sortedIDs []string
 	if e.keyTTL > 0 {
 		// channelKeyFor applies the revocation exclusions itself, under the
 		// cache lock, so a racing RevokeMember cannot poison a fresh epoch.
-		ck, err := e.channelKeyFor(req.Channel, members)
+		ck, err := e.channelKeyFor(req.Channel, dirGen, members)
 		if err != nil {
 			return err
 		}
-		ct, err := dcrypto.EncryptSymmetric(ck.dataKey, req.Payload, envelopeAD(req.Channel))
+		ct, err := dcrypto.EncryptWithAEAD(ck.aead, req.Payload, ck.ad)
 		if err != nil {
 			return fmt.Errorf("middleware: seal payload: %w", err)
 		}
@@ -436,15 +643,16 @@ func (e *Encrypt) Handle(ctx context.Context, req *Request, next Handler) error 
 			Ciphertext: ct,
 			Keys:       ck.wrapped,
 		}
+		sortedIDs = ck.ids
 	} else {
-		env, err = SealEnvelope(req.Channel, req.Payload, e.effectiveMembers(members))
+		env, err = sealEnvelope(req.Channel, req.Payload, e.effectiveMembers(members), e.adFor(req.Channel))
 		if err != nil {
 			return err
 		}
 	}
-	b, err := json.Marshal(env)
+	b, err := e.marshalEnvelope(&env, sortedIDs)
 	if err != nil {
-		return fmt.Errorf("middleware: marshal envelope: %w", err)
+		return err
 	}
 	req.Payload = b
 	req.encrypted = true

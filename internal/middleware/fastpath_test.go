@@ -1,0 +1,698 @@
+package middleware
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dltprivacy/internal/audit"
+	"dltprivacy/internal/dcrypto"
+	"dltprivacy/internal/ledger"
+	"dltprivacy/internal/ordering"
+	"dltprivacy/internal/transport"
+)
+
+// --- binary codec ---
+
+func TestWireRequestBinaryRoundtrip(t *testing.T) {
+	_, ps := enroll(t, "alice")
+	cert := ps["alice"].cert
+	sig, err := ps["alice"].key.Sign([]byte("digest"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac := bytes.Repeat([]byte{0x7f}, dcrypto.MACSize)
+	cases := []wireRequest{
+		{Channel: "deals", Principal: "alice", Payload: []byte("trade")},
+		{Channel: "deals", Principal: "alice", Backend: "fabric", Payload: []byte("trade"),
+			Sig: sig, Session: "tok", Meta: map[string]string{"a": "1", "b": "2"}},
+		{Channel: "deals", Principal: "alice", Payload: nil, MAC: mac, Session: "tok"},
+		{Channel: "deals", Principal: "alice", Payload: []byte("trade"), Cert: &cert, Sig: sig},
+	}
+	for i, w := range cases {
+		b, err := encodeWireRequestBinary(&w)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		if !isBinaryFrame(b) {
+			t.Fatalf("case %d: encoded frame not sniffed as binary", i)
+		}
+		got, err := decodeWireRequestBinary(b)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got.Channel != w.Channel || got.Principal != w.Principal || got.Backend != w.Backend ||
+			got.Session != w.Session || !bytes.Equal(got.Payload, w.Payload) || !bytes.Equal(got.MAC, w.MAC) {
+			t.Fatalf("case %d: roundtrip mismatch: %+v vs %+v", i, got, w)
+		}
+		if (w.Sig.R == nil) != (got.Sig.R == nil) {
+			t.Fatalf("case %d: signature presence mismatch", i)
+		}
+		if w.Sig.R != nil && !bytes.Equal(w.Sig.Bytes(), got.Sig.Bytes()) {
+			t.Fatalf("case %d: signature mismatch", i)
+		}
+		if (w.Cert == nil) != (got.Cert == nil) {
+			t.Fatalf("case %d: cert presence mismatch", i)
+		}
+		if w.Cert != nil && got.Cert.Serial != w.Cert.Serial {
+			t.Fatalf("case %d: cert serial mismatch", i)
+		}
+		if !reflect.DeepEqual(got.Meta, w.Meta) {
+			t.Fatalf("case %d: meta mismatch: %v vs %v", i, got.Meta, w.Meta)
+		}
+	}
+}
+
+func TestEnvelopeBinaryRoundtrip(t *testing.T) {
+	_, ps := enroll(t, "alice", "bob")
+	members := map[string]dcrypto.PublicKey{
+		"alice": ps["alice"].key.Public(),
+		"bob":   ps["bob"].key.Public(),
+	}
+	env, err := SealEnvelope("deals", []byte("secret trade"), members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Epoch = 7
+	b, err := EncodeEnvelope(env, CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isBinaryFrame(b) {
+		t.Fatal("binary envelope not sniffed as binary")
+	}
+	got, err := ParseEnvelope(b)
+	if err != nil {
+		t.Fatalf("ParseEnvelope(binary): %v", err)
+	}
+	if got.Scheme != env.Scheme || got.Channel != env.Channel || got.Epoch != env.Epoch {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	// The decoded envelope must open like the original for every member.
+	for name, p := range ps {
+		pt, err := OpenEnvelope(got, name, p.key)
+		if err != nil {
+			t.Fatalf("open decoded envelope as %s: %v", name, err)
+		}
+		if !bytes.Equal(pt, []byte("secret trade")) {
+			t.Fatalf("decoded payload mismatch for %s", name)
+		}
+	}
+	// JSON stays the default and still parses.
+	jb, err := EncodeEnvelope(env, CodecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if isBinaryFrame(jb) {
+		t.Fatal("JSON envelope sniffed as binary")
+	}
+	if _, err := ParseEnvelope(jb); err != nil {
+		t.Fatalf("ParseEnvelope(json): %v", err)
+	}
+	// Binary encoding is deterministic (sorted recipient order).
+	b2, _ := EncodeEnvelope(env, CodecBinary)
+	if !bytes.Equal(b, b2) {
+		t.Fatal("binary envelope encoding is not deterministic")
+	}
+}
+
+func TestBinaryFrameRejectsMalformed(t *testing.T) {
+	good, err := encodeWireRequestBinary(&wireRequest{Channel: "deals", Principal: "alice", Payload: []byte("p")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":           {},
+		"magic only":      {binaryMagic},
+		"wrong kind":      {binaryMagic, 0x7f},
+		"truncated":       good[:len(good)-2],
+		"trailing bytes":  append(append([]byte{}, good...), 0x01),
+		"oversized field": {binaryMagic, binaryKindRequest, 0xff, 0xff, 0xff, 0x01},
+		"huge meta count": append(append([]byte{}, good[:len(good)-1]...), 0xff, 0xff, 0x03),
+		"envelope as req": {binaryMagic, binaryKindEnvelope, 0x00},
+		"bad sig length":  nil, // built below
+		"bad mac length":  nil, // built below
+		"huge key count env": append([]byte{binaryMagic, binaryKindEnvelope},
+			0x01, 's', 0x01, 'c', 0x00, 0x00, 0xff, 0xff, 0x03),
+	}
+	// Hand-assemble a frame with a 3-byte "signature".
+	withSig := []byte{binaryMagic, binaryKindRequest,
+		0x01, 'c', 0x01, 'p', 0x00, 0x00, 0x00, 0x03, 0xaa, 0xbb, 0xcc, 0x00, 0x00, 0x00}
+	cases["bad sig length"] = withSig
+	withMAC := []byte{binaryMagic, binaryKindRequest,
+		0x01, 'c', 0x01, 'p', 0x00, 0x00, 0x00, 0x00, 0x02, 0xaa, 0xbb, 0x00, 0x00}
+	cases["bad mac length"] = withMAC
+	for name, b := range cases {
+		if name == "envelope as req" || name == "huge key count env" {
+			if _, err := decodeEnvelopeBinary(b); err == nil && name == "huge key count env" {
+				t.Fatalf("%s: accepted", name)
+			}
+			continue
+		}
+		if _, err := decodeWireRequestBinary(b); err == nil {
+			t.Fatalf("%s: malformed frame accepted", name)
+		}
+	}
+	if _, err := ParseEnvelope([]byte{binaryMagic, binaryKindEnvelope}); err == nil {
+		t.Fatal("truncated binary envelope accepted")
+	}
+}
+
+func TestCodecConfigValidation(t *testing.T) {
+	_, err := Config{
+		Stages: []StageConfig{{Name: StageRateLimit}},
+		Codec:  "protobuf",
+	}.Build(Env{}, nil)
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unknown codec accepted: %v", err)
+	}
+	for _, codec := range []string{"", CodecJSON, CodecBinary} {
+		if _, err := (Config{
+			Stages: []StageConfig{{Name: StageRateLimit}},
+			Codec:  codec,
+		}).Build(Env{}, nil); err != nil {
+			t.Fatalf("codec %q rejected: %v", codec, err)
+		}
+	}
+}
+
+// --- MAC request authentication ---
+
+// fastpathGateway builds a session+encrypt gateway with the given reqauth
+// and codec over the transport substrate, returning the network and the
+// per-principal grants.
+func fastpathGateway(t testing.TB, reqauth, codec string, names ...string) (*Gateway, *transport.Network, map[string]*principal, map[string]SessionGrant) {
+	t.Helper()
+	ca, ps := enroll(t, names...)
+	members := make(map[string]dcrypto.PublicKey, len(ps))
+	for name, p := range ps {
+		members[name] = p.key.Public()
+	}
+	dir := NewSyncDirectory()
+	dir.SetChannel("deals", members)
+	dir.SetChannel("loans", members)
+	cfg := Config{
+		Stages: []StageConfig{
+			{Name: StageSession, Params: map[string]string{"ttl": "1h", "idle": "1h", "reqauth": reqauth}},
+			{Name: StageAuthn},
+			{Name: StageEncrypt, Params: map[string]string{"keyttl": "1h"}},
+		},
+		Codec: codec,
+	}
+	env := Env{CAKey: ca.PublicKey(), Directory: dir, Log: audit.NewLog()}
+	gw, err := NewGateway("fastpath-gw", cfg, env, ordering.New("op", ordering.VisibilityEnvelope))
+	if err != nil {
+		t.Fatalf("NewGateway: %v", err)
+	}
+	net := transport.New()
+	if err := gw.AttachTransport(context.Background(), net, "gateway"); err != nil {
+		t.Fatalf("AttachTransport: %v", err)
+	}
+	// The orderer needs at least one subscriber per channel to accept
+	// submissions; tests asserting delivery bind their own recorders too.
+	for _, ch := range []string{"deals", "loans"} {
+		gw.Bind(ch, backendFunc{name: "sink", commit: func(ledger.Block) error { return nil }})
+	}
+	grants := make(map[string]SessionGrant, len(ps))
+	for name, p := range ps {
+		grant, err := OpenSessionOverCodec(net, name, "gateway", p.cert, p.key, codec)
+		if err != nil {
+			t.Fatalf("open session for %s: %v", name, err)
+		}
+		grants[name] = grant
+	}
+	return gw, net, ps, grants
+}
+
+func TestSessionMACAuthenticates(t *testing.T) {
+	gw, net, _, grants := fastpathGateway(t, "mac", CodecJSON, "alice")
+	grant := grants["alice"]
+	if len(grant.MacKey) != dcrypto.MACKeySize {
+		t.Fatalf("mac-mode grant carries no MAC key: %+v", grant)
+	}
+	req := &Request{Channel: "deals", Principal: "alice", Payload: []byte("trade"), SessionToken: grant.Token}
+	MACRequest(req, grant.MacKey)
+	if req.Sig.R != nil {
+		t.Fatal("MACRequest must not sign")
+	}
+	if _, err := SubmitOver(net, "alice", "gateway", req); err != nil {
+		t.Fatalf("MAC-authenticated submission rejected: %v", err)
+	}
+	if stats := gw.Stats(); stats.Submitted != 1 {
+		t.Fatalf("submitted = %d, want 1", stats.Submitted)
+	}
+}
+
+func TestSessionMACRejectsTampering(t *testing.T) {
+	_, net, _, grants := fastpathGateway(t, "mac", CodecJSON, "alice")
+	grant := grants["alice"]
+
+	// Tampered payload after MACing.
+	req := &Request{Channel: "deals", Principal: "alice", Payload: []byte("legit"), SessionToken: grant.Token}
+	MACRequest(req, grant.MacKey)
+	req.Payload = []byte("tampered")
+	if _, err := SubmitOver(net, "alice", "gateway", req); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("tampered MAC submission: got %v, want ErrBadMAC", err)
+	}
+
+	// MAC under the wrong key.
+	wrongKey := bytes.Repeat([]byte{0x42}, dcrypto.MACKeySize)
+	req2 := &Request{Channel: "deals", Principal: "alice", Payload: []byte("legit"), SessionToken: grant.Token}
+	MACRequest(req2, wrongKey)
+	if _, err := SubmitOver(net, "alice", "gateway", req2); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("wrong-key MAC submission: got %v, want ErrBadMAC", err)
+	}
+
+	// Garbage MAC of the right length.
+	req3 := &Request{Channel: "deals", Principal: "alice", Payload: []byte("legit"), SessionToken: grant.Token}
+	req3.MAC = bytes.Repeat([]byte{0x00}, dcrypto.MACSize)
+	if _, err := SubmitOver(net, "alice", "gateway", req3); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("garbage MAC submission: got %v, want ErrBadMAC", err)
+	}
+}
+
+func TestSessionMACSigFallback(t *testing.T) {
+	_, net, ps, grants := fastpathGateway(t, "mac", CodecJSON, "alice")
+	// A signature-path client on a MAC gateway keeps working (first
+	// contact, or a client that ignored the grant key).
+	req := &Request{Channel: "deals", Principal: "alice", Payload: []byte("trade"), SessionToken: grants["alice"].Token}
+	if err := SignRequest(req, ps["alice"].key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SubmitOver(net, "alice", "gateway", req); err != nil {
+		t.Fatalf("signature fallback on mac gateway rejected: %v", err)
+	}
+}
+
+func TestSessionSigModeGrantsNoMACKey(t *testing.T) {
+	_, net, _, grants := fastpathGateway(t, "sig", CodecJSON, "alice")
+	grant := grants["alice"]
+	if grant.MacKey != nil {
+		t.Fatalf("sig-mode grant carries a MAC key")
+	}
+	// A MAC-bearing request at a signature-only gateway is rejected, not
+	// silently accepted.
+	req := &Request{Channel: "deals", Principal: "alice", Payload: []byte("trade"), SessionToken: grant.Token}
+	req.MAC = bytes.Repeat([]byte{0x01}, dcrypto.MACSize)
+	if _, err := SubmitOver(net, "alice", "gateway", req); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("MAC at sig gateway: got %v, want ErrBadMAC", err)
+	}
+}
+
+func TestSessionMACKeyBoundPerSession(t *testing.T) {
+	ca, ps := enroll(t, "alice")
+	mgr, err := NewSessionManager(ca.PublicKey(), time.Hour, time.Hour, nil, WithRequestAuth(AuthMAC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := openSession(t, mgr, ps["alice"])
+	b := openSession(t, mgr, ps["alice"])
+	if bytes.Equal(a.MacKey, b.MacKey) {
+		t.Fatal("two sessions share a MAC key")
+	}
+	// One session's key cannot authenticate against the other's token.
+	req := &Request{Channel: "deals", Principal: "alice", Payload: []byte("p"), SessionToken: b.Token}
+	MACRequest(req, a.MacKey)
+	stage, err := NewSession(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = stage.Handle(context.Background(), req, func(context.Context, *Request) error { return nil })
+	if !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("cross-session MAC: got %v, want ErrBadMAC", err)
+	}
+}
+
+func TestRevocationKillsMACSession(t *testing.T) {
+	ca, ps := enroll(t, "alice")
+	mgr, err := NewSessionManager(ca.PublicKey(), time.Hour, time.Hour, nil,
+		WithRequestAuth(AuthMAC),
+		WithRevocationChecks(ca, RevokeCheckResolve, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grant := openSession(t, mgr, ps["alice"])
+	stage, err := NewSession(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := func(context.Context, *Request) error { return nil }
+
+	req := &Request{Channel: "deals", Principal: "alice", Payload: []byte("p"), SessionToken: grant.Token}
+	MACRequest(req, grant.MacKey)
+	if err := stage.Handle(context.Background(), req, next); err != nil {
+		t.Fatalf("pre-revocation MAC request rejected: %v", err)
+	}
+
+	ca.Revoke(ps["alice"].cert.Serial)
+
+	// A perfectly valid MAC under the granted key is now refused: the
+	// session (and the server's copy of the key) died with the cert.
+	late := &Request{Channel: "deals", Principal: "alice", Payload: []byte("late"), SessionToken: grant.Token}
+	MACRequest(late, grant.MacKey)
+	if err := stage.Handle(context.Background(), late, next); !errors.Is(err, ErrSessionRevoked) {
+		t.Fatalf("post-revocation MAC request: got %v, want ErrSessionRevoked", err)
+	}
+}
+
+// --- codec negotiation and binary submissions ---
+
+func TestCodecNegotiation(t *testing.T) {
+	// A binary gateway offers binary to sessions that ask for it.
+	_, _, _, grants := fastpathGateway(t, "mac", CodecBinary, "alice")
+	if got := grants["alice"].Codec; got != CodecBinary {
+		t.Fatalf("binary gateway negotiated %q, want %q", got, CodecBinary)
+	}
+	// A JSON gateway downgrades a binary request to JSON.
+	_, net, ps, _ := fastpathGateway(t, "mac", CodecJSON, "bob")
+	grant, err := OpenSessionOverCodec(net, "bob", "gateway", ps["bob"].cert, ps["bob"].key, CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grant.Codec != CodecJSON {
+		t.Fatalf("json gateway negotiated %q, want %q", grant.Codec, CodecJSON)
+	}
+	// And rejects binary frames outright.
+	req := &Request{Channel: "deals", Principal: "bob", Payload: []byte("p"), SessionToken: grant.Token}
+	MACRequest(req, grant.MacKey)
+	if _, err := SubmitOverCodec(net, "bob", "gateway", req, CodecBinary); err == nil {
+		t.Fatal("binary frame accepted by json gateway")
+	}
+}
+
+func TestBinarySubmissionEndToEnd(t *testing.T) {
+	gw, net, ps, grants := fastpathGateway(t, "mac", CodecBinary, "alice", "bob")
+	var delivered []ledger.Transaction
+	var mu sync.Mutex
+	sink := backendFunc{name: "recorder", commit: func(b ledger.Block) error {
+		mu.Lock()
+		delivered = append(delivered, b.Txs...)
+		mu.Unlock()
+		return nil
+	}}
+	gw.Bind("deals", sink)
+
+	grant := grants["alice"]
+	req := &Request{Channel: "deals", Principal: "alice", Payload: []byte("binary trade"), SessionToken: grant.Token}
+	MACRequest(req, grant.MacKey)
+	if _, err := SubmitOverCodec(net, "alice", "gateway", req, grant.Codec); err != nil {
+		t.Fatalf("binary submission rejected: %v", err)
+	}
+	// JSON stays accepted on the same gateway (mixed populations).
+	jreq := &Request{Channel: "deals", Principal: "bob", Payload: []byte("json trade"), SessionToken: grants["bob"].Token}
+	MACRequest(jreq, grants["bob"].MacKey)
+	if _, err := SubmitOver(net, "bob", "gateway", jreq); err != nil {
+		t.Fatalf("json submission on binary gateway rejected: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(delivered) != 2 {
+		t.Fatalf("delivered %d txs, want 2", len(delivered))
+	}
+	// Envelopes committed by a binary gateway are binary-framed and open
+	// for members regardless of framing.
+	for i, tx := range delivered {
+		env, err := ParseEnvelope(tx.Payload)
+		if err != nil {
+			t.Fatalf("tx %d: parse envelope: %v", i, err)
+		}
+		pt, err := OpenEnvelope(env, "alice", ps["alice"].key)
+		if err != nil {
+			t.Fatalf("tx %d: open envelope: %v", i, err)
+		}
+		if !bytes.Contains(pt, []byte("trade")) {
+			t.Fatalf("tx %d: unexpected payload %q", i, pt)
+		}
+		if !isBinaryFrame(tx.Payload) {
+			t.Fatalf("tx %d: binary gateway committed a JSON envelope", i)
+		}
+	}
+}
+
+// backendFunc adapts a function to the Backend interface.
+type backendFunc struct {
+	name   string
+	commit func(ledger.Block) error
+}
+
+func (b backendFunc) Name() string                  { return b.name }
+func (b backendFunc) Commit(blk ledger.Block) error { return b.commit(blk) }
+
+// --- SyncDirectory and fingerprint cache ---
+
+func TestSyncDirectoryMembershipRotatesEpoch(t *testing.T) {
+	ca, ps := enroll(t, "alice", "bob", "carol")
+	dir := NewSyncDirectory()
+	dir.SetChannel("deals", map[string]dcrypto.PublicKey{
+		"alice": ps["alice"].key.Public(),
+		"bob":   ps["bob"].key.Public(),
+	})
+	enc, err := NewCachedEncrypt(dir, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain(nil, NewAuthn(ca.PublicKey(), nil), enc)
+	submit := func(p *principal) *Request {
+		req := signedRequest(t, p, "deals", []byte("trade"))
+		if err := chain.Execute(context.Background(), req); err != nil {
+			t.Fatalf("submit as %s: %v", p.name, err)
+		}
+		return req
+	}
+	submit(ps["alice"])
+	if got := enc.Epoch("deals"); got != 1 {
+		t.Fatalf("epoch after first seal = %d, want 1", got)
+	}
+	// Steady state: the fingerprint cache keeps the epoch pinned.
+	for i := 0; i < 5; i++ {
+		submit(ps["alice"])
+	}
+	if got := enc.Epoch("deals"); got != 1 {
+		t.Fatalf("epoch after steady-state seals = %d, want 1", got)
+	}
+	// Membership change through the directory bumps the generation; the
+	// next seal must rotate and wrap to carol.
+	dir.SetChannel("deals", map[string]dcrypto.PublicKey{
+		"alice": ps["alice"].key.Public(),
+		"bob":   ps["bob"].key.Public(),
+		"carol": ps["carol"].key.Public(),
+	})
+	req := submit(ps["alice"])
+	if got := enc.Epoch("deals"); got != 2 {
+		t.Fatalf("epoch after membership change = %d, want 2", got)
+	}
+	env, err := ParseEnvelope(req.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenEnvelope(env, "carol", ps["carol"].key); err != nil {
+		t.Fatalf("joiner cannot open post-join envelope: %v", err)
+	}
+}
+
+func TestSyncDirectoryRevocationStillExcludes(t *testing.T) {
+	ca, ps := enroll(t, "alice", "bob")
+	dir := NewSyncDirectory()
+	dir.SetChannel("deals", map[string]dcrypto.PublicKey{
+		"alice": ps["alice"].key.Public(),
+		"bob":   ps["bob"].key.Public(),
+	})
+	enc, err := NewCachedEncrypt(dir, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain(nil, NewAuthn(ca.PublicKey(), nil), enc)
+	req := signedRequest(t, ps["alice"], "deals", []byte("trade"))
+	if err := chain.Execute(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	enc.RevokeMember("bob")
+	req2 := signedRequest(t, ps["alice"], "deals", []byte("post-revocation"))
+	if err := chain.Execute(context.Background(), req2); err != nil {
+		t.Fatal(err)
+	}
+	env, err := ParseEnvelope(req2.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenEnvelope(env, "bob", ps["bob"].key); !errors.Is(err, ErrNotRecipient) {
+		t.Fatalf("revoked member still a recipient (err %v) despite fingerprint cache", err)
+	}
+}
+
+// racyDirectory wraps a SyncDirectory and fires a mutation from inside the
+// first MemberKeys call — the worst interleaving for the fingerprint
+// cache: a membership change landing between the generation read and the
+// member fetch of one request.
+type racyDirectory struct {
+	*SyncDirectory
+	once   sync.Once
+	mutate func()
+}
+
+func (d *racyDirectory) MemberKeys(channel string) (map[string]dcrypto.PublicKey, error) {
+	members, err := d.SyncDirectory.MemberKeys(channel)
+	d.once.Do(d.mutate)
+	return members, err
+}
+
+// TestFingerprintCacheNotPoisonedByRacingUpdate pins the generation-read
+// ordering: when a directory update lands mid-request (after the
+// generation read, after the member fetch), the racing request may still
+// seal to the set it fetched, but the cache must NOT keep advertising that
+// stale set under the new generation — the very next request must re-key
+// to the updated membership.
+func TestFingerprintCacheNotPoisonedByRacingUpdate(t *testing.T) {
+	ca, ps := enroll(t, "alice", "bob")
+	base := NewSyncDirectory()
+	base.SetChannel("deals", map[string]dcrypto.PublicKey{
+		"alice": ps["alice"].key.Public(),
+		"bob":   ps["bob"].key.Public(),
+	})
+	dir := &racyDirectory{SyncDirectory: base}
+	dir.mutate = func() {
+		base.SetChannel("deals", map[string]dcrypto.PublicKey{
+			"alice": ps["alice"].key.Public(), // bob removed mid-request
+		})
+	}
+	enc, err := NewCachedEncrypt(dir, time.Hour, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := NewChain(nil, NewAuthn(ca.PublicKey(), nil), enc)
+	// Request 1 races the membership change; whichever snapshot it sealed
+	// to, request 2 runs entirely after the update and must exclude bob.
+	for i := 0; i < 2; i++ {
+		req := signedRequest(t, ps["alice"], "deals", []byte("trade"))
+		if err := chain.Execute(context.Background(), req); err != nil {
+			t.Fatalf("request %d: %v", i+1, err)
+		}
+		if i == 0 {
+			continue
+		}
+		env, err := ParseEnvelope(req.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, wrapped := env.Keys["bob"]; wrapped {
+			t.Fatal("request after membership change still wraps the removed member: fingerprint cache poisoned by racing update")
+		}
+	}
+}
+
+// --- concurrency matrix ---
+
+// TestFastPathConcurrencyMatrix drives parallel submitters through the
+// full gateway over the transport substrate across every reqauth × codec
+// combination, then asserts (a) every submission was accepted and counted,
+// (b) both bound backends saw identical per-channel delivery orders, and
+// (c) the per-channel sequences are a merge preserving each submitter's
+// own submission order. Run under -race this also shakes the striped
+// session table, the fingerprint cache, and the pooled hashing.
+func TestFastPathConcurrencyMatrix(t *testing.T) {
+	const (
+		submitters   = 4
+		perSubmitter = 25
+	)
+	names := make([]string, submitters)
+	for i := range names {
+		names[i] = fmt.Sprintf("org%d", i)
+	}
+	channels := []string{"deals", "loans"}
+	for _, reqauth := range []string{"sig", "mac"} {
+		for _, codec := range []string{CodecJSON, CodecBinary} {
+			t.Run(fmt.Sprintf("reqauth=%s/codec=%s", reqauth, codec), func(t *testing.T) {
+				gw, net, ps, grants := fastpathGateway(t, reqauth, codec, names...)
+				type record struct {
+					mu   sync.Mutex
+					seen map[string][]string // channel -> request ids in delivery order
+				}
+				recs := [2]*record{{seen: map[string][]string{}}, {seen: map[string][]string{}}}
+				for i, rec := range recs {
+					rec := rec
+					for _, ch := range channels {
+						gw.Bind(ch, backendFunc{name: fmt.Sprintf("rec%d", i), commit: func(b ledger.Block) error {
+							rec.mu.Lock()
+							for _, tx := range b.Txs {
+								rec.seen[tx.Channel] = append(rec.seen[tx.Channel], tx.Meta["reqid"])
+							}
+							rec.mu.Unlock()
+							return nil
+						}})
+					}
+				}
+				var wg sync.WaitGroup
+				errs := make(chan error, submitters)
+				for _, name := range names {
+					wg.Add(1)
+					go func(name string) {
+						defer wg.Done()
+						p, grant := ps[name], grants[name]
+						for i := 0; i < perSubmitter; i++ {
+							req := &Request{
+								Channel:      channels[i%len(channels)],
+								Principal:    name,
+								Payload:      []byte(fmt.Sprintf("%s-%d", name, i)),
+								SessionToken: grant.Token,
+								Meta:         map[string]string{"reqid": fmt.Sprintf("%s-%d", name, i)},
+							}
+							if reqauth == "mac" {
+								MACRequest(req, grant.MacKey)
+							} else if err := SignRequest(req, p.key); err != nil {
+								errs <- err
+								return
+							}
+							if _, err := SubmitOverCodec(net, name, "gateway", req, grant.Codec); err != nil {
+								errs <- fmt.Errorf("%s submit %d: %w", name, i, err)
+								return
+							}
+						}
+					}(name)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					t.Fatal(err)
+				}
+				total := uint64(submitters * perSubmitter)
+				stats := gw.Stats()
+				if stats.Submitted != total || stats.Ordered != total || stats.Rejected != 0 {
+					t.Fatalf("stats = submitted %d ordered %d rejected %d, want %d/%d/0",
+						stats.Submitted, stats.Ordered, stats.Rejected, total, total)
+				}
+				// Both backends saw the same per-channel order.
+				for _, ch := range channels {
+					if !reflect.DeepEqual(recs[0].seen[ch], recs[1].seen[ch]) {
+						t.Fatalf("channel %s: backends disagree on delivery order", ch)
+					}
+				}
+				// The merged order preserves each submitter's own sequence,
+				// and nothing was lost or duplicated.
+				delivered := 0
+				for _, ch := range channels {
+					prev := make(map[int]int)
+					for _, id := range recs[0].seen[ch] {
+						var orgIdx, seq int
+						if _, err := fmt.Sscanf(id, "org%d-%d", &orgIdx, &seq); err != nil {
+							t.Fatalf("unparseable reqid %q: %v", id, err)
+						}
+						if last, ok := prev[orgIdx]; ok && seq <= last {
+							t.Fatalf("channel %s: submitter org%d delivered out of order (%d after %d)", ch, orgIdx, seq, last)
+						}
+						prev[orgIdx] = seq
+						delivered++
+					}
+				}
+				if delivered != int(total) {
+					t.Fatalf("delivered %d txs across channels, want %d", delivered, total)
+				}
+			})
+		}
+	}
+}

@@ -33,12 +33,17 @@ func FuzzWireRequest(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	cfg := Config{Stages: []StageConfig{
-		{Name: StageSession, Params: map[string]string{"ttl": "1h", "idle": "1h", "revokecheck": "resolve"}},
-		{Name: StageAuthn},
-		{Name: StageEncrypt, Params: map[string]string{"keyttl": "1h"}},
-		{Name: StageAudit},
-	}}
+	cfg := Config{
+		Stages: []StageConfig{
+			{Name: StageSession, Params: map[string]string{"ttl": "1h", "idle": "1h", "revokecheck": "resolve", "reqauth": "mac"}},
+			{Name: StageAuthn},
+			{Name: StageEncrypt, Params: map[string]string{"keyttl": "1h"}},
+			{Name: StageAudit},
+		},
+		// Binary-codec gateway: the fuzzer exercises both framings (JSON
+		// decode and the binary v2 frame reader) plus the MAC verify path.
+		Codec: CodecBinary,
+	}
 	env := Env{
 		CAKey:     ca.PublicKey(),
 		Directory: StaticDirectory{"deals": {"alice": key.Public()}},
@@ -72,6 +77,21 @@ func FuzzWireRequest(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(goodWire)
+	// The same submission in the binary v2 framing, with a MAC instead of
+	// a signature, plus mutations of the frame structure.
+	macGood := &Request{Channel: "deals", Principal: "alice", Payload: []byte("trade"), SessionToken: grant.Token}
+	MACRequest(macGood, grant.MacKey)
+	goodBinary, err := EncodeWireRequest(macGood, CodecBinary)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(goodBinary)
+	f.Add(goodBinary[:len(goodBinary)/2])
+	f.Add(append(append([]byte{}, goodBinary...), 0xff))
+	f.Add([]byte{binaryMagic})
+	f.Add([]byte{binaryMagic, binaryKindRequest})
+	f.Add([]byte{binaryMagic, binaryKindRequest, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Add([]byte{binaryMagic, binaryKindEnvelope, 0x01, 's'})
 	f.Add([]byte(`{"channel":"deals","principal":"alice","session":"deadbeef"}`))
 	f.Add([]byte(`{"channel":"deals","principal":"alice","cert":{"serial":1},"sig":{}}`))
 	f.Add([]byte(`{"session":"` + grant.Token + `"}`))

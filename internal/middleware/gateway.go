@@ -50,8 +50,12 @@ type RevocationNotice struct {
 // relayed to the platform adapters bound per channel. Safe for concurrent
 // use.
 type Gateway struct {
-	name    string
-	chain   *Chain
+	name  string
+	chain *Chain
+	// codec is the wire codec the gateway offers (CodecJSON or
+	// CodecBinary); JSON submissions are always accepted, binary frames
+	// only when the gateway runs CodecBinary.
+	codec   string
 	orderer ordering.Backend
 	// sharded is the orderer downcast to its sharded form, nil for
 	// unsharded deployments; Stats snapshots per-shard counters from it.
@@ -160,8 +164,13 @@ func NewGateway(name string, cfg Config, env Env, orderer ordering.Backend) (*Ga
 			}
 		}
 	}
+	codec := cfg.Codec
+	if codec == "" {
+		codec = CodecJSON
+	}
 	g := &Gateway{
 		name:     name,
+		codec:    codec,
 		orderer:  orderer,
 		sharded:  sharded,
 		now:      env.Now,
@@ -420,9 +429,11 @@ func (g *Gateway) RotateChannelKey(channel string) {
 	}
 }
 
-// wireRequest is the JSON form a transport client submits. Session-bound
+// wireRequest is the form a transport client submits — JSON by default,
+// or the binary v2 framing on a binary-codec gateway. Session-bound
 // submissions carry the token instead of a certificate; the cert is a
-// pointer so it is genuinely absent from their wire bytes.
+// pointer so it is genuinely absent from their wire bytes. MAC carries the
+// per-session HMAC under reqauth=mac.
 type wireRequest struct {
 	Channel   string            `json:"channel"`
 	Principal string            `json:"principal"`
@@ -430,6 +441,7 @@ type wireRequest struct {
 	Payload   []byte            `json:"payload"`
 	Cert      *pki.Certificate  `json:"cert,omitempty"`
 	Sig       dcrypto.Signature `json:"sig"`
+	MAC       []byte            `json:"mac,omitempty"`
 	Session   string            `json:"session,omitempty"`
 	Meta      map[string]string `json:"meta,omitempty"`
 }
@@ -448,7 +460,15 @@ func (g *Gateway) AttachTransport(ctx context.Context, net *transport.Network, e
 		switch msg.Topic {
 		case TopicSubmit:
 			var w wireRequest
-			if err := json.Unmarshal(msg.Payload, &w); err != nil {
+			if isBinaryFrame(msg.Payload) {
+				if g.codec != CodecBinary {
+					return nil, fmt.Errorf("gateway %s: binary codec not enabled", g.name)
+				}
+				var err error
+				if w, err = decodeWireRequestBinary(msg.Payload); err != nil {
+					return nil, fmt.Errorf("gateway %s: decode request: %w", g.name, err)
+				}
+			} else if err := json.Unmarshal(msg.Payload, &w); err != nil {
 				return nil, fmt.Errorf("gateway %s: decode request: %w", g.name, err)
 			}
 			req := &Request{
@@ -457,6 +477,7 @@ func (g *Gateway) AttachTransport(ctx context.Context, net *transport.Network, e
 				Backend:      w.Backend,
 				Payload:      w.Payload,
 				Sig:          w.Sig,
+				MAC:          w.MAC,
 				SessionToken: w.Session,
 				Meta:         w.Meta,
 			}
@@ -482,6 +503,13 @@ func (g *Gateway) AttachTransport(ctx context.Context, net *transport.Network, e
 			grant, err := mgr.Open(hello)
 			if err != nil {
 				return nil, err
+			}
+			// Codec negotiation: the session gets binary framing only when
+			// the client asked for it AND the gateway offers it; everything
+			// else downgrades to JSON, which every gateway accepts.
+			grant.Codec = CodecJSON
+			if hello.Codec == CodecBinary && g.codec == CodecBinary {
+				grant.Codec = CodecBinary
 			}
 			b, err := json.Marshal(grant)
 			if err != nil {
@@ -512,22 +540,16 @@ func (g *Gateway) AttachTransport(ctx context.Context, net *transport.Network, e
 }
 
 // SubmitOver sends a signed request to a gateway endpoint over the network
-// substrate and returns the gateway's submission ID.
+// substrate (JSON framing) and returns the gateway's submission ID.
 func SubmitOver(net *transport.Network, from, endpoint string, req *Request) (string, error) {
-	w := wireRequest{
-		Channel:   req.Channel,
-		Principal: req.Principal,
-		Backend:   req.Backend,
-		Payload:   req.Payload,
-		Sig:       req.Sig,
-		Session:   req.SessionToken,
-		Meta:      req.Meta,
-	}
-	if req.Cert.Identity != "" {
-		cert := req.Cert
-		w.Cert = &cert
-	}
-	b, err := json.Marshal(w)
+	return SubmitOverCodec(net, from, endpoint, req, CodecJSON)
+}
+
+// SubmitOverCodec is SubmitOver with an explicit wire codec — pass the
+// codec the session grant negotiated. Binary framing needs a binary-codec
+// gateway; JSON is accepted everywhere.
+func SubmitOverCodec(net *transport.Network, from, endpoint string, req *Request, codec string) (string, error) {
+	b, err := EncodeWireRequest(req, codec)
 	if err != nil {
 		return "", fmt.Errorf("middleware: encode request: %w", err)
 	}
@@ -542,10 +564,18 @@ func SubmitOver(net *transport.Network, from, endpoint string, req *Request) (st
 // endpoint over the network substrate: full authn is paid once here, and
 // the returned grant's token rides on every subsequent submission.
 func OpenSessionOver(net *transport.Network, from, endpoint string, cert pki.Certificate, key *dcrypto.PrivateKey) (SessionGrant, error) {
+	return OpenSessionOverCodec(net, from, endpoint, cert, key, "")
+}
+
+// OpenSessionOverCodec is OpenSessionOver asking for a wire codec; the
+// grant reports the codec the gateway actually offers (and, on a
+// reqauth=mac gateway, the session MAC key for MACRequest).
+func OpenSessionOverCodec(net *transport.Network, from, endpoint string, cert pki.Certificate, key *dcrypto.PrivateKey, codec string) (SessionGrant, error) {
 	hello, err := NewSessionHello(from, cert, key)
 	if err != nil {
 		return SessionGrant{}, err
 	}
+	hello.Codec = codec
 	b, err := json.Marshal(hello)
 	if err != nil {
 		return SessionGrant{}, fmt.Errorf("middleware: encode hello: %w", err)

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dltprivacy/internal/dcrypto"
@@ -34,9 +35,51 @@ var (
 	// carrying its token are rejected with this error (not ErrNoSession)
 	// until the token's original expiry, so clients can tell trust
 	// withdrawal from ordinary eviction. Opening a session with an
-	// already-revoked certificate fails the same way.
+	// already-revoked certificate fails the same way. Eviction also
+	// destroys the session's MAC key, so a revoked client's symmetric
+	// fast path dies with its session.
 	ErrSessionRevoked = errors.New("middleware: session certificate revoked")
 )
+
+// RequestAuthMode selects how the session stage authenticates token-bearing
+// requests in steady state.
+type RequestAuthMode int
+
+const (
+	// AuthSig (the default) verifies an ECDSA signature over the request
+	// digest against the session's cached certified key on every request.
+	AuthSig RequestAuthMode = iota
+	// AuthMAC verifies an HMAC over the request digest under the
+	// per-session symmetric key handed out in the SessionGrant — roughly
+	// two orders of magnitude cheaper than an ECDSA verify. Requests
+	// without a MAC still fall back to the signature path, so first-contact
+	// and mixed client populations keep working.
+	AuthMAC
+)
+
+// String implements fmt.Stringer (config error messages).
+func (m RequestAuthMode) String() string {
+	switch m {
+	case AuthSig:
+		return "sig"
+	case AuthMAC:
+		return "mac"
+	default:
+		return fmt.Sprintf("RequestAuthMode(%d)", int(m))
+	}
+}
+
+// ParseRequestAuthMode parses the "reqauth" config parameter.
+func ParseRequestAuthMode(s string) (RequestAuthMode, error) {
+	switch s {
+	case "sig":
+		return AuthSig, nil
+	case "mac":
+		return AuthMAC, nil
+	default:
+		return AuthSig, fmt.Errorf("unknown request auth mode %q (want sig or mac)", s)
+	}
+}
 
 // SessionHello is the signed handshake a client sends to open a session:
 // the full Authn verification (certificate chain + signature) is paid once
@@ -50,6 +93,14 @@ type SessionHello struct {
 	IssuedAt  time.Time         `json:"issuedAt"`
 	Cert      pki.Certificate   `json:"cert"`
 	Sig       dcrypto.Signature `json:"sig"`
+	// Codec optionally asks the gateway to serve this session with the
+	// named wire codec ("binary" or "json"); the grant echoes what the
+	// gateway actually offers. The field is not covered by the handshake
+	// signature: codec choice carries no confidentiality or integrity
+	// authority (every payload remains authenticated end to end in either
+	// encoding), so a tampered preference can at worst downgrade framing
+	// efficiency.
+	Codec string `json:"codec,omitempty"`
 }
 
 // SessionGrant is the manager's reply to an accepted handshake.
@@ -57,6 +108,16 @@ type SessionGrant struct {
 	Token     string    `json:"token"`
 	Principal string    `json:"principal"`
 	ExpiresAt time.Time `json:"expiresAt"`
+	// MacKey is the per-session request-authentication key, present only
+	// when the manager runs reqauth=mac. It is derived via HKDF with the
+	// handshake transcript digest as salt, so the key is cryptographically
+	// bound to the PKI-verified handshake that opened the session. Its
+	// secrecy rides the same channel the bearer token already does; the
+	// server's copy dies with the session (expiry, close, or revocation).
+	MacKey []byte `json:"macKey,omitempty"`
+	// Codec is the wire codec the gateway will serve this session with;
+	// empty means JSON.
+	Codec string `json:"codec,omitempty"`
 }
 
 // helloDigest is the canonical signed content of a handshake.
@@ -102,27 +163,63 @@ const sessionTokenBytes = 32
 // session is one established client session: the verified principal and
 // its certified key, cached so subsequent requests skip PKI verification.
 // serial is the certificate the trust was rooted in at Open, the handle
-// revocation checks match against.
+// revocation checks match against. mac is the per-session HMAC key when
+// the manager runs reqauth=mac. lastUsed is atomic unix-nanos so the
+// resolve fast path can touch the idle clock under a read lock.
 type session struct {
 	principal string
 	key       dcrypto.PublicKey
+	mac       []byte
 	serial    uint64
 	openedAt  time.Time
-	lastUsed  time.Time
 	expiresAt time.Time
+	lastUsed  atomic.Int64
+}
+
+// sessionStripeCount divides the token table into independently locked
+// stripes so concurrent resolves on different tokens never contend on one
+// mutex. Power of two, sized past any plausible core count.
+const sessionStripeCount = 32
+
+// sessionStripe is one lock stripe of the token table: its own sessions,
+// its own revocation tombstones, its own RWMutex. The resolve hot path
+// touches exactly one stripe, read-locked.
+type sessionStripe struct {
+	mu       sync.RWMutex
+	sessions map[string]*session
+	// revoked are tombstones for sessions evicted by revocation: their
+	// tokens answer ErrSessionRevoked (not ErrNoSession) until the
+	// session's original expiry, so a revoked client sees why it was cut
+	// off. Keyed by token, valued by forget-after time. An explicit Close
+	// clears the tombstone.
+	revoked map[string]time.Time
+}
+
+// stripeFor hashes a token onto its stripe (FNV-1a over the token bytes).
+func (m *SessionManager) stripeFor(token string) *sessionStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(token); i++ {
+		h = (h ^ uint32(token[i])) * 16777619
+	}
+	return &m.stripes[h&(sessionStripeCount-1)]
 }
 
 // SessionManager establishes and resolves gateway sessions. Opening a
 // session performs the full certificate verification the authn stage would;
 // afterwards, requests carrying the session token are bound to the cached
-// verified principal by a per-request signature over the request digest.
-// Sessions die at their TTL, or earlier when idle longer than the idle
-// window. Safe for concurrent use.
+// verified principal by a per-request signature (reqauth=sig) or
+// per-session HMAC (reqauth=mac) over the request digest. Sessions die at
+// their TTL, or earlier when idle longer than the idle window. Safe for
+// concurrent use: the token table is striped across independent RWMutexes,
+// so resolve — the per-request hot path — takes one read lock on one
+// stripe, while the control plane (open, close, sweeps, revocation deltas,
+// the per-principal index) serializes on a separate mutex.
 type SessionManager struct {
 	caKey           dcrypto.PublicKey
 	ttl             time.Duration
 	idle            time.Duration
 	maxPerPrincipal int
+	reqauth         RequestAuthMode
 	now             func() time.Time
 
 	// Revocation plane, fixed at construction (WithRevocationChecks).
@@ -130,31 +227,35 @@ type SessionManager struct {
 	revMode       RevokeCheckMode
 	revSweepEvery time.Duration
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	// byPrincipal indexes live session tokens per principal so the
-	// per-principal cap never scans other principals' sessions; kept in
-	// lockstep with sessions by insertLocked/deleteSessionLocked.
-	byPrincipal map[string]map[string]bool
+	// stripes is the token table. Lock order: mu (when needed) strictly
+	// before any stripe lock; never acquire mu while holding a stripe.
+	stripes [sessionStripeCount]sessionStripe
+
+	// mu guards the control plane: the per-principal index and the
+	// handshake nonce table. The resolve hot path never takes it.
+	mu sync.Mutex
+	// byPrincipal indexes live session tokens (and their open times, for
+	// cap eviction) per principal, so neither the per-principal cap nor a
+	// revocation delta ever scans other principals' sessions. Kept in
+	// lockstep with the stripes under mu.
+	byPrincipal map[string]map[string]time.Time
 	// seenNonces remembers handshake nonces until their freshness window
 	// closes, so a recorded hello cannot be replayed to mint a second
 	// token. Keyed by nonce hex, valued by forget-after time.
 	seenNonces map[string]time.Time
-	// revokedTokens are tombstones for sessions evicted by revocation:
-	// their tokens answer ErrSessionRevoked (not ErrNoSession) until the
-	// session's original expiry, so a revoked client sees why it was cut
-	// off. Keyed by token, valued by forget-after time. An explicit Close
-	// clears the tombstone.
-	revokedTokens map[string]time.Time
+
 	// revEpoch is the last revocation epoch applied; lastRevSweep stamps
-	// the last delta application for the sweep-mode interval check.
-	revEpoch     uint64
-	lastRevSweep time.Time
-	// Lifecycle counters, guarded by mu (every transition already holds it).
-	opened  uint64
-	expired uint64
-	evicted uint64
-	revoked uint64
+	// the last delta application (unix nanos) for the sweep-mode interval
+	// check. Both atomic so resolve-mode probes and sweep-mode interval
+	// checks stay lock-free while nothing changed.
+	revEpoch     atomic.Uint64
+	lastRevSweep atomic.Int64
+
+	// Lifecycle counters; atomic so hot-path evictions skip mu.
+	opened  atomic.Uint64
+	expired atomic.Uint64
+	evicted atomic.Uint64
+	revoked atomic.Uint64
 }
 
 // SessionStats is a snapshot of the manager's lifecycle counters, the
@@ -185,6 +286,14 @@ func WithMaxPerPrincipal(n int) SessionOption {
 			m.maxPerPrincipal = n
 		}
 	}
+}
+
+// WithRequestAuth selects how token-bearing requests are authenticated in
+// steady state: AuthSig (default) per-request ECDSA, AuthMAC per-session
+// HMAC with the key handed out in the grant. The config parameter form is
+// "reqauth" on the session stage.
+func WithRequestAuth(mode RequestAuthMode) SessionOption {
+	return func(m *SessionManager) { m.reqauth = mode }
 }
 
 // defaultRevokeSweep is the sweep-mode interval when none is configured.
@@ -222,14 +331,16 @@ func NewSessionManager(caKey dcrypto.PublicKey, ttl, idle time.Duration, now fun
 		now = time.Now
 	}
 	m := &SessionManager{
-		caKey:         caKey,
-		ttl:           ttl,
-		idle:          idle,
-		now:           now,
-		sessions:      make(map[string]*session),
-		byPrincipal:   make(map[string]map[string]bool),
-		seenNonces:    make(map[string]time.Time),
-		revokedTokens: make(map[string]time.Time),
+		caKey:       caKey,
+		ttl:         ttl,
+		idle:        idle,
+		now:         now,
+		byPrincipal: make(map[string]map[string]time.Time),
+		seenNonces:  make(map[string]time.Time),
+	}
+	for i := range m.stripes {
+		m.stripes[i].sessions = make(map[string]*session)
+		m.stripes[i].revoked = make(map[string]time.Time)
 	}
 	for _, opt := range opts {
 		opt(m)
@@ -237,13 +348,22 @@ func NewSessionManager(caKey dcrypto.PublicKey, ttl, idle time.Duration, now fun
 	if m.revMode != RevokeCheckOff && m.revoker == nil {
 		return nil, fmt.Errorf("middleware: revocation checks (%v) need a revoker", m.revMode)
 	}
-	m.lastRevSweep = m.now()
+	m.lastRevSweep.Store(m.now().UnixNano())
 	return m, nil
 }
+
+// RequestAuth reports the steady-state request authentication mode.
+func (m *SessionManager) RequestAuth() RequestAuthMode { return m.reqauth }
+
+// sessionMACInfo labels the HKDF derivation of per-session request keys.
+const sessionMACInfo = "middleware/session/mac/v1/"
 
 // Open verifies the handshake exactly as the authn stage verifies a
 // request — certificate chains to the CA, identity matches, signature
 // verifies against the certified key — and issues an unguessable token.
+// Under reqauth=mac the grant additionally carries a per-session HMAC key,
+// derived via HKDF salted with the handshake transcript digest so the
+// symmetric fast path stays rooted in the PKI handshake it amortizes.
 func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
 	now := m.now()
 	if hello.IssuedAt.Before(now.Add(-helloFreshness)) || hello.IssuedAt.After(now.Add(helloFreshness)) {
@@ -254,9 +374,9 @@ func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
 	}
 	// A revoked certificate cannot root a new session, whatever the check
 	// mode does to established ones. This unlocked check is the cheap
-	// fast-fail; the authoritative re-check runs under the lock below, so
-	// a revocation sweeping between here and the insert cannot slip a
-	// revoked serial into the table.
+	// fast-fail; the authoritative re-check runs under the control lock
+	// below, so a revocation sweeping between here and the insert cannot
+	// slip a revoked serial into the table.
 	if m.revMode != RevokeCheckOff && m.revoker.IsRevoked(hello.Cert.Serial) {
 		return SessionGrant{}, fmt.Errorf("%w: open by %s (serial %d)",
 			ErrSessionRevoked, hello.Principal, hello.Cert.Serial)
@@ -279,6 +399,27 @@ func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
 	}
 	token := hex.EncodeToString(raw)
 	expires := now.Add(m.ttl)
+	var macKey []byte
+	if m.reqauth == AuthMAC {
+		ikm, err := dcrypto.RandomBytes(dcrypto.MACKeySize)
+		if err != nil {
+			return SessionGrant{}, fmt.Errorf("session mac key: %w", err)
+		}
+		macKey, err = dcrypto.HKDF(ikm, d[:], []byte(sessionMACInfo+token), dcrypto.MACKeySize)
+		if err != nil {
+			return SessionGrant{}, fmt.Errorf("session mac key: %w", err)
+		}
+	}
+
+	s := &session{
+		principal: hello.Principal,
+		key:       key,
+		mac:       macKey,
+		serial:    hello.Cert.Serial,
+		openedAt:  now,
+		expiresAt: expires,
+	}
+	s.lastUsed.Store(now.UnixNano())
 
 	// A verified hello is consumed: its nonce is remembered until every
 	// copy of it has gone stale, so replaying it cannot mint a token.
@@ -290,28 +431,31 @@ func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
 		return SessionGrant{}, fmt.Errorf("%w: principal %s", ErrReplayedHello, hello.Principal)
 	}
 	m.seenNonces[nonceKey] = hello.IssuedAt.Add(2 * helloFreshness)
-	// Authoritative revocation re-check, under the same lock the delta
-	// sweeps take: a Revoke that landed after the unlocked check above has
-	// either already been applied (we must not insert a session its sweep
-	// can no longer see) or will be applied later (and will then evict the
-	// insert by serial). Either way no revoked serial survives.
+	// Authoritative revocation re-check, under the same lock revocation
+	// deltas are applied with: a Revoke that landed after the unlocked
+	// check above has either already been applied (we must not insert a
+	// session its sweep can no longer see) or will be applied later (and
+	// will then evict the insert by serial). Either way no revoked serial
+	// survives.
 	if m.revMode != RevokeCheckOff && m.revoker.IsRevoked(hello.Cert.Serial) {
 		m.mu.Unlock()
 		return SessionGrant{}, fmt.Errorf("%w: open by %s (serial %d)",
 			ErrSessionRevoked, hello.Principal, hello.Cert.Serial)
 	}
 	m.capPrincipalLocked(hello.Principal)
-	m.opened++
-	m.insertLocked(token, &session{
-		principal: hello.Principal,
-		key:       key,
-		serial:    hello.Cert.Serial,
-		openedAt:  now,
-		lastUsed:  now,
-		expiresAt: expires,
-	})
+	m.opened.Add(1)
+	st := m.stripeFor(token)
+	st.mu.Lock()
+	st.sessions[token] = s
+	st.mu.Unlock()
+	set := m.byPrincipal[hello.Principal]
+	if set == nil {
+		set = make(map[string]time.Time)
+		m.byPrincipal[hello.Principal] = set
+	}
+	set[token] = now
 	m.mu.Unlock()
-	return SessionGrant{Token: token, Principal: hello.Principal, ExpiresAt: expires}, nil
+	return SessionGrant{Token: token, Principal: hello.Principal, ExpiresAt: expires, MacKey: macKey}, nil
 }
 
 // Close ends a session. Closing an unknown token is a no-op: the token may
@@ -322,32 +466,20 @@ func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
 // closed token degrades to ErrNoSession like any other closed one.
 func (m *SessionManager) Close(token string) {
 	m.mu.Lock()
-	m.deleteSessionLocked(token)
-	delete(m.revokedTokens, token)
+	st := m.stripeFor(token)
+	st.mu.Lock()
+	if s, ok := st.sessions[token]; ok {
+		m.deleteSessionLocked(st, token, s)
+	}
+	delete(st.revoked, token)
+	st.mu.Unlock()
 	m.mu.Unlock()
 }
 
-// insertLocked stores a session and indexes its token by principal.
-// Called with the lock held.
-func (m *SessionManager) insertLocked(token string, s *session) {
-	m.sessions[token] = s
-	set := m.byPrincipal[s.principal]
-	if set == nil {
-		set = make(map[string]bool)
-		m.byPrincipal[s.principal] = set
-	}
-	set[token] = true
-}
-
-// deleteSessionLocked removes a session from both the token table and the
-// per-principal index. Called with the lock held; unknown tokens are a
-// no-op.
-func (m *SessionManager) deleteSessionLocked(token string) {
-	s, ok := m.sessions[token]
-	if !ok {
-		return
-	}
-	delete(m.sessions, token)
+// deleteSessionLocked removes a session from its stripe and the
+// per-principal index. Called with mu AND the token's stripe lock held.
+func (m *SessionManager) deleteSessionLocked(st *sessionStripe, token string, s *session) {
+	delete(st.sessions, token)
 	if set := m.byPrincipal[s.principal]; set != nil {
 		delete(set, token)
 		if len(set) == 0 {
@@ -356,64 +488,102 @@ func (m *SessionManager) deleteSessionLocked(token string) {
 	}
 }
 
-// resolve returns the verified principal and key bound to a token,
-// touching its idle clock. Expired or idle sessions are evicted here, and
-// the revocation plane is consulted per the configured mode: resolve mode
-// probes the revoker's version on every call (one atomic load when nothing
-// changed), sweep mode only applies the delta when the sweep interval has
-// elapsed.
-func (m *SessionManager) resolve(token string) (string, dcrypto.PublicKey, error) {
+// resolve returns the verified principal, certified key, and (under
+// reqauth=mac) session MAC key bound to a token, touching its idle clock.
+// This is the gateway's per-request hot path: one read lock on one stripe,
+// no control-plane mutex, no allocation. Expired or idle sessions are
+// evicted via a write-locked slow path, and the revocation plane is
+// consulted per the configured mode: resolve mode probes the revoker's
+// version on every call (one atomic load when nothing changed), sweep mode
+// only applies the delta when the sweep interval has elapsed.
+func (m *SessionManager) resolve(token string) (string, dcrypto.PublicKey, []byte, error) {
 	now := m.now()
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	switch m.revMode {
 	case RevokeCheckResolve:
-		if m.revoker.RevocationVersion() != m.revEpoch {
-			m.applyRevocationDeltaLocked(now)
+		if m.revoker.RevocationVersion() != m.revEpoch.Load() {
+			m.applyRevocationDelta(now)
 		}
 	case RevokeCheckSweep:
-		if now.Sub(m.lastRevSweep) >= m.revSweepEvery {
-			m.applyRevocationDeltaLocked(now)
+		if now.UnixNano()-m.lastRevSweep.Load() >= int64(m.revSweepEvery) {
+			m.applyRevocationDelta(now)
 		}
 	}
-	if forgetAfter, tombstoned := m.revokedTokens[token]; tombstoned {
+	st := m.stripeFor(token)
+	st.mu.RLock()
+	if forgetAfter, tombstoned := st.revoked[token]; tombstoned {
+		st.mu.RUnlock()
 		if now.After(forgetAfter) {
-			delete(m.revokedTokens, token)
-			return "", dcrypto.PublicKey{}, ErrNoSession
+			st.mu.Lock()
+			if forgetAfter, still := st.revoked[token]; still && now.After(forgetAfter) {
+				delete(st.revoked, token)
+			}
+			st.mu.Unlock()
+			return "", dcrypto.PublicKey{}, nil, ErrNoSession
 		}
-		return "", dcrypto.PublicKey{}, ErrSessionRevoked
+		return "", dcrypto.PublicKey{}, nil, ErrSessionRevoked
 	}
-	s, ok := m.sessions[token]
+	s, ok := st.sessions[token]
 	if !ok {
-		return "", dcrypto.PublicKey{}, ErrNoSession
+		st.mu.RUnlock()
+		return "", dcrypto.PublicKey{}, nil, ErrNoSession
 	}
-	if now.After(s.expiresAt) || now.Sub(s.lastUsed) > m.idle {
-		m.deleteSessionLocked(token)
-		m.expired++
-		return "", dcrypto.PublicKey{}, ErrSessionExpired
+	if now.After(s.expiresAt) || now.UnixNano()-s.lastUsed.Load() > int64(m.idle) {
+		st.mu.RUnlock()
+		m.evictExpired(st, token, now)
+		return "", dcrypto.PublicKey{}, nil, ErrSessionExpired
 	}
-	s.lastUsed = now
-	return s.principal, s.key, nil
+	// Concurrent stores race benignly: every racer writes "about now".
+	s.lastUsed.Store(now.UnixNano())
+	principal, key, mac := s.principal, s.key, s.mac
+	st.mu.RUnlock()
+	return principal, key, mac, nil
+}
+
+// evictExpired upgrades to the write-locked slow path after resolve saw a
+// session past its TTL or idle window, rechecking under the locks (a
+// concurrent Close or sweep may have beaten us here).
+func (m *SessionManager) evictExpired(st *sessionStripe, token string, now time.Time) {
+	m.mu.Lock()
+	st.mu.Lock()
+	if s, ok := st.sessions[token]; ok &&
+		(now.After(s.expiresAt) || now.UnixNano()-s.lastUsed.Load() > int64(m.idle)) {
+		m.deleteSessionLocked(st, token, s)
+		m.expired.Add(1)
+	}
+	st.mu.Unlock()
+	m.mu.Unlock()
+}
+
+// applyRevocationDelta serializes delta application on the control mutex;
+// racing resolvers apply an empty delta and move on.
+func (m *SessionManager) applyRevocationDelta(now time.Time) {
+	m.mu.Lock()
+	m.applyRevocationDeltaLocked(now)
+	m.mu.Unlock()
 }
 
 // applyRevocationDeltaLocked pulls the revocations issued since the last
 // applied epoch and evicts every session rooted in a revoked certificate,
 // leaving a tombstone so the token answers ErrSessionRevoked until its
 // original expiry. Only the revoked identity's own sessions are scanned,
-// via the byPrincipal index. Called with the lock held.
+// via the byPrincipal index. Called with mu held.
 func (m *SessionManager) applyRevocationDeltaLocked(now time.Time) {
-	revs, version := m.revoker.RevokedSince(m.revEpoch)
-	m.revEpoch = version
-	m.lastRevSweep = now
+	revs, version := m.revoker.RevokedSince(m.revEpoch.Load())
+	m.revEpoch.Store(version)
+	m.lastRevSweep.Store(now.UnixNano())
 	for _, rev := range revs {
 		for token := range m.byPrincipal[rev.Identity] {
-			s := m.sessions[token]
-			if s.serial != rev.Serial {
+			st := m.stripeFor(token)
+			st.mu.Lock()
+			s := st.sessions[token]
+			if s == nil || s.serial != rev.Serial {
+				st.mu.Unlock()
 				continue // a newer cert of the same identity still stands
 			}
-			m.deleteSessionLocked(token)
-			m.revoked++
-			m.revokedTokens[token] = s.expiresAt
+			m.deleteSessionLocked(st, token, s)
+			m.revoked.Add(1)
+			st.revoked[token] = s.expiresAt
+			st.mu.Unlock()
 		}
 	}
 }
@@ -428,41 +598,48 @@ func (m *SessionManager) SweepRevoked() int {
 	}
 	now := m.now()
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	before := m.revoked
+	before := m.revoked.Load()
 	m.applyRevocationDeltaLocked(now)
-	return int(m.revoked - before)
+	after := m.revoked.Load()
+	m.mu.Unlock()
+	return int(after - before)
 }
 
 // sweepLocked evicts every session past its TTL or idle window, and every
-// remembered nonce past its forget-after time. Called with the lock held,
-// on each Open, so an abandoned client population cannot grow either
-// table without bound.
+// remembered nonce and revocation tombstone past its forget-after time.
+// Called with mu held, on each Open, so an abandoned client population
+// cannot grow any table without bound.
 func (m *SessionManager) sweepLocked(now time.Time) {
-	for token, s := range m.sessions {
-		if now.After(s.expiresAt) || now.Sub(s.lastUsed) > m.idle {
-			m.deleteSessionLocked(token)
-			m.expired++
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.Lock()
+		for token, s := range st.sessions {
+			if now.After(s.expiresAt) || now.UnixNano()-s.lastUsed.Load() > int64(m.idle) {
+				m.deleteSessionLocked(st, token, s)
+				m.expired.Add(1)
+			}
 		}
+		for token, forgetAfter := range st.revoked {
+			if now.After(forgetAfter) {
+				delete(st.revoked, token)
+			}
+		}
+		st.mu.Unlock()
 	}
 	for nonce, forgetAfter := range m.seenNonces {
 		if now.After(forgetAfter) {
 			delete(m.seenNonces, nonce)
 		}
 	}
-	for token, forgetAfter := range m.revokedTokens {
-		if now.After(forgetAfter) {
-			delete(m.revokedTokens, token)
-		}
-	}
 }
 
 // capPrincipalLocked makes room for one more session of the principal:
 // while the principal sits at (or, after a cap change, above) the cap, the
-// session opened longest ago is evicted. Called with the lock held, after
-// the sweep, so sessions expiring anyway do not count against the cap.
-// Only the principal's own sessions are scanned, via the byPrincipal
-// index, so a large overall population does not slow Open down.
+// session opened longest ago is evicted. Called with mu held, after the
+// sweep, so sessions expiring anyway do not count against the cap. Only
+// the principal's own sessions are consulted, via the byPrincipal index —
+// which carries each token's open time precisely so cap eviction never
+// has to chase sessions across stripes to find the oldest.
 func (m *SessionManager) capPrincipalLocked(principal string) {
 	if m.maxPerPrincipal <= 0 {
 		return
@@ -471,42 +648,53 @@ func (m *SessionManager) capPrincipalLocked(principal string) {
 	for len(set) >= m.maxPerPrincipal {
 		oldestToken := ""
 		var oldest time.Time
-		for token := range set {
-			s := m.sessions[token]
-			if oldestToken == "" || s.openedAt.Before(oldest) {
-				oldestToken, oldest = token, s.openedAt
+		for token, openedAt := range set {
+			if oldestToken == "" || openedAt.Before(oldest) {
+				oldestToken, oldest = token, openedAt
 			}
 		}
-		m.deleteSessionLocked(oldestToken)
-		m.evicted++
+		st := m.stripeFor(oldestToken)
+		st.mu.Lock()
+		if s, ok := st.sessions[oldestToken]; ok {
+			m.deleteSessionLocked(st, oldestToken, s)
+		} else {
+			delete(set, oldestToken) // index/stripe drift is impossible, but never loop forever
+		}
+		st.mu.Unlock()
+		m.evicted.Add(1)
 	}
 }
 
 // Len reports the number of live sessions (including any not yet swept).
 func (m *SessionManager) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.sessions)
+	n := 0
+	for i := range m.stripes {
+		st := &m.stripes[i]
+		st.mu.RLock()
+		n += len(st.sessions)
+		st.mu.RUnlock()
+	}
+	return n
 }
 
 // Stats snapshots the manager's lifecycle counters.
 func (m *SessionManager) Stats() SessionStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return SessionStats{
-		Live:    len(m.sessions),
-		Opened:  m.opened,
-		Expired: m.expired,
-		Evicted: m.evicted,
-		Revoked: m.revoked,
+		Live:    m.Len(),
+		Opened:  m.opened.Load(),
+		Expired: m.expired.Load(),
+		Evicted: m.evicted.Load(),
+		Revoked: m.revoked.Load(),
 	}
 }
 
 // Session is the session-aware authn stage. A request carrying a token is
 // bound to its session's cached verified principal by a per-request
-// signature over the request digest — no certificate verification on the
-// hot path. A request without a token passes through untouched for the
-// full authn stage downstream, so one chain serves both kinds of traffic.
+// signature — or, under reqauth=mac, a per-session HMAC — over the request
+// digest: no certificate verification on the hot path, and in MAC mode no
+// public-key operation at all. A request without a token passes through
+// untouched for the full authn stage downstream, so one chain serves both
+// kinds of traffic.
 type Session struct {
 	mgr *SessionManager
 }
@@ -531,7 +719,7 @@ func (s *Session) Handle(ctx context.Context, req *Request, next Handler) error 
 	if req.SessionToken == "" {
 		return next(ctx, req)
 	}
-	principal, key, err := s.mgr.resolve(req.SessionToken)
+	principal, key, mac, err := s.mgr.resolve(req.SessionToken)
 	if err != nil {
 		return fmt.Errorf("session %s: %w", req.Principal, err)
 	}
@@ -540,8 +728,23 @@ func (s *Session) Handle(ctx context.Context, req *Request, next Handler) error 
 			ErrIdentityMismatch, principal, req.Principal)
 	}
 	d := req.Digest()
-	if err := key.Verify(d[:], req.Sig); err != nil {
-		return fmt.Errorf("%w: session principal %s", ErrBadSignature, req.Principal)
+	if len(req.MAC) > 0 {
+		// A MAC is only meaningful under reqauth=mac, where the session
+		// holds the key to check it against; in sig mode no key was ever
+		// derived, so a MAC-bearing request is a misconfigured client.
+		if s.mgr.reqauth != AuthMAC {
+			return fmt.Errorf("%w: session principal %s sent a MAC to a signature-only gateway", ErrBadMAC, req.Principal)
+		}
+		if err := dcrypto.VerifyMAC(mac, d[:], req.MAC); err != nil {
+			return fmt.Errorf("%w: session principal %s", ErrBadMAC, req.Principal)
+		}
+	} else {
+		// The signature path stays available in every mode: sessionless
+		// and first-contact clients (and MAC-mode clients that have not
+		// adopted the grant key yet) keep working unchanged.
+		if err := key.Verify(d[:], req.Sig); err != nil {
+			return fmt.Errorf("%w: session principal %s", ErrBadSignature, req.Principal)
+		}
 	}
 	req.authenticated = true
 	return next(ctx, req)
