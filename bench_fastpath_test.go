@@ -39,7 +39,7 @@ type fastPathEnv struct {
 	macTemplates []middleware.Request
 }
 
-func newFastPathEnv(b *testing.B, env *gatewayBenchEnv, reqauth, codec string, channels []string) *fastPathEnv {
+func newFastPathEnv(b *testing.B, env *gatewayBenchEnv, reqauth, codec string, channels []string, cfgOpts ...func(*middleware.Config)) *fastPathEnv {
 	b.Helper()
 	dir := middleware.NewSyncDirectory()
 	for _, ch := range channels {
@@ -51,6 +51,9 @@ func newFastPathEnv(b *testing.B, env *gatewayBenchEnv, reqauth, codec string, c
 			{Name: middleware.StageEncrypt, Params: map[string]string{"keyttl": "1h"}},
 		},
 		Codec: codec,
+	}
+	for _, opt := range cfgOpts {
+		opt(&cfg)
 	}
 	gwEnv := middleware.Env{
 		CAKey:     env.ca.PublicKey(),

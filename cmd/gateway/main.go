@@ -8,20 +8,29 @@
 // pinned to shard 0 to show the hot-channel pin table. The CA's
 // revocation plane is wired through (-revokecheck): revoking a member's
 // certificate mid-run evicts its live session and rotates the channel
-// data-key epoch so the revoked member cannot open later envelopes. It
-// prints per-stage, per-backend, per-shard, session, and revocation
-// counters, and the leakage matrix showing that neither the gateway
-// operator nor any envelope-visibility shard operator saw transaction
-// data.
+// data-key epoch so the revoked member cannot open later envelopes.
+//
+// The demo is its own telemetry consumer: it serves /metrics, /statusz,
+// /tracez, and /debug/pprof on the -telemetry listen address, then reads
+// the per-stage, per-backend, per-shard, session, and revocation counters
+// back through a single /statusz fetch, scrapes its own /metrics for the
+// confmw_* families, and summarizes the sampled traces from /tracez
+// (-trace N samples one submission in N). It finishes with the leakage
+// matrix showing that neither the gateway operator nor any
+// envelope-visibility shard operator saw transaction data.
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -34,6 +43,7 @@ import (
 	"dltprivacy/internal/platform/corda"
 	"dltprivacy/internal/platform/fabric"
 	"dltprivacy/internal/platform/quorum"
+	"dltprivacy/internal/telemetry"
 	"dltprivacy/internal/transport"
 	"dltprivacy/internal/workload"
 )
@@ -47,14 +57,16 @@ func main() {
 	revokeCheck := flag.String("revokecheck", "resolve", "session revocation check mode: off, resolve, or sweep")
 	reqauth := flag.String("reqauth", "mac", "steady-state session request auth: sig (per-request ECDSA) or mac (per-session HMAC)")
 	codec := flag.String("codec", "binary", "gateway wire codec: json or binary")
+	telemetryAddr := flag.String("telemetry", "127.0.0.1:0", "telemetry listen address for /metrics, /statusz, /tracez, /debug/pprof (e.g. :9090)")
+	trace := flag.Int("trace", 64, "sample one submission in N for request tracing (0 = off)")
 	flag.Parse()
-	if err := run(*trades, *batch, *seed, *shards, *channels, *revokeCheck, *reqauth, *codec); err != nil {
+	if err := run(*trades, *batch, *seed, *shards, *channels, *revokeCheck, *reqauth, *codec, *telemetryAddr, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "gateway:", err)
 		os.Exit(1)
 	}
 }
 
-func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck, reqauth, codec string) error {
+func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck, reqauth, codec, telemetryAddr string, trace int) error {
 	if nShards < 1 || nChannels < 1 {
 		return fmt.Errorf("need at least 1 shard and 1 channel, got %d/%d", nShards, nChannels)
 	}
@@ -141,6 +153,9 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 		ShardPins: map[string]int{channels[0]: 0},
 		Codec:     codec,
 	}
+	if trace > 0 {
+		cfg.Trace = fmt.Sprint(trace)
+	}
 	dir := middleware.StaticDirectory{}
 	for _, ch := range channels {
 		dir[ch] = memberKeys
@@ -159,10 +174,29 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 		gw.Bind(ch, backends...)
 	}
 
-	net := transport.New()
-	if err := gw.AttachTransport(context.Background(), net, "gateway"); err != nil {
+	bus := transport.New()
+	if err := gw.AttachTransport(context.Background(), bus, "gateway"); err != nil {
 		return err
 	}
+
+	// Telemetry plane: one registry over every layer — stage latency
+	// histograms, gateway/session/shard/revocation counters — served next
+	// to the stats snapshot, the trace ring, and pprof. The demo below is
+	// its own first consumer: stats come back through /statusz, not
+	// gw.Stats().
+	reg := telemetry.NewRegistry()
+	if err := gw.RegisterMetrics(reg); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", telemetryAddr)
+	if err != nil {
+		return fmt.Errorf("telemetry listen %s: %w", telemetryAddr, err)
+	}
+	srv := &http.Server{Handler: telemetry.NewMux(reg, gw.Tracer(), func() any { return gw.Stats() })}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("telemetry: %s/metrics /statusz /tracez /debug/pprof (trace=%d)\n\n", base, trace)
 
 	// Each member opens one session: the full certificate verification is
 	// paid here, once, and every subsequent submission rides the token.
@@ -171,7 +205,7 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 	// negotiates the binary wire framing.
 	grants := make(map[string]middleware.SessionGrant, len(members))
 	for _, m := range members {
-		grant, err := middleware.OpenSessionOverCodec(net, m, "gateway", certs[m], keys[m], codec)
+		grant, err := middleware.OpenSessionOverCodec(bus, m, "gateway", certs[m], keys[m], codec)
 		if err != nil {
 			return fmt.Errorf("open session for %s: %w", m, err)
 		}
@@ -202,7 +236,7 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 		if err := authenticate(req); err != nil {
 			return err
 		}
-		if _, err := middleware.SubmitOverCodec(net, tr.Buyer, "gateway", req, grants[tr.Buyer].Codec); err != nil {
+		if _, err := middleware.SubmitOverCodec(bus, tr.Buyer, "gateway", req, grants[tr.Buyer].Codec); err != nil {
 			return fmt.Errorf("submit %s: %w", tr.ID, err)
 		}
 	}
@@ -211,15 +245,23 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 	}
 	elapsed := time.Since(start)
 
-	stats := gw.Stats()
+	// The single stats consumer: the snapshot every counter below prints
+	// from is fetched over HTTP from /statusz, exactly as an operator's
+	// dashboard would read it.
+	stats, err := fetchStatusz(base)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("submitted %d trades over %d channels in %v (%.0f tx/s)\n\n",
 		stats.Submitted, len(channels), elapsed.Round(time.Microsecond),
 		float64(stats.Submitted)/elapsed.Seconds())
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "STAGE\tCALLS\tERRORS\tTIME")
+	fmt.Fprintln(w, "STAGE\tCALLS\tERRORS\tTIME\tEXCL")
 	for _, st := range stats.Stages {
-		fmt.Fprintf(w, "%s\t%d\t%d\t%v\n", st.Name, st.Calls, st.Errors, time.Duration(st.Nanos).Round(time.Microsecond))
+		fmt.Fprintf(w, "%s\t%d\t%d\t%v\t%v\n", st.Name, st.Calls, st.Errors,
+			time.Duration(st.Nanos).Round(time.Microsecond),
+			time.Duration(st.ExclusiveNanos).Round(time.Microsecond))
 	}
 	fmt.Fprintln(w, "\nBACKEND\tBLOCKS\tTXS\tERRORS")
 	for _, bs := range stats.Backends {
@@ -235,6 +277,12 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 			stats.Sessions.Live, stats.Sessions.Opened, stats.Sessions.Expired,
 			stats.Sessions.Evicted, stats.Sessions.Revoked,
 			stats.KeyEpochsRotated, stats.KeyEpochsRevokedRotations, stats.RevocationSweeps)
+	}
+
+	// Self-scrape: the same counters in Prometheus text format, ready for
+	// any scraper pointed at the -telemetry address.
+	if err := printScrape(base, trace); err != nil {
+		return err
 	}
 
 	fmt.Println("\nleakage (who saw transaction data?):")
@@ -259,7 +307,7 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 		return err
 	}
 	bad.Payload = []byte("tampered")
-	if _, err := middleware.SubmitOver(net, members[0], "gateway", bad); !errors.Is(err, middleware.ErrBadSignature) && !errors.Is(err, middleware.ErrBadMAC) {
+	if _, err := middleware.SubmitOver(bus, members[0], "gateway", bad); !errors.Is(err, middleware.ErrBadSignature) && !errors.Is(err, middleware.ErrBadMAC) {
 		return fmt.Errorf("tampered submission was not rejected: %v", err)
 	}
 	fmt.Printf("\ntampered submission rejected on the session path (reqauth=%s), as configured\n", reqauth)
@@ -274,7 +322,7 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 	if err := middleware.SignRequest(forged, keys[members[0]]); err != nil {
 		return err
 	}
-	if _, err := middleware.SubmitOver(net, members[0], "gateway", forged); !errors.Is(err, middleware.ErrNoSession) {
+	if _, err := middleware.SubmitOver(bus, members[0], "gateway", forged); !errors.Is(err, middleware.ErrNoSession) {
 		return fmt.Errorf("forged session token was not rejected: %v", err)
 	}
 	fmt.Println("forged session token rejected with ErrNoSession")
@@ -284,7 +332,10 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 	// drops it from every channel's next key epoch.
 	if revokeCheck != "off" {
 		revoked := members[len(members)-1]
-		epochBefore := gw.Stats().KeyEpochsRotated
+		pre, err := fetchStatusz(base)
+		if err != nil {
+			return err
+		}
 		ca.Revoke(certs[revoked].Serial)
 		late := &middleware.Request{
 			Channel:      channels[0],
@@ -297,7 +348,7 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 		if err := authenticate(late); err != nil {
 			return err
 		}
-		if _, err := middleware.SubmitOver(net, revoked, "gateway", late); !errors.Is(err, middleware.ErrSessionRevoked) {
+		if _, err := middleware.SubmitOver(bus, revoked, "gateway", late); !errors.Is(err, middleware.ErrSessionRevoked) {
 			return fmt.Errorf("revoked member's submission was not rejected: %v", err)
 		}
 		fmt.Printf("revoked %s mid-run: session evicted, next submission rejected with ErrSessionRevoked\n", revoked)
@@ -312,26 +363,120 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 		if err := authenticate(fresh); err != nil {
 			return err
 		}
-		if _, err := middleware.SubmitOver(net, members[0], "gateway", fresh); err != nil {
+		if _, err := middleware.SubmitOver(bus, members[0], "gateway", fresh); err != nil {
 			return fmt.Errorf("surviving member submit after revocation: %v", err)
 		}
 		if err := gw.Flush(context.Background()); err != nil {
 			return err
 		}
-		post := gw.Stats()
+		post, err := fetchStatusz(base)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("revocation invalidated %d cached channel keys; %d fresh epoch installed on the resubmitted channel; %d sessions revoked, %d sweeps\n",
-			post.KeyEpochsRevokedRotations, post.KeyEpochsRotated-epochBefore,
+			post.KeyEpochsRevokedRotations, post.KeyEpochsRotated-pre.KeyEpochsRotated,
 			post.SessionsRevoked, post.RevocationSweeps)
 	}
 
 	// Sessions closed; their tokens die with them (closing the revoked
 	// member's already-evicted token is an idempotent no-op).
 	for _, m := range members {
-		if err := middleware.CloseSessionOver(net, m, "gateway", grants[m].Token); err != nil {
+		if err := middleware.CloseSessionOver(bus, m, "gateway", grants[m].Token); err != nil {
 			return err
 		}
 	}
 	fmt.Printf("closed %d sessions (%d live)\n", len(members), gw.Sessions().Len())
+	return nil
+}
+
+// fetchStatusz reads the gateway stats snapshot back through the telemetry
+// listener — the demo consumes its own observability surface instead of
+// reaching into the Gateway.
+func fetchStatusz(base string) (middleware.GatewayStats, error) {
+	var stats middleware.GatewayStats
+	resp, err := http.Get(base + "/statusz")
+	if err != nil {
+		return stats, fmt.Errorf("statusz: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return stats, fmt.Errorf("statusz: %s", resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return stats, fmt.Errorf("statusz decode: %w", err)
+	}
+	return stats, nil
+}
+
+// printScrape GETs /metrics and /tracez, prints a sample of the confmw_*
+// series (one per family), and summarizes the trace ring.
+func printScrape(base string, trace int) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	families := 0
+	var sample []string
+	var histSample string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lastFamily := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "confmw_") {
+			continue
+		}
+		if histSample == "" && strings.HasPrefix(line, "confmw_stage_latency_seconds_bucket{") {
+			histSample = line
+		}
+		family := line[:strings.IndexAny(line+"{ ", "{ ")]
+		if family != lastFamily {
+			families++
+			lastFamily = family
+			if len(sample) < 6 {
+				sample = append(sample, line)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	fmt.Printf("\nscraped /metrics: %d confmw_* series families, e.g.\n", families)
+	for _, line := range sample {
+		fmt.Printf("  %s\n", line)
+	}
+	if histSample != "" {
+		fmt.Printf("  %s\n", histSample)
+	}
+	if trace > 0 {
+		tresp, err := http.Get(base + "/tracez")
+		if err != nil {
+			return fmt.Errorf("tracez: %w", err)
+		}
+		defer tresp.Body.Close()
+		var ring struct {
+			SampleEvery int    `json:"sampleEvery"`
+			Sampled     uint64 `json:"sampled"`
+			Traces      []struct {
+				ID    string `json:"id"`
+				Spans []struct {
+					Stage string `json:"stage"`
+				} `json:"spans"`
+			} `json:"traces"`
+		}
+		if err := json.NewDecoder(tresp.Body).Decode(&ring); err != nil {
+			return fmt.Errorf("tracez decode: %w", err)
+		}
+		fmt.Printf("tracez: %d traces sampled (1 in %d) in the ring\n", ring.Sampled, ring.SampleEvery)
+		if len(ring.Traces) > 0 {
+			stages := make([]string, len(ring.Traces[0].Spans))
+			for i, s := range ring.Traces[0].Spans {
+				stages[i] = s.Stage
+			}
+			fmt.Printf("  trace %s spans: %s\n", ring.Traces[0].ID, strings.Join(stages, " "))
+		}
+	}
 	return nil
 }
 

@@ -139,6 +139,7 @@ func encodeWireRequestBinary(w *wireRequest) ([]byte, error) {
 		lenPrefixedSize(len(sig)) +
 		lenPrefixedSize(len(w.MAC)) +
 		lenPrefixedSize(len(cert)) +
+		uvarintSize(w.TraceID) +
 		uvarintSize(uint64(len(w.Meta)))
 	for k, v := range w.Meta {
 		size += lenPrefixedSize(len(k)) + lenPrefixedSize(len(v))
@@ -153,6 +154,9 @@ func encodeWireRequestBinary(w *wireRequest) ([]byte, error) {
 	out = appendLenPrefixed(out, sig)
 	out = appendLenPrefixed(out, w.MAC)
 	out = appendLenPrefixed(out, cert)
+	// The trace ID rides between cert and meta as a bare uvarint: one byte
+	// for the untraced common case (TraceID 0).
+	out = binary.AppendUvarint(out, w.TraceID)
 	out = binary.AppendUvarint(out, uint64(len(w.Meta)))
 	for k, v := range w.Meta {
 		out = appendLenPrefixed(out, []byte(k))
@@ -177,6 +181,7 @@ func decodeWireRequestBinary(b []byte) (wireRequest, error) {
 	sig := r.bytes()
 	w.MAC = r.bytes()
 	cert := r.bytes()
+	w.TraceID = r.uvarint()
 	nMeta := r.uvarint()
 	if r.err == nil && nMeta > uint64(len(r.b)) {
 		// Each entry costs at least two length bytes; reject counts the
@@ -311,6 +316,7 @@ func EncodeWireRequest(req *Request, codec string) ([]byte, error) {
 		MAC:       req.MAC,
 		Session:   req.SessionToken,
 		Meta:      req.Meta,
+		TraceID:   req.TraceID,
 	}
 	if req.Cert.Identity != "" {
 		cert := req.Cert

@@ -77,6 +77,14 @@ type Config struct {
 	// session via SessionHello.Codec, so mixed populations keep working;
 	// JSON-only gateways reject binary frames.
 	Codec string
+
+	// Trace configures sampled request tracing on the gateway: "" or
+	// "off" disables it, a positive integer N samples one in every N
+	// submissions into a bounded in-memory ring served at /tracez.
+	// Requests arriving with a wire-carried trace ID are always recorded
+	// regardless of the sample rate. The unsampled path costs one atomic
+	// increment; tracing off costs one nil check.
+	Trace string
 }
 
 // Env carries the shared dependencies stages draw on. Zero fields default
@@ -242,7 +250,23 @@ func (c Config) validate() error {
 	default:
 		return fmt.Errorf("%w: unknown codec %q (want %s or %s)", ErrBadConfig, c.Codec, CodecJSON, CodecBinary)
 	}
+	if _, err := c.traceEvery(); err != nil {
+		return err
+	}
 	return c.validateSharding()
+}
+
+// traceEvery parses the Trace knob into a 1-in-N sample rate (0 = off).
+func (c Config) traceEvery() (int, error) {
+	switch c.Trace {
+	case "", "off":
+		return 0, nil
+	}
+	n, err := strconv.Atoi(c.Trace)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("%w: trace must be \"off\" or a positive sample divisor, got %q", ErrBadConfig, c.Trace)
+	}
+	return n, nil
 }
 
 // validateSharding enforces the ordering-topology knobs: a negative shard

@@ -220,6 +220,46 @@
 // claim: near-linear aggregate throughput at 1/2/4 shards under
 // multi-channel concurrent load, enforced by the CI benchmark gate.
 //
+// # Observability
+//
+// Every stage is wrapped by an instrument layer feeding two timing views.
+// StageStats.Nanos is inclusive wall time — the stage plus everything
+// downstream of it, because Handle(ctx, req, next) brackets the rest of
+// the chain — which is the right number for "where does a request spend
+// its life" but double-counts when summed across stages.
+// StageStats.ExclusiveNanos subtracts the inclusive time of the direct
+// downstream calls, so the per-stage histograms
+// (confmw_stage_latency_seconds{stage=...}, exported by
+// Chain.RegisterMetrics / Gateway.RegisterMetrics into an
+// internal/telemetry Registry) measure only the stage's own work and sum
+// to the pipeline total. The subtraction is exact, not sampled, and
+// handles re-entrant stages: a retry stage that calls next three times
+// accumulates all three attempts as downstream (its exclusive time is the
+// backoff bookkeeping), and a batch stage that absorbs a request without
+// calling next at all is charged its full inclusive time, which is
+// correct because batch is always the terminal stage.
+//
+// Metric names follow confmw_<subsystem>_<name>{labels}: stage latency
+// histograms and call/error counters, gateway submitted/ordered/rejected
+// totals, session lifecycle counters and the live-session gauge, per-shard
+// routing counters, revocation sweep and epoch series, and key-epoch
+// rotation counters — one registry, one scrape. cmd/gateway serves the
+// registry at /metrics (Prometheus text format 0.0.4) on the -telemetry
+// listen address, next to /statusz (the GatewayStats snapshot as JSON),
+// /tracez, and /debug/pprof.
+//
+// Sampled request tracing rides the same instrument layer at zero cost to
+// unsampled requests. Config.Trace ("off" default, or a positive N)
+// samples one submission in N: the gateway assigns a trace ID, each
+// instrumented stage appends a span (inclusive + exclusive duration,
+// error), and the finished trace lands in a bounded in-memory ring
+// dumpable via /tracez. A request that arrives with a wire-carried
+// TraceID — the binary v2 frame carries it as one uvarint, JSON as an
+// omitempty field, and SessionHello annotates session.open the same way —
+// bypasses the sampler entirely, so a caller tracing a specific request
+// always gets its trace. The TraceID is observability annotation, not
+// authority: it is excluded from request digests, signatures, and MACs.
+//
 // The Gateway fronts the platform backends: it runs every submission
 // through the chain, submits the resulting transaction to an
 // internal/ordering backend, and relays cut blocks to registered platform

@@ -42,7 +42,10 @@ func FuzzWireRequest(f *testing.F) {
 		},
 		// Binary-codec gateway: the fuzzer exercises both framings (JSON
 		// decode and the binary v2 frame reader) plus the MAC verify path.
+		// Tracing is on so wire-carried trace IDs cross the sampler and
+		// span recording too.
 		Codec: CodecBinary,
+		Trace: "8",
 	}
 	env := Env{
 		CAKey:     ca.PublicKey(),
@@ -86,6 +89,25 @@ func FuzzWireRequest(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(goodBinary)
+	// The same binary submission carrying a trace ID, so the fuzzer mutates
+	// the trace uvarint between cert and meta, plus traced JSON frames.
+	traced := &Request{Channel: "deals", Principal: "alice", Payload: []byte("trade"),
+		SessionToken: grant.Token, TraceID: 0xfeedface}
+	MACRequest(traced, grant.MacKey)
+	tracedBinary, err := EncodeWireRequest(traced, CodecBinary)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tracedBinary)
+	f.Add(tracedBinary[:len(tracedBinary)-1])
+	f.Add([]byte(`{"channel":"deals","principal":"alice","trace":12345}`))
+	tracedHello := mustHello(f, "alice", cert, key)
+	tracedHello.TraceID = 1
+	tracedHelloSeed, err := json.Marshal(tracedHello)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(tracedHelloSeed)
 	f.Add(goodBinary[:len(goodBinary)/2])
 	f.Add(append(append([]byte{}, goodBinary...), 0xff))
 	f.Add([]byte{binaryMagic})

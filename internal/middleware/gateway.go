@@ -13,6 +13,7 @@ import (
 	"dltprivacy/internal/ledger"
 	"dltprivacy/internal/ordering"
 	"dltprivacy/internal/pki"
+	"dltprivacy/internal/telemetry"
 	"dltprivacy/internal/transport"
 )
 
@@ -66,6 +67,11 @@ type Gateway struct {
 	// revocation audit trail (may be nil).
 	revoker  Revoker
 	auditLog *audit.Log
+
+	// tracer samples submissions into a bounded trace ring (Config.Trace);
+	// nil when tracing is off — every tracer method is nil-receiver safe,
+	// so the untraced gateway pays one nil check per submission.
+	tracer *telemetry.Tracer
 
 	submitted atomic.Uint64 // requests accepted by the chain
 	ordered   atomic.Uint64 // transactions handed to the orderer
@@ -132,6 +138,9 @@ type GatewayStats struct {
 	// notifications from a RevocationSource plus revocation.notify admin
 	// requests plus direct SyncRevocations calls).
 	RevocationSweeps uint64
+	// TracesSampled counts requests recorded into the trace ring over the
+	// gateway's lifetime; 0 when tracing is off.
+	TracesSampled uint64
 }
 
 // NewGateway builds the configured chain and fronts it with the ordering
@@ -185,6 +194,11 @@ func NewGateway(name string, cfg Config, env Env, orderer ordering.Backend) (*Ga
 		return nil, err
 	}
 	g.chain = chain
+	if every, err := cfg.traceEvery(); err != nil {
+		return nil, err
+	} else if every > 0 {
+		g.tracer = telemetry.NewTracer(every, 0)
+	}
 	// A push-capable revocation plane drives the gateway directly: every
 	// Revoke lands as a sync, so sessions die and key epochs rotate without
 	// waiting for a sweep interval or an admin notification. Close detaches
@@ -301,15 +315,29 @@ func (g *Gateway) order(ctx context.Context, req *Request) error {
 
 // Submit runs one request through the chain. A nil return means the
 // request was accepted: either ordered, or buffered by the batch stage for
-// a later group release.
+// a later group release. When tracing is configured the request may be
+// sampled (always, if it arrived with a wire-carried TraceID) and its
+// per-stage spans recorded into the trace ring; the unsampled path costs
+// one atomic increment, tracing off one nil check.
 func (g *Gateway) Submit(ctx context.Context, req *Request) error {
-	if err := g.chain.Execute(ctx, req); err != nil {
+	tr := g.tracer.For(req.TraceID)
+	if tr != nil {
+		req.trace = tr
+		req.TraceID = tr.ID
+	}
+	err := g.chain.Execute(ctx, req)
+	g.tracer.Finish(tr, err)
+	if err != nil {
 		g.rejected.Add(1)
 		return err
 	}
 	g.submitted.Add(1)
 	return nil
 }
+
+// Tracer returns the gateway's request tracer, nil when Config.Trace is
+// off. The handle /tracez serves from.
+func (g *Gateway) Tracer() *telemetry.Tracer { return g.tracer }
 
 // Flush releases any partially-filled batch downstream. Gateways without a
 // batch stage flush trivially.
@@ -398,6 +426,7 @@ func (g *Gateway) Stats() GatewayStats {
 		stats.KeyEpochsRevokedRotations = e.RevokedRotations()
 	}
 	stats.RevocationSweeps = g.sweeps.Load()
+	stats.TracesSampled = g.tracer.Sampled()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for name, ctr := range g.commits {
@@ -409,6 +438,85 @@ func (g *Gateway) Stats() GatewayStats {
 		})
 	}
 	return stats
+}
+
+// RegisterMetrics registers every subsystem the gateway fronts into reg
+// under the confmw_* naming scheme: per-stage chain telemetry, gateway
+// submission counters, session lifecycle, encrypt key epochs, revocation
+// plane, per-shard routing, backend commit aggregates, and trace sampling.
+// Call once per gateway per registry, before serving /metrics.
+func (g *Gateway) RegisterMetrics(reg *telemetry.Registry) error {
+	if err := g.chain.RegisterMetrics(reg); err != nil {
+		return err
+	}
+	for _, c := range []struct {
+		name, help string
+		fn         func() uint64
+	}{
+		{"confmw_gateway_submitted_total", "Requests accepted by the chain.", g.submitted.Load},
+		{"confmw_gateway_ordered_total", "Transactions handed to the ordering backend.", g.ordered.Load},
+		{"confmw_gateway_rejected_total", "Requests refused by a stage.", g.rejected.Load},
+		{"confmw_revocation_sweeps_total", "Revocation syncs the gateway applied.", g.sweeps.Load},
+		{"confmw_traces_sampled_total", "Requests recorded into the trace ring.", g.tracer.Sampled},
+	} {
+		if err := reg.CounterFunc(c.name, c.help, c.fn); err != nil {
+			return err
+		}
+	}
+	if err := reg.GaugeFunc("confmw_revocation_epoch",
+		"Last revocation epoch applied.", func() float64 { return float64(g.RevocationEpoch()) }); err != nil {
+		return err
+	}
+	if mgr := g.Sessions(); mgr != nil {
+		if err := mgr.RegisterMetrics(reg); err != nil {
+			return err
+		}
+	}
+	if e, ok := g.chain.stage(StageEncrypt).(*Encrypt); ok && e != nil {
+		if err := reg.CounterFunc("confmw_key_epochs_rotated_total",
+			"Channel data-key epoch installs by the encrypt stage.", e.Rotations); err != nil {
+			return err
+		}
+		if err := reg.CounterFunc("confmw_key_epochs_revoked_rotations_total",
+			"Cached channel keys invalidated because a wrapped member was revoked.", e.RevokedRotations); err != nil {
+			return err
+		}
+	}
+	if g.sharded != nil {
+		if err := g.sharded.RegisterMetrics(reg); err != nil {
+			return err
+		}
+	}
+	// Backend commit counters aggregate over bound adapters: Bind is
+	// dynamic, so the scrape sums the commit table instead of registering
+	// per-backend series up front.
+	sum := func(pick func(*backendCounters) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			g.mu.Lock()
+			for _, ctr := range g.commits {
+				n += pick(ctr)
+			}
+			g.mu.Unlock()
+			return n
+		}
+	}
+	for _, c := range []struct {
+		name, help string
+		fn         func() uint64
+	}{
+		{"confmw_backend_committed_blocks_total", "Blocks committed across bound platform backends.",
+			sum(func(c *backendCounters) uint64 { return c.blocks.Load() })},
+		{"confmw_backend_committed_txs_total", "Transactions committed across bound platform backends.",
+			sum(func(c *backendCounters) uint64 { return c.txs.Load() })},
+		{"confmw_backend_commit_errors_total", "Failed block commits across bound platform backends.",
+			sum(func(c *backendCounters) uint64 { return c.errors.Load() })},
+	} {
+		if err := reg.CounterFunc(c.name, c.help, c.fn); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Sessions returns the session manager of the chain's session stage, or
@@ -444,6 +552,10 @@ type wireRequest struct {
 	MAC       []byte            `json:"mac,omitempty"`
 	Session   string            `json:"session,omitempty"`
 	Meta      map[string]string `json:"meta,omitempty"`
+	// TraceID propagates a sampled trace across the wire hop; zero (the
+	// common case) is omitted from both framings. Not covered by the
+	// request signature, like the session token: it annotates delivery.
+	TraceID uint64 `json:"trace,omitempty"`
 }
 
 // AttachTransport registers the gateway as a network endpoint serving
@@ -480,6 +592,7 @@ func (g *Gateway) AttachTransport(ctx context.Context, net *transport.Network, e
 				MAC:          w.MAC,
 				SessionToken: w.Session,
 				Meta:         w.Meta,
+				TraceID:      w.TraceID,
 			}
 			if w.Cert != nil {
 				req.Cert = *w.Cert
@@ -500,7 +613,18 @@ func (g *Gateway) AttachTransport(ctx context.Context, net *transport.Network, e
 			if err := json.Unmarshal(msg.Payload, &hello); err != nil {
 				return nil, fmt.Errorf("gateway %s: decode hello: %w", g.name, err)
 			}
+			// A hello carrying a trace ID joins the client's sampled flow:
+			// the handshake is recorded as its own trace in the ring.
+			var tr *telemetry.Trace
+			if hello.TraceID != 0 {
+				tr = g.tracer.For(hello.TraceID)
+			}
 			grant, err := mgr.Open(hello)
+			if tr != nil {
+				d := time.Since(tr.Start)
+				tr.AddSpan("session.open", tr.Start, d, d, err)
+				g.tracer.Finish(tr, err)
+			}
 			if err != nil {
 				return nil, err
 			}

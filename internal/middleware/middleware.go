@@ -11,6 +11,7 @@ import (
 	"dltprivacy/internal/dcrypto"
 	"dltprivacy/internal/ledger"
 	"dltprivacy/internal/pki"
+	"dltprivacy/internal/telemetry"
 	"dltprivacy/internal/transport"
 )
 
@@ -74,12 +75,38 @@ type Request struct {
 	// Meta carries free-form annotations copied onto the transaction.
 	Meta map[string]string
 
+	// TraceID carries a sampled request's trace identifier across process
+	// boundaries: a client that received a traced response (or wants to
+	// force tracing) sets it, codec v2 and the JSON wire format propagate
+	// it, and the gateway always records requests arriving with one. Zero
+	// means "not traced" and lets the gateway's own sampler decide. Like
+	// SessionToken it is not part of Digest(): it annotates delivery, not
+	// content.
+	TraceID uint64
+
 	// Tx is the ledger transaction built by the terminal handler.
 	Tx ledger.Transaction
 
 	authenticated bool
 	encrypted     bool
+
+	// trace is the in-flight sampled trace, set by the gateway when the
+	// request is sampled; stages record spans into it. Nil (the common
+	// case) costs each stage one pointer check.
+	trace *telemetry.Trace
+	// downstreamNanos is instrument()'s scratch register for exclusive
+	// timing: each instrumented frame zeroes it before invoking the stage
+	// and adds its own inclusive time back for its parent, so a stage's
+	// exclusive time is its inclusive time minus what its direct
+	// downstream reported. Keeping it on the request avoids any per-call
+	// allocation.
+	downstreamNanos int64
 }
+
+// Trace returns the in-flight sampled trace, or nil when the request is
+// not being traced. Stages with interesting internal phases may record
+// extra spans on it.
+func (r *Request) Trace() *telemetry.Trace { return r.trace }
 
 // Digest returns the canonical signed content of the request: channel,
 // principal, backend, and payload, length-prefixed.
@@ -141,14 +168,24 @@ type Stage interface {
 	Handle(ctx context.Context, req *Request, next Handler) error
 }
 
-// StageStats is a snapshot of one stage's counters. Nanos is inclusive of
-// downstream stages (the chain is measured from each stage's entry), which
-// is what the incremental benchmarks difference to get per-stage overhead.
+// StageStats is a snapshot of one stage's counters.
+//
+// Nanos is inclusive of downstream stages (the chain is measured from each
+// stage's entry), which is what the incremental benchmarks difference to
+// get per-stage overhead. Inclusive sums are misleading for re-entrant
+// stages: retry invokes its downstream several times (each attempt's time
+// lands in retry's Nanos and again in each downstream stage's), and batch
+// invokes it zero times at submission (the release happens later, under
+// the releasing call). ExclusiveNanos is the complementary measure — time
+// spent in the stage itself, minus everything its direct downstream
+// reported — and is what the per-stage latency histograms observe, so
+// Σ ExclusiveNanos over stages ≈ wall time even around retry loops.
 type StageStats struct {
-	Name   string
-	Calls  uint64
-	Errors uint64
-	Nanos  uint64
+	Name           string
+	Calls          uint64
+	Errors         uint64
+	Nanos          uint64
+	ExclusiveNanos uint64
 }
 
 // stageMetrics instruments one stage position in the chain.
@@ -157,6 +194,10 @@ type stageMetrics struct {
 	calls  atomic.Uint64
 	errors atomic.Uint64
 	nanos  atomic.Uint64
+	excl   atomic.Uint64
+	// lat observes per-call exclusive latency (nanoseconds) into fixed
+	// atomic buckets; registered as confmw_stage_latency_seconds.
+	lat *telemetry.Histogram
 }
 
 // Chain is an immutable composition of stages ending in a terminal handler.
@@ -179,6 +220,12 @@ func NewChain(terminal Handler, stages ...Stage) *Chain {
 	c.metrics = make([]*stageMetrics, len(stages))
 	for i := len(stages) - 1; i >= 0; i-- {
 		m := &stageMetrics{name: stages[i].Name()}
+		m.lat = telemetry.NewHistogram(
+			"confmw_stage_latency_seconds",
+			"Per-call exclusive stage latency (time in the stage itself, downstream subtracted).",
+			telemetry.LatencyBounds, telemetry.NanosPerSecond,
+			telemetry.L("stage", m.name),
+		)
 		c.metrics[i] = m
 		h = instrument(stages[i], m, h)
 	}
@@ -186,14 +233,35 @@ func NewChain(terminal Handler, stages ...Stage) *Chain {
 	return c
 }
 
+// instrument wraps one stage with its counters, exclusive-latency
+// histogram, and span recording. The exclusive-time protocol uses
+// req.downstreamNanos as a scratch register instead of wrapping next in a
+// fresh closure, keeping the instrumented path allocation-free: each frame
+// saves its parent's accumulator, zeroes it, runs the stage (downstream
+// frames add their inclusive time into it — retry's several attempts
+// accumulate, batch's zero invocations leave it zero), and restores
+// parent + own inclusive time on the way out.
 func instrument(s Stage, m *stageMetrics, next Handler) Handler {
 	return func(ctx context.Context, req *Request) error {
 		m.calls.Add(1)
+		parent := req.downstreamNanos
+		req.downstreamNanos = 0
 		start := time.Now()
 		err := s.Handle(ctx, req, next)
-		m.nanos.Add(uint64(time.Since(start)))
+		incl := int64(time.Since(start))
+		excl := incl - req.downstreamNanos
+		if excl < 0 {
+			excl = 0
+		}
+		req.downstreamNanos = parent + incl
+		m.nanos.Add(uint64(incl))
+		m.excl.Add(uint64(excl))
+		m.lat.Observe(uint64(excl))
 		if err != nil {
 			m.errors.Add(1)
+		}
+		if tr := req.trace; tr != nil {
+			tr.AddSpan(m.name, start, time.Duration(incl), time.Duration(excl), err)
 		}
 		return err
 	}
@@ -215,13 +283,47 @@ func (c *Chain) Stats() []StageStats {
 	out := make([]StageStats, len(c.metrics))
 	for i, m := range c.metrics {
 		out[i] = StageStats{
-			Name:   m.name,
-			Calls:  m.calls.Load(),
-			Errors: m.errors.Load(),
-			Nanos:  m.nanos.Load(),
+			Name:           m.name,
+			Calls:          m.calls.Load(),
+			Errors:         m.errors.Load(),
+			Nanos:          m.nanos.Load(),
+			ExclusiveNanos: m.excl.Load(),
 		}
 	}
 	return out
+}
+
+// RegisterMetrics registers the chain's per-stage telemetry into reg:
+// confmw_stage_calls_total, confmw_stage_errors_total, and the
+// confmw_stage_latency_seconds exclusive-latency histograms, all labelled
+// by stage name.
+func (c *Chain) RegisterMetrics(reg *telemetry.Registry) error {
+	for _, m := range c.metrics {
+		if err := reg.Register(m.lat); err != nil {
+			return err
+		}
+		if err := reg.CounterFunc("confmw_stage_calls_total",
+			"Stage invocations.", m.calls.Load, telemetry.L("stage", m.name)); err != nil {
+			return err
+		}
+		if err := reg.CounterFunc("confmw_stage_errors_total",
+			"Stage invocations that returned an error.", m.errors.Load, telemetry.L("stage", m.name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// StageLatency returns the named stage's exclusive-latency histogram, or
+// nil if the chain has no such stage. Useful for deriving p50/p99 in
+// process (status pages, tests) without a scrape round-trip.
+func (c *Chain) StageLatency(name string) *telemetry.Histogram {
+	for _, m := range c.metrics {
+		if m.name == name {
+			return m.lat
+		}
+	}
+	return nil
 }
 
 // StageNames returns the configured stage names in order.

@@ -11,6 +11,7 @@ import (
 
 	"dltprivacy/internal/dcrypto"
 	"dltprivacy/internal/pki"
+	"dltprivacy/internal/telemetry"
 )
 
 // Session errors. They are distinct so clients can tell a token that never
@@ -101,6 +102,11 @@ type SessionHello struct {
 	// encoding), so a tampered preference can at worst downgrade framing
 	// efficiency.
 	Codec string `json:"codec,omitempty"`
+	// TraceID optionally carries the client's trace identifier so a traced
+	// client flow records its session handshake too. Like Codec it is not
+	// covered by the handshake signature: it annotates observability, not
+	// authority — tampering can at worst mislabel a trace.
+	TraceID uint64 `json:"trace,omitempty"`
 }
 
 // SessionGrant is the manager's reply to an accepted handshake.
@@ -677,15 +683,46 @@ func (m *SessionManager) Len() int {
 	return n
 }
 
-// Stats snapshots the manager's lifecycle counters.
+// Stats snapshots the manager's lifecycle counters. The eviction counters
+// are read before Opened: an eviction always follows the open it undoes,
+// so reading the evictions first (and Opened, which can only have grown,
+// last) keeps the snapshot invariant Opened >= Expired+Evicted+Revoked
+// even while submitters race the poll. The reverse order could observe an
+// open-then-evict pair's eviction without its open.
 func (m *SessionManager) Stats() SessionStats {
+	expired := m.expired.Load()
+	evicted := m.evicted.Load()
+	revoked := m.revoked.Load()
 	return SessionStats{
 		Live:    m.Len(),
 		Opened:  m.opened.Load(),
-		Expired: m.expired.Load(),
-		Evicted: m.evicted.Load(),
-		Revoked: m.revoked.Load(),
+		Expired: expired,
+		Evicted: evicted,
+		Revoked: revoked,
 	}
+}
+
+// RegisterMetrics registers the manager's lifecycle counters and live
+// gauge into reg under the confmw_sessions_* names.
+func (m *SessionManager) RegisterMetrics(reg *telemetry.Registry) error {
+	if err := reg.GaugeFunc("confmw_sessions_live",
+		"Currently held sessions.", func() float64 { return float64(m.Len()) }); err != nil {
+		return err
+	}
+	for _, c := range []struct {
+		name, help string
+		fn         func() uint64
+	}{
+		{"confmw_sessions_opened_total", "Sessions granted.", m.opened.Load},
+		{"confmw_sessions_expired_total", "Sessions evicted at their TTL or idle window.", m.expired.Load},
+		{"confmw_sessions_evicted_total", "Sessions displaced by the per-principal cap.", m.evicted.Load},
+		{"confmw_sessions_revoked_total", "Sessions evicted by certificate revocation.", m.revoked.Load},
+	} {
+		if err := reg.CounterFunc(c.name, c.help, c.fn); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Session is the session-aware authn stage. A request carrying a token is

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"dltprivacy/internal/ledger"
+	"dltprivacy/internal/telemetry"
 )
 
 // Errors returned by the sharded backend.
@@ -220,13 +222,18 @@ func (sb *ShardedBackend) adopt(channel string, shard int) int {
 // so a channel whose only traffic was rejected can still be pinned.
 func (sb *ShardedBackend) Submit(tx ledger.Transaction) error {
 	i, owned := sb.resolve(tx.Channel)
+	// Count the routing BEFORE the shard submit: a submission that fills a
+	// batch delivers its block synchronously inside Submit, so counting
+	// after would let a stats poll observe the delivery without the routing
+	// that caused it. A rejected submission undoes the increment.
+	sb.stats[i].routedTxs.Add(1)
 	if err := sb.shards[i].Submit(tx); err != nil {
+		sb.stats[i].routedTxs.Add(^uint64(0))
 		return fmt.Errorf("shard %d: %w", i, err)
 	}
 	if !owned {
 		sb.adopt(tx.Channel, i)
 	}
-	sb.stats[i].routedTxs.Add(1)
 	return nil
 }
 
@@ -275,13 +282,52 @@ func (sb *ShardedBackend) Stats() []ShardStats {
 	sb.mu.RUnlock()
 	out := make([]ShardStats, len(sb.shards))
 	for i := range sb.shards {
+		// Deliveries are read before routings: a delivery always follows
+		// the routing increment that cut its block, so this order keeps
+		// each shard's snapshot consistent (routed >= what the deliveries
+		// imply) while submitters race the poll.
+		delivered := sb.stats[i].delivered.Load()
 		out[i] = ShardStats{
 			Shard:           i,
 			Operators:       sb.shards[i].Operators(),
 			RoutedTxs:       sb.stats[i].routedTxs.Load(),
-			DeliveredBlocks: sb.stats[i].delivered.Load(),
+			DeliveredBlocks: delivered,
 			PinnedChannels:  pinned[i],
 		}
 	}
 	return out
+}
+
+// RegisterMetrics registers the per-shard routing counters and pinned-
+// channel gauges into reg under the confmw_shard_* names, labelled by
+// shard index.
+func (sb *ShardedBackend) RegisterMetrics(reg *telemetry.Registry) error {
+	for i := range sb.shards {
+		st := &sb.stats[i]
+		label := telemetry.L("shard", strconv.Itoa(i))
+		if err := reg.CounterFunc("confmw_shard_routed_txs_total",
+			"Transactions routed to the shard.", st.routedTxs.Load, label); err != nil {
+			return err
+		}
+		if err := reg.CounterFunc("confmw_shard_delivered_blocks_total",
+			"Block deliveries fanned out to the shard's subscribers.", st.delivered.Load, label); err != nil {
+			return err
+		}
+		shard := i
+		if err := reg.GaugeFunc("confmw_shard_pinned_channels",
+			"Channels explicitly pinned to the shard.", func() float64 {
+				n := 0
+				sb.mu.RLock()
+				for _, s := range sb.pins {
+					if s == shard {
+						n++
+					}
+				}
+				sb.mu.RUnlock()
+				return float64(n)
+			}, label); err != nil {
+			return err
+		}
+	}
+	return nil
 }

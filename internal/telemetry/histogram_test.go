@@ -1,0 +1,118 @@
+package telemetry
+
+import "testing"
+
+// TestHistogramBucketBoundaries pins the le semantics: a value lands in
+// the first bucket whose upper bound is >= the value, with exact-boundary
+// values included (le, not lt) and everything past the last bound in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	bounds := []uint64{10, 100, 1000}
+	cases := []struct {
+		name   string
+		value  uint64
+		bucket int
+	}{
+		{"zero", 0, 0},
+		{"below first", 9, 0},
+		{"exactly first", 10, 0},
+		{"just above first", 11, 1},
+		{"mid", 99, 1},
+		{"exactly second", 100, 1},
+		{"just above second", 101, 2},
+		{"exactly last", 1000, 2},
+		{"just above last", 1001, 3},
+		{"huge", 1 << 62, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := NewHistogram("confmw_test_seconds", "h", bounds, 1)
+			h.Observe(tc.value)
+			s := h.Snapshot()
+			for i, c := range s.Counts {
+				want := uint64(0)
+				if i == tc.bucket {
+					want = 1
+				}
+				if c != want {
+					t.Errorf("bucket[%d] = %d, want %d (value %d)", i, c, want, tc.value)
+				}
+			}
+			if s.Sum != tc.value || s.Count != 1 {
+				t.Errorf("sum/count = %d/%d, want %d/1", s.Sum, s.Count, tc.value)
+			}
+		})
+	}
+}
+
+func TestLatencyBoundsShape(t *testing.T) {
+	if len(LatencyBounds) != 23 {
+		t.Fatalf("len(LatencyBounds) = %d, want 23", len(LatencyBounds))
+	}
+	if LatencyBounds[0] != 250 {
+		t.Fatalf("first bound = %d, want 250", LatencyBounds[0])
+	}
+	for i := 1; i < len(LatencyBounds); i++ {
+		if LatencyBounds[i] != LatencyBounds[i-1]*2 {
+			t.Fatalf("bounds not doubling at %d: %d after %d", i, LatencyBounds[i], LatencyBounds[i-1])
+		}
+	}
+	// Last bound covers ~1s so stage latencies never all pile into +Inf.
+	if last := LatencyBounds[len(LatencyBounds)-1]; last < 1_000_000_000 {
+		t.Fatalf("last bound %dns does not reach 1s", last)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("confmw_q_seconds", "h", []uint64{10, 20, 40}, 1)
+	// 10 observations uniformly in (0,10], 10 in (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	s := h.Snapshot()
+	if p50 := s.Quantile(0.5); p50 != 10 {
+		t.Errorf("p50 = %d, want 10", p50)
+	}
+	// p75 interpolates halfway through the (10,20] bucket.
+	if p75 := s.Quantile(0.75); p75 != 15 {
+		t.Errorf("p75 = %d, want 15", p75)
+	}
+	if p100 := s.Quantile(1); p100 != 20 {
+		t.Errorf("p100 = %d, want 20", p100)
+	}
+
+	// +Inf clamps to the last finite bound.
+	h2 := NewHistogram("confmw_q2_seconds", "h", []uint64{10}, 1)
+	h2.Observe(999)
+	if got := h2.Snapshot().Quantile(0.99); got != 10 {
+		t.Errorf("overflowed quantile = %d, want clamp to 10", got)
+	}
+
+	// Empty histogram.
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %d, want 0", got)
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty bounds", func() { NewHistogram("confmw_bad_seconds", "h", nil, 1) })
+	mustPanic("non-ascending", func() { NewHistogram("confmw_bad_seconds", "h", []uint64{10, 10}, 1) })
+	mustPanic("empty name", func() { NewHistogram("", "h", []uint64{1}, 1) })
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram("confmw_bench_seconds", "h", LatencyBounds, NanosPerSecond)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i&0xffff) * 100)
+	}
+}

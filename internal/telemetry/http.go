@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewMux assembles the telemetry listener's handler set:
+//
+//	/metrics        Prometheus text exposition of reg (404 when reg is nil)
+//	/statusz        JSON snapshot from statusz (404 when statusz is nil)
+//	/tracez         the tracer's ring as JSON (empty when tracer is nil)
+//	/debug/pprof/*  the runtime profiling endpoints
+//
+// statusz is called per request; return a freshly built snapshot (e.g.
+// middleware.GatewayStats) rather than a shared mutable structure.
+func NewMux(reg *Registry, tracer *Tracer, statusz func() any) *http.ServeMux {
+	mux := http.NewServeMux()
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	if statusz != nil {
+		mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, statusz())
+		})
+	}
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, struct {
+			SampleEvery int           `json:"sampleEvery"`
+			Sampled     uint64        `json:"sampled"`
+			Traces      []TraceRecord `json:"traces"`
+		}{tracer.SampleEvery(), tracer.Sampled(), tracer.Snapshot()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	b = append(b, '\n')
+	_, _ = w.Write(b)
+}
