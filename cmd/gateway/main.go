@@ -59,14 +59,18 @@ func main() {
 	codec := flag.String("codec", "binary", "gateway wire codec: json or binary")
 	telemetryAddr := flag.String("telemetry", "127.0.0.1:0", "telemetry listen address for /metrics, /statusz, /tracez, /debug/pprof (e.g. :9090)")
 	trace := flag.Int("trace", 64, "sample one submission in N for request tracing (0 = off)")
+	stages := flag.String("stages", "", `pipeline override as a raw Config string, e.g. "session(reqauth=mac)|authn|encrypt|audit|batch(size=4)"; must include a session stage for the demo workload (empty = the built-in pipeline)`)
 	flag.Parse()
-	if err := run(*trades, *batch, *seed, *shards, *channels, *revokeCheck, *reqauth, *codec, *telemetryAddr, *trace); err != nil {
+	if err := run(*trades, *batch, *seed, *shards, *channels, *revokeCheck, *reqauth, *codec, *telemetryAddr, *trace, *stages); err != nil {
 		fmt.Fprintln(os.Stderr, "gateway:", err)
+		if errors.Is(err, middleware.ErrBadConfig) {
+			fmt.Fprintf(os.Stderr, "registered stages:\n%s", middleware.StageUsage())
+		}
 		os.Exit(1)
 	}
 }
 
-func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck, reqauth, codec, telemetryAddr string, trace int) error {
+func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck, reqauth, codec, telemetryAddr string, trace int, stagesOverride string) error {
 	if nShards < 1 || nChannels < 1 {
 		return fmt.Errorf("need at least 1 shard and 1 channel, got %d/%d", nShards, nChannels)
 	}
@@ -155,6 +159,33 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 	}
 	if trace > 0 {
 		cfg.Trace = fmt.Sprint(trace)
+	}
+	// -stages overrides the whole pipeline; the demo's request-auth and
+	// revocation knobs then follow the override's session stage instead of
+	// their own flags. Unknown stage names fail here with the registered
+	// list, so new stages are discoverable from the CLI.
+	if stagesOverride != "" {
+		parsed, err := middleware.ParseStages(stagesOverride)
+		if err != nil {
+			return err
+		}
+		cfg.Stages = parsed
+		reqauth, revokeCheck = "sig", "off"
+		hasSession := false
+		for _, sc := range parsed {
+			if sc.Name == middleware.StageSession {
+				hasSession = true
+				if v := sc.Params["reqauth"]; v != "" {
+					reqauth = v
+				}
+				if v := sc.Params["revokecheck"]; v != "" {
+					revokeCheck = v
+				}
+			}
+		}
+		if !hasSession {
+			return fmt.Errorf("%w: the demo workload drives session-bound submissions; include a session stage in -stages", middleware.ErrBadConfig)
+		}
 	}
 	dir := middleware.StaticDirectory{}
 	for _, ch := range channels {

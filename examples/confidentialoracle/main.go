@@ -1,18 +1,59 @@
-// Confidential oracle: the Corda-model Merkle tear-off scenario from §5 of
-// the paper. Two banks settle an FX deal that needs an oracle to attest to
-// the exchange rate — but they do not want the oracle to see amounts or
-// counterparties. The oracle receives a tear-off exposing only the rate
-// component, recomputes the Merkle root, and signs.
+// Confidential oracle through the gateway: two banks settle an FX deal
+// whose conversion is computed inside a TEE (§3.3 of the paper). Instead
+// of hand-verifying enclave quotes, the pipeline's attest stage enforces
+// the policy: only payloads produced by the audited rate program, running
+// in a manufacturer-endorsed enclave, reach the ledger — and the encrypt
+// stage then seals them so the operators never see the amounts.
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"dltprivacy/internal/audit"
-	"dltprivacy/internal/platform/corda"
+	"dltprivacy/internal/dcrypto"
+	"dltprivacy/internal/ledger"
+	"dltprivacy/internal/middleware"
+	"dltprivacy/internal/ordering"
+	"dltprivacy/internal/pki"
+	"dltprivacy/internal/tee"
+	"dltprivacy/internal/transport"
 )
+
+// recorder captures committed transactions for the read-back step.
+type recorder struct{ txs []ledger.Transaction }
+
+func (r *recorder) Name() string { return "recorder" }
+
+func (r *recorder) Commit(b ledger.Block) error {
+	r.txs = append(r.txs, b.Txs...)
+	return nil
+}
+
+// rateProgram is the audited FX conversion logic: "USD=<cents>" in,
+// settlement statement out, at a pinned rate. Its measurement is what the
+// gateway's attestation policy trusts.
+var rateProgram = tee.Program{
+	Name:    "fx-rate",
+	Version: "1.52",
+	Run: func(input, state []byte) ([]byte, []byte, error) {
+		usdStr, ok := strings.CutPrefix(string(input), "USD=")
+		if !ok {
+			return nil, state, errors.New("want USD=<cents>")
+		}
+		usd, err := strconv.ParseInt(usdStr, 10, 64)
+		if err != nil {
+			return nil, state, err
+		}
+		aud := usd * 152 / 100
+		out := fmt.Sprintf("settle: %d USD cents -> %d AUD cents @ USD/AUD=1.52", usd, aud)
+		return []byte(out), state, nil
+	},
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -22,65 +63,179 @@ func main() {
 }
 
 func run() error {
-	net, err := corda.NewNetwork(corda.Config{})
+	// 1. PKI for the two banks; a TEE manufacturer provisions the enclave
+	// that will run the rate program.
+	ca, err := pki.NewCA("consortium-ca")
 	if err != nil {
 		return err
 	}
-	for _, p := range []string{"BankA", "BankB"} {
-		if _, err := net.AddParty(p); err != nil {
+	banks := []string{"BankA", "BankB"}
+	keys := make(map[string]*dcrypto.PrivateKey, len(banks))
+	certs := make(map[string]pki.Certificate, len(banks))
+	for _, b := range banks {
+		key, err := dcrypto.GenerateKey()
+		if err != nil {
 			return err
 		}
+		cert, err := ca.Enroll(b, key.Public())
+		if err != nil {
+			return err
+		}
+		keys[b], certs[b] = key, cert
 	}
-	if err := net.AddOracle("fx-oracle"); err != nil {
+	man, err := tee.NewManufacturer()
+	if err != nil {
+		return err
+	}
+	enclave, err := man.Provision()
+	if err != nil {
+		return err
+	}
+	if err := enclave.Load(rateProgram); err != nil {
 		return err
 	}
 
-	// The FX transaction: amounts and parties are confidential; only the
-	// rate needs third-party attestation.
-	tx := &corda.Transaction{
-		Outputs: []corda.State{{
-			Data:         []byte("BankA pays BankB 1,000,000 USD against 1,520,000 AUD"),
-			OwnerAddr:    "one-time-addr",
-			Participants: []string{"BankA", "BankB"},
+	// 2. The pipeline: the attest stage pins the manufacturer key and the
+	// rate program's measurement, with output binding — the submitted
+	// payload must be exactly what the enclave produced.
+	log := audit.NewLog()
+	orderer := ordering.New("orderer-op", ordering.VisibilityEnvelope, ordering.WithAuditLog(log))
+	measurement := rateProgram.Measurement()
+	cfg := middleware.Config{
+		Stages: []middleware.StageConfig{
+			{Name: middleware.StageSession, Params: map[string]string{"ttl": "10m"}},
+			{Name: middleware.StageAuthn},
+			{Name: middleware.StageAttest, Params: map[string]string{"mode": "tee", "bind": "output"}},
+			{Name: middleware.StageEncrypt, Params: map[string]string{"keyttl": "5m"}},
+			{Name: middleware.StageAudit, Params: map[string]string{"observer": "gateway-op"}},
+		},
+	}
+	env := middleware.Env{
+		CAKey: ca.PublicKey(),
+		Directory: middleware.StaticDirectory{"fx-settle": {
+			"BankA": keys["BankA"].Public(),
+			"BankB": keys["BankB"].Public(),
 		}},
-		Commands: []string{"fx-rate:USD/AUD=1.52"},
+		Log:         log,
+		Attestation: &middleware.AttestationPolicy{Manufacturer: man.PublicKey(), Measurement: measurement},
 	}
-	id, err := tx.ID()
+	gw, err := middleware.NewGateway("gw-fx", cfg, env, orderer)
 	if err != nil {
 		return err
 	}
-	fmt.Println("built transaction", id)
+	rec := &recorder{}
+	gw.Bind("fx-settle", rec)
+	net := transport.New()
+	if err := gw.AttachTransport(context.Background(), net, "gateway"); err != nil {
+		return err
+	}
 
-	// Tear off everything except the rate command.
-	tearOff, err := tx.CommandTearOff(0)
+	// 3. BankA runs the conversion in the enclave and submits the output
+	// with its attestation over a gateway session.
+	grant, err := middleware.OpenSessionOver(net, "BankA", "gateway", certs["BankA"], keys["BankA"])
 	if err != nil {
 		return err
 	}
-	att, err := net.OracleSign("fx-oracle", tearOff, func(visible []byte) error {
-		if string(visible) != "fx-rate:USD/AUD=1.52" {
-			return errors.New("rate not recognized")
+	output, att, err := enclave.Execute([]byte("USD=100000000"))
+	if err != nil {
+		return err
+	}
+	req := &middleware.Request{
+		Channel:      "fx-settle",
+		Principal:    "BankA",
+		Payload:      output,
+		SessionToken: grant.Token,
+	}
+	if err := middleware.AttachAttestation(req, att); err != nil {
+		return err
+	}
+	if err := middleware.SignRequest(req, keys["BankA"]); err != nil {
+		return err
+	}
+	if _, err := middleware.SubmitOver(net, "BankA", "gateway", req); err != nil {
+		return err
+	}
+	fmt.Println("settlement accepted: attestation verified by the attest stage")
+
+	// 4. A payload the enclave did not produce is rejected, even with a
+	// genuine attestation attached: output binding ties quote to bytes.
+	forged := &middleware.Request{
+		Channel:      "fx-settle",
+		Principal:    "BankA",
+		Payload:      []byte("settle: 100000000 USD cents -> 1 AUD cent @ USD/AUD=0"),
+		SessionToken: grant.Token,
+	}
+	if err := middleware.AttachAttestation(forged, att); err != nil {
+		return err
+	}
+	if err := middleware.SignRequest(forged, keys["BankA"]); err != nil {
+		return err
+	}
+	if _, err := middleware.SubmitOver(net, "BankA", "gateway", forged); !errors.Is(err, middleware.ErrAttestationRejected) {
+		return fmt.Errorf("tampered settlement accepted: %v", err)
+	}
+	fmt.Println("rejected: payload differs from the attested enclave output")
+
+	// 5. A different program — same manufacturer, wrong measurement — is
+	// rejected too: the policy trusts the audited rate logic, not the TEE
+	// vendor alone.
+	rogue, err := man.Provision()
+	if err != nil {
+		return err
+	}
+	if err := rogue.Load(tee.Program{
+		Name:    "fx-rate-rigged",
+		Version: "1.0",
+		Run: func(input, state []byte) ([]byte, []byte, error) {
+			return []byte("settle: whatever BankA wants"), state, nil
+		},
+	}); err != nil {
+		return err
+	}
+	rogueOut, rogueAtt, err := rogue.Execute([]byte("USD=100000000"))
+	if err != nil {
+		return err
+	}
+	rigged := &middleware.Request{
+		Channel:      "fx-settle",
+		Principal:    "BankA",
+		Payload:      rogueOut,
+		SessionToken: grant.Token,
+	}
+	if err := middleware.AttachAttestation(rigged, rogueAtt); err != nil {
+		return err
+	}
+	if err := middleware.SignRequest(rigged, keys["BankA"]); err != nil {
+		return err
+	}
+	if _, err := middleware.SubmitOver(net, "BankA", "gateway", rigged); !errors.Is(err, middleware.ErrAttestationRejected) {
+		return fmt.Errorf("unaudited program output accepted: %v", err)
+	}
+	fmt.Println("rejected: enclave running an unaudited program (measurement mismatch)")
+
+	// 6. BankB reads the sealed settlement; the ledger carries only the
+	// compact attestation note.
+	if len(rec.txs) != 1 {
+		return fmt.Errorf("want 1 committed settlement, got %d", len(rec.txs))
+	}
+	tx := rec.txs[0]
+	envl, err := middleware.ParseEnvelope(tx.Payload)
+	if err != nil {
+		return err
+	}
+	plain, err := middleware.OpenEnvelope(envl, "BankB", keys["BankB"])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("BankB reads the sealed settlement: %s\n", plain)
+	fmt.Printf("ledger records only the attestation note: %s\n", tx.Meta[middleware.MetaAttest])
+
+	// 7. Leakage accounting: no operator saw amounts or counterparties.
+	for _, op := range []string{"gateway-op", "orderer-op"} {
+		if log.SawAny(op, audit.ClassTxData) {
+			return fmt.Errorf("%s observed transaction data", op)
 		}
-		return nil
-	})
-	if err != nil {
-		return err
 	}
-	fmt.Println("oracle attested to the rate via tear-off")
-
-	// The participants verify the attestation against the full tx.
-	if err := net.VerifyOracleAttestation(att, tx); err != nil {
-		return err
-	}
-	fmt.Println("attestation verifies against the full transaction")
-
-	// Leakage check: the oracle saw the rate component and nothing else.
-	seen := net.Log.ItemsSeen("fx-oracle", audit.ClassTxData)
-	fmt.Printf("oracle observations: %v\n", seen)
-	for _, item := range seen {
-		if item != "component:fx-rate:USD/AUD=1.52" {
-			return fmt.Errorf("oracle saw more than the rate: %s", item)
-		}
-	}
-	fmt.Println("confirmed: amounts and counterparties stayed hidden from the oracle")
+	fmt.Println("audit log confirms: amounts stayed hidden from the gateway and ordering operators")
 	return nil
 }

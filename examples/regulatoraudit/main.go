@@ -1,20 +1,39 @@
-// Regulator audit: two privacy extensions composed. (1) Two channels settle
-// the same confidential amount; a regulator verifies cross-channel
-// consistency through an equality-of-commitments proof without learning the
-// amount. (2) A party transacts under Idemix-style pseudonyms that are
-// unlinkable across channels yet stable within the regulator's audit scope,
-// so the auditor can attribute repeated activity to "the same entity"
-// without ever learning who it is.
+// Regulator audit through the gateway: member banks report confidential
+// exposures under anonymous credentials, and the pipeline aggregates the
+// encrypted reports homomorphically before anything reaches the ledger.
+// The anoncred stage replaces certificate authn — the gateway learns
+// "a credentialed member" plus a scope-exclusive pseudonym, never which
+// bank — and the terminal aggregate stage orders only the Paillier sum,
+// so the regulator decrypts the sector total without seeing any single
+// exposure. Auditable anonymity (§2.3): pseudonyms are stable inside the
+// audit scope for accountability, unlinkable outside it.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/big"
 	"os"
 
 	"dltprivacy/internal/anoncred"
-	"dltprivacy/internal/zkp"
+	"dltprivacy/internal/audit"
+	"dltprivacy/internal/ledger"
+	"dltprivacy/internal/middleware"
+	"dltprivacy/internal/ordering"
+	"dltprivacy/internal/paillier"
+	"dltprivacy/internal/transport"
 )
+
+// recorder captures the released aggregate transaction.
+type recorder struct{ txs []ledger.Transaction }
+
+func (r *recorder) Name() string { return "recorder" }
+
+func (r *recorder) Commit(b ledger.Block) error {
+	r.txs = append(r.txs, b.Txs...)
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -24,73 +43,160 @@ func main() {
 }
 
 func run() error {
-	// --- Part 1: cross-channel amount consistency in zero knowledge ---
-	amount := big.NewInt(250_000) // confidential settlement amount
-	// Channel A and channel B each publish a commitment to the amount.
-	commA, rA, err := zkp.CommitValue(amount)
-	if err != nil {
-		return err
-	}
-	commB, rB, err := zkp.CommitValue(amount)
-	if err != nil {
-		return err
-	}
-	proof, err := zkp.ProveEqualCommitments(rA, rB, commA, commB, []byte("settlement-2026-06-12"))
-	if err != nil {
-		return err
-	}
-	if err := zkp.VerifyEqualCommitments(proof, commA, commB, []byte("settlement-2026-06-12")); err != nil {
-		return fmt.Errorf("regulator consistency check: %w", err)
-	}
-	fmt.Println("regulator verified: both channels settled the SAME amount")
-	fmt.Println("regulator learned the amount: no (commitments are hiding)")
-
-	// --- Part 2: auditable anonymity with scope-exclusive pseudonyms ---
-	issuer := anoncred.NewIssuer("consortium-ca")
+	// 1. The consortium issuer registers the membership attribute set;
+	// each bank's wallet draws one-show tokens. The regulator generates
+	// the Paillier collection key — only the regulator can decrypt, and
+	// only the aggregate ever reaches it.
 	attrs := []string{"role=member"}
-	key, err := issuer.RegisterAttributeSet(attrs)
+	issuer := anoncred.NewIssuer("consortium-ca")
+	credKey, err := issuer.RegisterAttributeSet(attrs)
 	if err != nil {
 		return err
 	}
-	wallet, err := anoncred.NewWallet()
-	if err != nil {
-		return err
-	}
-	if err := wallet.RequestTokens(issuer, attrs, 4); err != nil {
-		return err
-	}
-
-	// Two presentations in the regulator's audit scope: same pseudonym.
-	p1, err := wallet.Present(attrs, "audit-2026")
-	if err != nil {
-		return err
-	}
-	p2, err := wallet.Present(attrs, "audit-2026")
-	if err != nil {
-		return err
-	}
-	for i, p := range []anoncred.Presentation{p1, p2} {
-		if err := anoncred.VerifyPresentation(p, key); err != nil {
-			return fmt.Errorf("presentation %d: %w", i+1, err)
+	wallets := make(map[string]*anoncred.Wallet, 2)
+	for _, bank := range []string{"AlphaBank", "BetaBank"} {
+		w, err := anoncred.NewWallet()
+		if err != nil {
+			return err
 		}
+		if err := w.RequestTokens(issuer, attrs, 4); err != nil {
+			return err
+		}
+		wallets[bank] = w
 	}
-	if p1.NymString() != p2.NymString() {
-		return fmt.Errorf("audit-scope pseudonyms diverged")
-	}
-	fmt.Printf("auditor links repeated activity to pseudonym %s…\n", p1.NymString()[:12])
-
-	// A presentation on a trading channel: different, unlinkable pseudonym.
-	p3, err := wallet.Present(attrs, "channel-trades")
+	regulatorKey, err := paillier.GenerateKey(512)
 	if err != nil {
 		return err
 	}
-	if err := anoncred.VerifyPresentation(p3, key); err != nil {
+	collectKey := &regulatorKey.PublicKey
+
+	// 2. The pipeline, declaratively: anoncred authenticates in place of
+	// certificates, and aggregate terminates the chain — individual
+	// reports are acknowledged, held, and combined; only the encrypted
+	// sum is ordered.
+	log := audit.NewLog()
+	orderer := ordering.New("orderer-op", ordering.VisibilityEnvelope, ordering.WithAuditLog(log))
+	cfg := middleware.Config{
+		Stages: []middleware.StageConfig{
+			{Name: middleware.StageAnonCred, Params: map[string]string{
+				"mode": "present", "attrs": "role=member", "scope": "audit-2026",
+			}},
+			{Name: middleware.StageAudit, Params: map[string]string{"observer": "regulator-op"}},
+			{Name: middleware.StageAggregate, Params: map[string]string{"mode": "paillier", "size": "3"}},
+		},
+	}
+	env := middleware.Env{AnonCredKey: credKey, Aggregator: collectKey, Log: log}
+	gw, err := middleware.NewGateway("gw-audit", cfg, env, orderer)
+	if err != nil {
 		return err
 	}
-	if p3.NymString() == p1.NymString() {
-		return fmt.Errorf("cross-scope pseudonyms must differ")
+	rec := &recorder{}
+	gw.Bind("exposure-reports", rec)
+	net := transport.New()
+	if err := gw.AttachTransport(context.Background(), net, "gateway"); err != nil {
+		return err
 	}
-	fmt.Println("…but cannot link it to the trading-channel pseudonym", p3.NymString()[:12])
-	fmt.Println("auditable anonymity: accountability inside the audit scope, unlinkability outside")
+
+	// 3. Three reports: AlphaBank files twice (a correction cycle),
+	// BetaBank once. Each report is the exposure encrypted to the
+	// regulator, presented under a fresh one-show token.
+	reports := []struct {
+		bank     string
+		exposure int64
+	}{
+		{"AlphaBank", 250_000},
+		{"BetaBank", 410_000},
+		{"AlphaBank", 90_000},
+	}
+	nyms := make([]string, 0, len(reports))
+	var replay *middleware.Request
+	for i, rep := range reports {
+		payload, err := middleware.EncodeAggregand(collectKey, big.NewInt(rep.exposure))
+		if err != nil {
+			return err
+		}
+		req := &middleware.Request{Channel: "exposure-reports", Payload: payload}
+		nym, err := middleware.AttachPresentation(req, wallets[rep.bank], attrs, "audit-2026")
+		if err != nil {
+			return err
+		}
+		nyms = append(nyms, nym)
+		if i == 0 {
+			// Keep a copy of the first wire presentation for the replay
+			// check below.
+			replay = &middleware.Request{
+				Channel:   req.Channel,
+				Principal: req.Principal,
+				Payload:   req.Payload,
+				Meta:      map[string]string{middleware.MetaAnonCred: req.Meta[middleware.MetaAnonCred]},
+			}
+		}
+		if _, err := middleware.SubmitOver(net, "member", "gateway", req); err != nil {
+			return fmt.Errorf("report %d: %w", i+1, err)
+		}
+		fmt.Printf("report %d accepted under pseudonym %s…\n", i+1, nym[:12])
+	}
+
+	// 4. Accountability inside the scope: the regulator can tell the two
+	// AlphaBank filings came from the same member — without knowing it is
+	// AlphaBank. Unlinkability outside it: the same wallet presenting in
+	// another scope yields an unrelated pseudonym.
+	if nyms[0] != nyms[2] {
+		return errors.New("same-scope pseudonyms diverged")
+	}
+	if nyms[0] == nyms[1] {
+		return errors.New("distinct members share a pseudonym")
+	}
+	fmt.Println("regulator links reports 1 and 3 to one member — without learning which bank")
+	other := &middleware.Request{Channel: "elsewhere"}
+	crossNym, err := middleware.AttachPresentation(other, wallets["AlphaBank"], attrs, "channel-trades")
+	if err != nil {
+		return err
+	}
+	if crossNym == nyms[0] {
+		return errors.New("cross-scope pseudonyms must differ")
+	}
+	fmt.Println("the same wallet is unlinkable outside the audit scope")
+
+	// 5. One-show enforcement: replaying a spent presentation fails.
+	if _, err := middleware.SubmitOver(net, "member", "gateway", replay); !errors.Is(err, middleware.ErrCredentialRejected) {
+		return fmt.Errorf("replayed presentation accepted: %v", err)
+	}
+	fmt.Println("rejected: replayed presentation (one-show token already spent)")
+
+	// A report with no credential at all never enters the pool.
+	anon, err := middleware.EncodeAggregand(collectKey, big.NewInt(1))
+	if err != nil {
+		return err
+	}
+	if _, err := middleware.SubmitOver(net, "member", "gateway",
+		&middleware.Request{Channel: "exposure-reports", Principal: "nobody", Payload: anon},
+	); !errors.Is(err, middleware.ErrCredentialRequired) {
+		return fmt.Errorf("credential-less report accepted: %v", err)
+	}
+	fmt.Println("rejected: report without a credential presentation")
+
+	// 6. The third accepted report filled the group: exactly one
+	// transaction was ordered, creator "aggregated", no pseudonyms.
+	if len(rec.txs) != 1 {
+		return fmt.Errorf("want 1 aggregate transaction, got %d", len(rec.txs))
+	}
+	tx := rec.txs[0]
+	if tx.Creator != middleware.AggregatePrincipal {
+		return fmt.Errorf("aggregate creator %q", tx.Creator)
+	}
+	if _, leaked := tx.Meta[middleware.MetaNym]; leaked {
+		return errors.New("contributor pseudonym leaked onto the aggregate")
+	}
+	total, err := middleware.DecryptAggregate(regulatorKey, tx.Payload)
+	if err != nil {
+		return err
+	}
+	if total.Int64() != 750_000 {
+		return fmt.Errorf("aggregate total %s, want 750000", total)
+	}
+	fmt.Printf("ledger holds one tx (%s): regulator decrypts the sector total %s\n",
+		tx.Meta[middleware.MetaAggregate], total)
+	fmt.Println("no individual exposure was ever decryptable: reports were combined in ciphertext")
 	return nil
 }

@@ -4,13 +4,19 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"dltprivacy/internal/audit"
 	"dltprivacy/internal/dcrypto"
+	"dltprivacy/internal/paillier"
+	"dltprivacy/internal/zkp"
 )
 
-// Built-in stage names, the vocabulary of Config.
+// Built-in stage names, the core vocabulary of Config. The full vocabulary
+// is the stage registry (see registry.go and RegisteredStages): the privacy
+// stages zkproof, anoncred, attest, and aggregate register themselves the
+// same way and compose under the same validation engine.
 const (
 	StageSession   = "session"
 	StageAuthn     = "authn"
@@ -48,6 +54,17 @@ var ErrBadConfig = errors.New("middleware: invalid pipeline configuration")
 //	retry      — attempts (default 3), backoff (duration, default 5ms)
 //	breaker    — threshold (default 5), cooldown (duration, default 1s)
 //	batch      — size (default 8)
+//	zkproof    — mode (only "range"), bits (range width, default 32),
+//	             channel (gate only this channel; default all)
+//	anoncred   — mode (only "present"), attrs ("+"-separated attribute
+//	             set), scope (presentation context), require (on|off,
+//	             default on)
+//	attest     — mode (only "tee"), bind (input|output|off, default input)
+//	aggregate  — mode (only "paillier"), size (group size, default 8)
+//
+// Parameters outside a stage's declared vocabulary are rejected at
+// validation time: a typoed knob fails construction, it is never silently
+// ignored.
 type StageConfig struct {
 	Name   string
 	Params map[string]string
@@ -110,13 +127,27 @@ type Env struct {
 	Now func() time.Time
 	// Sleep overrides the backoff sleeper (retry).
 	Sleep func(time.Duration)
+
+	// AnonCredKey is the anonymous-credential issuer's attribute
+	// verification key (anoncred stage): presentations are checked
+	// against it.
+	AnonCredKey zkp.Point
+	// Attestation pins the TEE trust anchors the attest stage verifies
+	// against: the manufacturer key and the expected program measurement.
+	Attestation *AttestationPolicy
+	// Aggregator is the collector's Paillier public key (aggregate
+	// stage): submissions are homomorphically combined under it.
+	Aggregator *paillier.PublicKey
 }
 
-// params wraps per-stage parameter parsing with error accumulation.
+// params is the shared, registry-level parameter validator every stage
+// constructor draws on: typed accessors with error accumulation. Messages
+// carry no stage prefix — the build engine wraps every parameter error
+// uniformly as "stage <name>: <err>" under ErrBadConfig, so each validator
+// exists exactly once instead of being re-spelled per stage.
 type params struct {
-	stage string
-	m     map[string]string
-	err   error
+	m   map[string]string
+	err error
 }
 
 func (p *params) str(key, def string) string {
@@ -134,7 +165,7 @@ func (p *params) intVal(key string, def int) int {
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil && p.err == nil {
-		p.err = fmt.Errorf("stage %s: param %s=%q is not an integer", p.stage, key, v)
+		p.err = fmt.Errorf("param %s=%q is not an integer", key, v)
 	}
 	return n
 }
@@ -146,7 +177,7 @@ func (p *params) floatVal(key string, def float64) float64 {
 	}
 	f, err := strconv.ParseFloat(v, 64)
 	if err != nil && p.err == nil {
-		p.err = fmt.Errorf("stage %s: param %s=%q is not a number", p.stage, key, v)
+		p.err = fmt.Errorf("param %s=%q is not a number", key, v)
 	}
 	return f
 }
@@ -158,9 +189,24 @@ func (p *params) duration(key string, def time.Duration) time.Duration {
 	}
 	d, err := time.ParseDuration(v)
 	if err != nil && p.err == nil {
-		p.err = fmt.Errorf("stage %s: param %s=%q is not a duration", p.stage, key, v)
+		p.err = fmt.Errorf("param %s=%q is not a duration", key, v)
 	}
 	return d
+}
+
+// enum returns the value of key constrained to the allowed set, recording
+// an error (and returning the default) on anything else.
+func (p *params) enum(key, def string, allowed ...string) string {
+	v := p.str(key, def)
+	for _, a := range allowed {
+		if v == a {
+			return v
+		}
+	}
+	if p.err == nil {
+		p.err = fmt.Errorf("param %s=%q must be one of %s", key, p.m[key], strings.Join(allowed, "|"))
+	}
+	return def
 }
 
 // Build assembles and validates the configured chain around the terminal
@@ -187,63 +233,63 @@ func (c Config) Build(env Env, terminal Handler) (*Chain, error) {
 	return NewChain(terminal, stages...), nil
 }
 
-// validate enforces the ordering rules documented in the package comment.
+// validate is the generic ordering engine: it walks the configured stages
+// and enforces each one's registered constraints — conflicts, pairwise
+// precedence (after/before), follows-one-of requirements, and terminal
+// placement — instead of a hand-maintained rule chain. The operator-facing
+// rejection messages are exactly the ones the pre-registry validator
+// produced.
 func (c Config) validate() error {
 	if len(c.Stages) == 0 {
 		return fmt.Errorf("%w: empty stage list", ErrBadConfig)
 	}
 	pos := make(map[string]int, len(c.Stages))
 	for i, sc := range c.Stages {
-		switch sc.Name {
-		case StageSession, StageAuthn, StageEncrypt, StageAudit, StageRateLimit, StageRetry, StageBreaker, StageBatch:
-		default:
+		def := lookupStage(sc.Name)
+		if def == nil {
 			return fmt.Errorf("%w: unknown stage %q", ErrBadConfig, sc.Name)
 		}
 		if prev, dup := pos[sc.Name]; dup {
 			return fmt.Errorf("%w: stage %q configured twice (positions %d and %d)", ErrBadConfig, sc.Name, prev, i)
 		}
 		pos[sc.Name] = i
-	}
-	mustPrecede := func(before, after, why string) error {
-		bi, hasB := pos[before]
-		ai, hasA := pos[after]
-		if hasA && (!hasB || bi > ai) {
-			return fmt.Errorf("%w: %q must precede %q: %s", ErrBadConfig, before, after, why)
-		}
-		return nil
-	}
-	si, hasSession := pos[StageSession]
-	ai, hasAuthn := pos[StageAuthn]
-	if hasSession && hasAuthn && si > ai {
-		return fmt.Errorf("%w: %q must precede %q: token-bearing requests short-circuit the full PKI check", ErrBadConfig, StageSession, StageAuthn)
-	}
-	if ei, hasEncrypt := pos[StageEncrypt]; hasEncrypt {
-		authnBefore := hasAuthn && ai < ei
-		sessionBefore := hasSession && si < ei
-		if !authnBefore && !sessionBefore {
-			return fmt.Errorf("%w: %q needs %q or %q before it: never seal an envelope for an unverified submitter", ErrBadConfig, StageEncrypt, StageAuthn, StageSession)
+		for key := range sc.Params {
+			if !def.allowsParam(key) {
+				return fmt.Errorf("%w: stage %s: unknown param %q (known params: %s)",
+					ErrBadConfig, sc.Name, key, strings.Join(def.paramNames(), ", "))
+			}
 		}
 	}
-	if hasAuthn {
-		if err := mustPrecede(StageAuthn, StageRateLimit,
-			"buckets are keyed by principal, which must be verified first"); err != nil {
-			return err
+	// Conflicts first: a mutually-exclusive pair is a clearer diagnosis
+	// than whichever ordering rule the pair happens to violate too.
+	for _, sc := range c.Stages {
+		for _, cf := range lookupStage(sc.Name).conflicts {
+			if _, present := pos[cf.other]; present {
+				return fmt.Errorf("%w: %q conflicts with %q: %s", ErrBadConfig, sc.Name, cf.other, cf.why)
+			}
 		}
 	}
-	if hasSession {
-		if err := mustPrecede(StageSession, StageRateLimit,
-			"buckets are keyed by principal, which must be verified first"); err != nil {
-			return err
+	for i, sc := range c.Stages {
+		def := lookupStage(sc.Name)
+		for _, r := range def.after {
+			if oi, present := pos[r.other]; present && oi > i {
+				return fmt.Errorf("%w: %q must precede %q: %s", ErrBadConfig, r.other, sc.Name, r.why)
+			}
+		}
+		for _, r := range def.before {
+			if oi, present := pos[r.other]; present && oi < i {
+				return fmt.Errorf("%w: %q must precede %q: %s", ErrBadConfig, sc.Name, r.other, r.why)
+			}
+		}
+		if len(def.follows) > 0 && !followSatisfied(c.Stages[:i], def.follows) {
+			return fmt.Errorf("%w: %q needs %s before it: %s",
+				ErrBadConfig, sc.Name, quotedList(def.follows, " or "), def.followWhy)
 		}
 	}
-	if _, hasRetry := pos[StageRetry]; hasRetry {
-		if err := mustPrecede(StageRetry, StageBreaker,
-			"each retry attempt must consult the breaker"); err != nil {
-			return err
+	for i, sc := range c.Stages {
+		if def := lookupStage(sc.Name); def.terminal && i != len(c.Stages)-1 {
+			return fmt.Errorf("%w: %q must be the final stage (%s)", ErrBadConfig, sc.Name, def.terminalWhy)
 		}
-	}
-	if bi, ok := pos[StageBatch]; ok && bi != len(c.Stages)-1 {
-		return fmt.Errorf("%w: %q must be the final stage (any later stage would be skipped for batched requests)", ErrBadConfig, StageBatch)
 	}
 	switch c.Codec {
 	case "", CodecJSON, CodecBinary:
@@ -286,99 +332,34 @@ func (c Config) validateSharding() error {
 	return nil
 }
 
-// buildStage instantiates one named stage from its parameters.
+// followSatisfied reports whether any earlier stage fills one of the
+// required roles, either by name or through its countsAs declaration (an
+// anoncred stage counts as authn: it authenticates the request).
+func followSatisfied(earlier []StageConfig, roles []string) bool {
+	for _, sc := range earlier {
+		for _, role := range roles {
+			if sc.Name == role {
+				return true
+			}
+			if def := lookupStage(sc.Name); def != nil && def.countsAs == role {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildStage instantiates one named stage through its registered
+// constructor, wrapping parameter and constructor errors uniformly.
 func buildStage(sc StageConfig, env Env) (Stage, error) {
-	p := &params{stage: sc.Name, m: sc.Params}
-	var (
-		s   Stage
-		err error
-	)
-	switch sc.Name {
-	case StageSession:
-		mgr := env.Sessions
-		if mgr != nil && len(sc.Params) > 0 {
-			// An injected manager carries its own ttl/idle/cap/revocation
-			// setup; a knob that would be silently ignored here is a
-			// misconfiguration, not a default.
-			for key := range sc.Params {
-				return nil, fmt.Errorf("stage %s: param %s conflicts with Env.Sessions — configure the injected manager at construction instead", sc.Name, key)
-			}
-		}
-		if mgr == nil {
-			if env.CAKey.IsZero() {
-				return nil, fmt.Errorf("stage %s: Env.CAKey is required", sc.Name)
-			}
-			ttl := p.duration("ttl", 10*time.Minute)
-			idle := p.duration("idle", 2*time.Minute)
-			maxPer := p.intVal("maxperprincipal", 0)
-			reqauth, aerr := ParseRequestAuthMode(p.str("reqauth", "sig"))
-			if aerr != nil {
-				return nil, fmt.Errorf("stage %s: %v", sc.Name, aerr)
-			}
-			mode, merr := ParseRevokeCheckMode(p.str("revokecheck", "off"))
-			if merr != nil {
-				return nil, fmt.Errorf("stage %s: %v", sc.Name, merr)
-			}
-			sweepEvery := p.duration("revokesweep", 0)
-			if p.err != nil {
-				return nil, p.err
-			}
-			if maxPer < 0 {
-				return nil, fmt.Errorf("stage %s: maxperprincipal must be >= 0, got %d", sc.Name, maxPer)
-			}
-			if mode != RevokeCheckOff && env.Revoker == nil {
-				return nil, fmt.Errorf("stage %s: revokecheck=%v needs Env.Revoker", sc.Name, mode)
-			}
-			if _, set := sc.Params["revokesweep"]; set {
-				if mode != RevokeCheckSweep {
-					return nil, fmt.Errorf("stage %s: revokesweep is only valid with revokecheck=sweep, got revokecheck=%v", sc.Name, mode)
-				}
-				if sweepEvery <= 0 {
-					return nil, fmt.Errorf("stage %s: revokesweep must be positive, got %v", sc.Name, sweepEvery)
-				}
-			}
-			mgr, err = NewSessionManager(env.CAKey, ttl, idle, env.Now,
-				WithMaxPerPrincipal(maxPer),
-				WithRequestAuth(reqauth),
-				WithRevocationChecks(env.Revoker, mode, sweepEvery))
-			if err != nil {
-				return nil, err
-			}
-		}
-		s, err = NewSession(mgr)
-	case StageAuthn:
-		if env.CAKey.IsZero() {
-			return nil, fmt.Errorf("stage %s: Env.CAKey is required", sc.Name)
-		}
-		s = NewAuthn(env.CAKey, env.Now)
-	case StageEncrypt:
-		ttl := p.duration("keyttl", 0)
-		if p.err != nil {
-			return nil, p.err
-		}
-		if ttl < 0 {
-			return nil, fmt.Errorf("stage %s: keyttl must be >= 0, got %v (0 disables the key cache)", sc.Name, ttl)
-		}
-		if ttl > 0 {
-			s, err = NewCachedEncrypt(env.Directory, ttl, env.Now)
-		} else {
-			s, err = NewEncrypt(env.Directory)
-		}
-	case StageAudit:
-		s, err = NewAudit(env.Log, p.str("observer", "gateway"))
-	case StageRateLimit:
-		s, err = NewRateLimit(p.floatVal("rate", 100), p.floatVal("burst", 10), env.Now)
-	case StageRetry:
-		s, err = NewRetry(p.intVal("attempts", 3), p.duration("backoff", 5*time.Millisecond), env.Sleep)
-	case StageBreaker:
-		s, err = NewBreaker(p.intVal("threshold", 5), p.duration("cooldown", time.Second), env.Now)
-	case StageBatch:
-		s, err = NewBatch(p.intVal("size", 8))
-	default:
+	def := lookupStage(sc.Name)
+	if def == nil {
 		return nil, fmt.Errorf("unknown stage %q", sc.Name)
 	}
+	p := &params{m: sc.Params}
+	s, err := def.build(p, sc, env)
 	if p.err != nil {
-		return nil, p.err
+		err = p.err
 	}
 	if err != nil {
 		return nil, fmt.Errorf("stage %s: %w", sc.Name, err)

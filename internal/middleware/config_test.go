@@ -3,12 +3,16 @@ package middleware
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"dltprivacy/internal/anoncred"
 	"dltprivacy/internal/audit"
 	"dltprivacy/internal/dcrypto"
+	"dltprivacy/internal/paillier"
 	"dltprivacy/internal/pki"
+	"dltprivacy/internal/tee"
 )
 
 func testEnv(t *testing.T) Env {
@@ -259,5 +263,197 @@ func TestConfigRejectsRevocationParamsWithInjectedManager(t *testing.T) {
 	cfg := Config{Stages: []StageConfig{{Name: StageSession}}}
 	if _, err := cfg.Build(env, nil); err != nil {
 		t.Fatalf("injected manager rejected: %v", err)
+	}
+}
+
+// privacyTestKeys holds the expensive shared fixtures for the privacy
+// stage matrix: an anoncred issuer key and a Paillier collector key.
+var privacyTestKeys = sync.OnceValues(func() (Env, error) {
+	issuer := anoncred.NewIssuer("test-issuer")
+	credKey, err := issuer.RegisterAttributeSet([]string{"role=member"})
+	if err != nil {
+		return Env{}, err
+	}
+	collector, err := paillier.GenerateKey(512)
+	if err != nil {
+		return Env{}, err
+	}
+	man, err := tee.NewManufacturer()
+	if err != nil {
+		return Env{}, err
+	}
+	return Env{
+		AnonCredKey: credKey,
+		Aggregator:  &collector.PublicKey,
+		Attestation: &AttestationPolicy{
+			Manufacturer: man.PublicKey(),
+			Measurement:  tee.Program{Name: "p", Version: "1"}.Measurement(),
+		},
+	}, nil
+})
+
+// privacyEnv is testEnv plus the privacy-stage dependencies: issuer
+// attribute key, attestation policy, and Paillier collector key.
+func privacyEnv(t *testing.T) Env {
+	t.Helper()
+	keys, err := privacyTestKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := testEnv(t)
+	env.AnonCredKey = keys.AnonCredKey
+	env.Attestation = keys.Attestation
+	env.Aggregator = keys.Aggregator
+	return env
+}
+
+func TestConfigAcceptsPrivacyStages(t *testing.T) {
+	anoncredStage := StageConfig{Name: StageAnonCred, Params: map[string]string{
+		"attrs": "role=member", "scope": "audit",
+	}}
+	cases := []struct {
+		name   string
+		stages []StageConfig
+	}{
+		{"zkproof after authn", []StageConfig{
+			{Name: StageAuthn}, {Name: StageZKProof}, {Name: StageEncrypt}, {Name: StageAudit},
+		}},
+		{"zkproof after session", []StageConfig{
+			{Name: StageSession}, {Name: StageZKProof}, {Name: StageEncrypt},
+		}},
+		{"anoncred replaces authn", []StageConfig{
+			anoncredStage, {Name: StageEncrypt},
+		}},
+		{"anoncred before ratelimit", []StageConfig{
+			anoncredStage, {Name: StageRateLimit, Params: map[string]string{"rate": "10", "burst": "10"}},
+		}},
+		{"attest before encrypt", []StageConfig{
+			{Name: StageAuthn}, {Name: StageAttest}, {Name: StageEncrypt},
+		}},
+		{"aggregate terminal", []StageConfig{
+			anoncredStage, {Name: StageAudit, Params: map[string]string{"observer": "reg"}},
+			{Name: StageAggregate, Params: map[string]string{"size": "3"}},
+		}},
+		{"flagship composition", []StageConfig{
+			anoncredStage, {Name: StageZKProof}, {Name: StageAttest},
+			{Name: StageEncrypt}, {Name: StageAudit},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			chain, err := (Config{Stages: tc.stages}).Build(privacyEnv(t), nil)
+			if err != nil {
+				t.Fatalf("valid privacy config rejected: %v", err)
+			}
+			got := chain.StageNames()
+			for i, sc := range tc.stages {
+				if got[i] != sc.Name {
+					t.Fatalf("stage %d = %s, want %s", i, got[i], sc.Name)
+				}
+			}
+		})
+	}
+}
+
+func TestConfigRejectsPrivacyStageMisuse(t *testing.T) {
+	anoncredStage := StageConfig{Name: StageAnonCred, Params: map[string]string{
+		"attrs": "role=member", "scope": "audit",
+	}}
+	cases := []struct {
+		name    string
+		stages  []StageConfig
+		wantMsg string
+	}{
+		{"zkproof without authenticator",
+			[]StageConfig{{Name: StageZKProof}, {Name: StageEncrypt}},
+			`"zkproof" needs "authn" or "session" before it`},
+		{"zkproof after encrypt",
+			[]StageConfig{{Name: StageAuthn}, {Name: StageEncrypt}, {Name: StageZKProof}},
+			`"zkproof" must precede "encrypt"`},
+		{"anoncred after authn",
+			[]StageConfig{{Name: StageAuthn}, anoncredStage},
+			`"anoncred" must precede "authn"`},
+		{"anoncred after ratelimit",
+			[]StageConfig{{Name: StageRateLimit, Params: map[string]string{"rate": "10", "burst": "10"}}, anoncredStage},
+			`"anoncred" must precede "ratelimit"`},
+		{"attest after encrypt",
+			[]StageConfig{{Name: StageAuthn}, {Name: StageEncrypt}, {Name: StageAttest}},
+			`"attest" must precede "encrypt"`},
+		{"aggregate not last",
+			[]StageConfig{anoncredStage, {Name: StageAggregate}, {Name: StageAudit}},
+			`"aggregate" must be the final stage`},
+		{"aggregate with batch",
+			[]StageConfig{{Name: StageAuthn}, {Name: StageBatch}, {Name: StageAggregate}},
+			`"aggregate" conflicts with "batch"`},
+		{"aggregate with encrypt",
+			[]StageConfig{{Name: StageAuthn}, {Name: StageEncrypt}, {Name: StageAggregate}},
+			`"aggregate" conflicts with "encrypt"`},
+		{"zkproof unknown param",
+			[]StageConfig{{Name: StageAuthn}, {Name: StageZKProof, Params: map[string]string{"bitz": "16"}}},
+			`unknown param "bitz"`},
+		{"zkproof bits out of range",
+			[]StageConfig{{Name: StageAuthn}, {Name: StageZKProof, Params: map[string]string{"bits": "99"}}},
+			"bits must be in [1, 64]"},
+		{"zkproof unknown mode",
+			[]StageConfig{{Name: StageAuthn}, {Name: StageZKProof, Params: map[string]string{"mode": "bulletproof"}}},
+			"unknown zkproof mode"},
+		{"anoncred missing attrs",
+			[]StageConfig{{Name: StageAnonCred, Params: map[string]string{"scope": "audit"}}},
+			"anoncred needs attrs"},
+		{"anoncred missing scope",
+			[]StageConfig{{Name: StageAnonCred, Params: map[string]string{"attrs": "role=member"}}},
+			"anoncred needs scope"},
+		{"anoncred bad require",
+			[]StageConfig{{Name: StageAnonCred, Params: map[string]string{
+				"attrs": "role=member", "scope": "audit", "require": "maybe",
+			}}},
+			"must be one of on|off"},
+		{"attest bad bind",
+			[]StageConfig{{Name: StageAuthn}, {Name: StageAttest, Params: map[string]string{"bind": "sideways"}}},
+			"must be one of input|output|off"},
+		{"aggregate zero size",
+			[]StageConfig{anoncredStage, {Name: StageAggregate, Params: map[string]string{"size": "0"}}},
+			"size >= 1"},
+		{"aggregate unknown mode",
+			[]StageConfig{anoncredStage, {Name: StageAggregate, Params: map[string]string{"mode": "elgamal"}}},
+			"unknown aggregate mode"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := (Config{Stages: tc.stages}).Build(privacyEnv(t), nil)
+			if !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("Build = %v, want ErrBadConfig", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("rejection %q does not mention %q", err, tc.wantMsg)
+			}
+		})
+	}
+}
+
+// TestConfigRejectsPrivacyStagesWithoutEnv pins the missing-dependency
+// errors: each privacy stage names the Env field it needs.
+func TestConfigRejectsPrivacyStagesWithoutEnv(t *testing.T) {
+	cases := []struct {
+		name    string
+		stages  []StageConfig
+		wantMsg string
+	}{
+		{"anoncred", []StageConfig{{Name: StageAnonCred, Params: map[string]string{
+			"attrs": "role=member", "scope": "audit",
+		}}}, "Env.AnonCredKey"},
+		{"attest", []StageConfig{{Name: StageAuthn}, {Name: StageAttest}}, "Env.Attestation"},
+		{"aggregate", []StageConfig{{Name: StageAuthn}, {Name: StageAggregate}}, "Env.Aggregator"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := (Config{Stages: tc.stages}).Build(testEnv(t), nil)
+			if !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("Build = %v, want ErrBadConfig", err)
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("rejection %q does not mention %q", err, tc.wantMsg)
+			}
+		})
 	}
 }

@@ -35,6 +35,11 @@
 //     directly to the terminal handler, and any stage after it would be
 //     skipped for batched requests.
 //
+// These rules are not a hard-coded matrix: each stage declares its own
+// constraints when it registers (see "Extending the pipeline" below), and
+// validate applies whatever the registry holds. StageUsage renders the
+// full current rule set.
+//
 // The built-in stages are session (token-bound amortized authentication,
 // below), authn (submitter certificate + signature verification against
 // the consortium CA), encrypt (per-channel envelope encryption to member
@@ -45,7 +50,79 @@
 // (per-backend circuit breaker; requests with no backend share a
 // per-channel circuit), and batch (aggregate submissions before ordering;
 // group release is detached from the filling caller's cancellation, since
-// buffered members were already acknowledged).
+// buffered members were already acknowledged), plus the four privacy
+// stages below.
+//
+// # Privacy stages
+//
+// Four stages lift the paper's advanced-privacy workloads out of
+// hand-wired example code and into the declarative pipeline; each consumes
+// a client-attached wire blob from Request.Meta (never covered by the
+// request digest, carried by both codecs, size-capped before decode) and
+// replaces it with a compact audit note on success:
+//
+//   - zkproof (mode=range, bits=1..64, optional channel filter) admits a
+//     submission only with a valid Pedersen range proof binding the
+//     hidden value to the request's principal and channel. Clients attach
+//     one with AttachRangeProof or AttachSufficientFundsProof; failures
+//     are ErrProofRequired / ErrProofInvalid.
+//   - anoncred (mode=present, attrs=k=v+..., scope=...) authenticates a
+//     one-show anonymous-credential presentation in place of certificate
+//     authn: the gateway learns "a credentialed member" plus a
+//     scope-exclusive pseudonym (stable inside the scope, unlinkable
+//     across scopes) and sets it as the principal. It counts as
+//     authentication for every downstream rule; clients attach with
+//     AttachPresentation. Needs Env.AnonCredKey.
+//   - attest (mode=tee, bind=input|output|off) admits only submissions
+//     carrying a TEE attestation chained to the manufacturer key and
+//     enclave measurement pinned in Env.Attestation, with the payload
+//     hash-bound to the attested input or output under bind. Clients
+//     attach with AttachAttestation.
+//   - aggregate (mode=paillier, size=N) is a terminal collector:
+//     per-channel groups of N Paillier aggregands (EncodeAggregand) are
+//     acknowledged, held, and homomorphically summed; only the combined
+//     ciphertext is ordered, under the "aggregated" principal with
+//     contributor annotations scrubbed. Needs Env.Aggregator; the
+//     collector decrypts with DecryptAggregate.
+//
+// # Extending the pipeline
+//
+// The stage set is a registry, not a closed enum. A stage registers once
+// (an init function in its own file) with a declarative definition:
+//
+//	func init() {
+//		mustRegisterStage(stageDef{
+//			name:   "mystage",
+//			desc:   "one-line summary for StageUsage",
+//			params: []paramSpec{{"size", "group size (default 8)"}},
+//			after:  []orderRule{{other: StageAuthn, why: "needs a verified principal"}},
+//			build: func(p *params, sc StageConfig, env Env) (Stage, error) {
+//				size := p.intVal("size", 8)
+//				...
+//			},
+//		})
+//	}
+//
+// The definition carries everything Config.validate and buildStage need,
+// so neither has stage-specific code: declared params (unknown keys fail
+// fast, listing the known ones), ordering constraints (follows — at least
+// one of a set must run earlier; after/before — pairwise precedence;
+// conflicts — mutual exclusion; terminal — nothing may follow), a
+// countsAs alias so a stage can satisfy another's follows-requirement
+// (anoncred counts as authn), and the constructor. Every constraint has a
+// why string that becomes the error message, which is how the pre-registry
+// error texts survived the refactor verbatim. registerStage rejects
+// duplicate names, reserved characters, duplicate params, and any rule set
+// that would close an ordering cycle with the stages already registered —
+// a failed registration leaves no trace. The params helper wraps all
+// value parsing so every bad knob reports uniformly under ErrBadConfig.
+//
+// Registered stages are first-class everywhere: RegisteredStages and
+// StageUsage enumerate them, ParseStages compiles the compact text form
+// ("session(reqauth=mac)|authn|encrypt|audit", with name=mode sugar) used
+// by cmd/gateway's -stages flag, instrument wraps them into the same
+// StageStats and confmw_stage_latency_seconds series as the built-ins,
+// and the config test matrix exercises their declared rules.
 //
 // # Session lifecycle
 //

@@ -3,13 +3,17 @@ package middleware
 import (
 	"context"
 	"encoding/json"
+	"math/big"
 	"testing"
 	"time"
 
+	"dltprivacy/internal/anoncred"
 	"dltprivacy/internal/audit"
 	"dltprivacy/internal/dcrypto"
 	"dltprivacy/internal/ordering"
+	"dltprivacy/internal/paillier"
 	"dltprivacy/internal/pki"
+	"dltprivacy/internal/tee"
 	"dltprivacy/internal/transport"
 )
 
@@ -131,12 +135,124 @@ func FuzzWireRequest(f *testing.F) {
 	f.Add([]byte(`null`))
 	f.Add([]byte("\x00\x01\x02session\xff"))
 
+	// A second gateway runs the declarative privacy chain — anoncred in
+	// place of certificate authn, a range-proof gate, TEE attestation, and
+	// the terminal Paillier aggregator — so fuzzed meta blobs cross the
+	// proof decoders, the curve-point sanitation, and the aggregand bounds
+	// checks without panicking group arithmetic.
+	memberAttrs := []string{"role=member"}
+	issuer := anoncred.NewIssuer("fuzz-issuer")
+	credKey, err := issuer.RegisterAttributeSet(memberAttrs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	wallet, err := anoncred.NewWallet()
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := wallet.RequestTokens(issuer, memberAttrs, 4); err != nil {
+		f.Fatal(err)
+	}
+	collector, err := paillier.GenerateKey(512)
+	if err != nil {
+		f.Fatal(err)
+	}
+	man, err := tee.NewManufacturer()
+	if err != nil {
+		f.Fatal(err)
+	}
+	encl, err := man.Provision()
+	if err != nil {
+		f.Fatal(err)
+	}
+	echo := tee.Program{Name: "fuzz-echo", Version: "1", Run: func(input, state []byte) ([]byte, []byte, error) {
+		return input, state, nil
+	}}
+	if err := encl.Load(echo); err != nil {
+		f.Fatal(err)
+	}
+	privCfg := Config{Stages: []StageConfig{
+		{Name: StageAnonCred, Params: map[string]string{"mode": "present", "attrs": "role=member", "scope": "fuzz-scope"}},
+		{Name: StageZKProof, Params: map[string]string{"mode": "range", "bits": "16"}},
+		{Name: StageAttest, Params: map[string]string{"mode": "tee", "bind": "output"}},
+		{Name: StageAudit},
+		{Name: StageAggregate, Params: map[string]string{"mode": "paillier", "size": "4"}},
+	}}
+	privEnv := Env{
+		AnonCredKey: credKey,
+		Attestation: &AttestationPolicy{Manufacturer: man.PublicKey(), Measurement: echo.Measurement()},
+		Aggregator:  &collector.PublicKey,
+		Log:         audit.NewLog(),
+	}
+	privGW, err := NewGateway("fuzz-priv-gw", privCfg, privEnv, ordering.New("priv-op", ordering.VisibilityEnvelope))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := privGW.AttachTransport(context.Background(), net, "privgateway"); err != nil {
+		f.Fatal(err)
+	}
+	// A fully-attested pseudonymous contribution: the payload is a Paillier
+	// aggregand echoed through the enclave, so the anoncred, zkproof,
+	// attest, and aggregate decoders all fire on this one seed and on every
+	// mutation of it.
+	aggPayload, err := EncodeAggregand(&collector.PublicKey, big.NewInt(421))
+	if err != nil {
+		f.Fatal(err)
+	}
+	output, att, err := encl.Execute(aggPayload)
+	if err != nil {
+		f.Fatal(err)
+	}
+	privReq := &Request{Channel: "deals", Payload: output}
+	if _, err := AttachPresentation(privReq, wallet, memberAttrs, "fuzz-scope"); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := AttachRangeProof(privReq, big.NewInt(421), 16); err != nil {
+		f.Fatal(err)
+	}
+	if err := AttachAttestation(privReq, att); err != nil {
+		f.Fatal(err)
+	}
+	privWire, err := json.Marshal(wireRequest{
+		Channel: privReq.Channel, Principal: privReq.Principal,
+		Payload: privReq.Payload, Meta: privReq.Meta,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(privWire)
+	privBinary, err := EncodeWireRequest(privReq, CodecBinary)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(privBinary)
+	// Hostile stage params: half-decoded curve points (nil coordinates,
+	// zero points, coords past the field prime), truncated presentations,
+	// and an aggregand ciphertext sitting exactly on the N² group boundary.
+	f.Add([]byte(`{"channel":"deals","principal":"x","meta":{"zkproof":"{\"Comm\":{\"X\":0}}"}}`))
+	f.Add([]byte(`{"channel":"deals","principal":"x","meta":{"zkproof":"{\"Comm\":{\"X\":1,\"Y\":1},\"Proof\":{\"Bits\":64}}"}}`))
+	f.Add([]byte(`{"channel":"deals","meta":{"anoncred":"{\"Nym\":{\"X\":115792089210356248762697446949407573530086143415290314195533631308867097853951,\"Y\":2}}"}}`))
+	f.Add([]byte(`{"channel":"deals","meta":{"anoncred":"{"}}`))
+	f.Add([]byte(`{"channel":"deals","meta":{"attestation":"{\"Measurement\":[0]}"}}`))
+	f.Add([]byte(`{"channel":"deals","meta":{"attestation":"null"}}`))
+	boundary, err := json.Marshal(wireAggregand{Scheme: aggregandScheme, C: collector.PublicKey.N2.Bytes()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	boundaryWire, err := json.Marshal(wireRequest{Channel: "deals", Principal: "x", Payload: boundary, Meta: privReq.Meta})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(boundaryWire)
+	f.Add([]byte(`{"channel":"deals","payload":"eyJzY2hlbWUiOiJwYWlsbGllci92MSIsImMiOiIifQ=="}`))
+
 	topics := []string{TopicSubmit, TopicSessionOpen, TopicSessionClose, TopicRevocationNotify, "unknown.topic"}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, topic := range topics {
 			// Errors are the expected outcome for junk; the invariant under
 			// test is that no input can panic the gateway or wedge a lock.
 			_, _ = net.Send(transport.Message{From: "fuzzer", To: "gateway", Topic: topic, Payload: data})
+			_, _ = net.Send(transport.Message{From: "fuzzer", To: "privgateway", Topic: topic, Payload: data})
 		}
 	})
 }

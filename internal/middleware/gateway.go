@@ -339,11 +339,14 @@ func (g *Gateway) Submit(ctx context.Context, req *Request) error {
 // off. The handle /tracez serves from.
 func (g *Gateway) Tracer() *telemetry.Tracer { return g.tracer }
 
-// Flush releases any partially-filled batch downstream. Gateways without a
-// batch stage flush trivially.
+// Flush releases any partially-filled batch or aggregation group
+// downstream. Gateways without a holding stage flush trivially.
 func (g *Gateway) Flush(ctx context.Context) error {
 	if b, ok := g.chain.stage(StageBatch).(*Batch); ok && b != nil {
 		return b.Flush(ctx)
+	}
+	if a, ok := g.chain.stage(StageAggregate).(*Aggregate); ok && a != nil {
+		return a.Flush(ctx)
 	}
 	return nil
 }

@@ -140,6 +140,30 @@ func (p Point) Equal(q Point) bool {
 	return p.X.Cmp(q.X) == 0 && p.Y.Cmp(q.Y) == 0
 }
 
+// Valid reports whether the point is a well-formed group element: the
+// identity, or an on-curve point with both coordinates in [0, P). Points
+// decoded from untrusted input (JSON, wire frames) MUST be checked with
+// Valid before any group operation — crypto/elliptic panics on arithmetic
+// over off-curve points, and Bytes panics on coordinates wider than 256
+// bits, so an unchecked hostile point is a remote crash, not a failed
+// verification.
+func (p Point) Valid() bool {
+	if p.X == nil && p.Y == nil {
+		return true // canonical identity
+	}
+	if p.X == nil || p.Y == nil {
+		return false // half-decoded: IsIdentity would dereference nil
+	}
+	if p.X.Sign() == 0 && p.Y.Sign() == 0 {
+		return true // all-zero identity encoding
+	}
+	fieldP := curve().Params().P
+	if p.X.Sign() < 0 || p.Y.Sign() < 0 || p.X.Cmp(fieldP) >= 0 || p.Y.Cmp(fieldP) >= 0 {
+		return false
+	}
+	return curve().IsOnCurve(p.X, p.Y)
+}
+
 func (p Point) clone() Point {
 	if p.X == nil {
 		return Point{X: new(big.Int), Y: new(big.Int)}
