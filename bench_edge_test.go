@@ -1,0 +1,127 @@
+package dltprivacy_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dltprivacy/internal/audit"
+	"dltprivacy/internal/middleware"
+	"dltprivacy/internal/netedge"
+	"dltprivacy/internal/ordering"
+)
+
+// BenchmarkEdgeTCP measures the session fast path over the real network
+// edge: a loopback TCP round trip through the stream framing, the binary
+// codec v2 decode, and the session(mac)+encrypt chain. Where
+// BenchmarkGatewaySessionMAC prices the chain alone (~5.7µs), this adds
+// the socket, so the delta is the true cost of leaving the process.
+// Pipelining depth is the sub-benchmark axis: depth=1 is one synchronous
+// round trip per op; deeper variants keep several requests in flight over
+// the one connection, amortizing the per-trip latency the way cmd/loadgen
+// and any real client would.
+func BenchmarkEdgeTCP(b *testing.B) {
+	env := newGatewayBenchEnv(b)
+	dir := middleware.NewSyncDirectory()
+	dir.SetChannel("bench", env.memberKeys)
+	cfg := middleware.Config{
+		Stages: []middleware.StageConfig{
+			{Name: middleware.StageSession, Params: map[string]string{"ttl": "1h", "idle": "1h", "reqauth": "mac"}},
+			{Name: middleware.StageEncrypt, Params: map[string]string{"keyttl": "1h"}},
+		},
+		Codec: middleware.CodecBinary,
+	}
+	gwEnv := middleware.Env{
+		CAKey:     env.ca.PublicKey(),
+		Directory: dir,
+		Log:       audit.NewLog(),
+		Sleep:     func(time.Duration) {},
+	}
+	gw, err := middleware.NewGateway("bench-gw", cfg, gwEnv, ordering.New("bench-orderer", ordering.VisibilityEnvelope))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := &atomicBackend{}
+	gw.Bind("bench", sink)
+
+	srv, err := netedge.Listen("127.0.0.1:0", gw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, depth := range []int{1, 8} {
+		b.Run(fmt.Sprintf("pipeline=%d", depth), func(b *testing.B) {
+			c, err := netedge.Dial(srv.Addr().String(), netedge.WithInFlight(depth))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			ctx := context.Background()
+			// The session is bound to this connection, so the handshake
+			// happens here, per sub-benchmark, not in the shared fixture.
+			member := "org-00"
+			grant, err := c.OpenSession(ctx, member, env.certs[member], env.keys[member], middleware.CodecBinary)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req := &middleware.Request{
+				Channel:      "bench",
+				Principal:    member,
+				Payload:      env.templates[0].Payload,
+				SessionToken: grant.Token,
+			}
+			middleware.MACRequest(req, grant.MacKey)
+			wire, err := middleware.EncodeWireRequest(req, middleware.CodecBinary)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(wire)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			if depth == 1 {
+				for i := 0; i < b.N; i++ {
+					if _, err := c.SubmitRaw(ctx, wire); err != nil {
+						b.Fatal(err)
+					}
+				}
+			} else {
+				var wg sync.WaitGroup
+				work := make(chan struct{})
+				errs := make(chan error, depth)
+				for w := 0; w < depth; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						// Keep draining after a failure so the feed loop
+						// below can never block on a dead worker.
+						var werr error
+						for range work {
+							if werr != nil {
+								continue
+							}
+							if _, err := c.SubmitRaw(ctx, wire); err != nil {
+								werr = err
+							}
+						}
+						if werr != nil {
+							errs <- werr
+						}
+					}()
+				}
+				for i := 0; i < b.N; i++ {
+					work <- struct{}{}
+				}
+				close(work)
+				wg.Wait()
+				close(errs)
+				for err := range errs {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+		})
+	}
+}

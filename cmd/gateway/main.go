@@ -60,7 +60,24 @@ func main() {
 	telemetryAddr := flag.String("telemetry", "127.0.0.1:0", "telemetry listen address for /metrics, /statusz, /tracez, /debug/pprof (e.g. :9090)")
 	trace := flag.Int("trace", 64, "sample one submission in N for request tracing (0 = off)")
 	stages := flag.String("stages", "", `pipeline override as a raw Config string, e.g. "session(reqauth=mac)|authn|encrypt|audit|batch(size=4)"; must include a session stage for the demo workload (empty = the built-in pipeline)`)
+	listen := flag.String("listen", "", "serve the wire protocol on this TCP address (e.g. :9444) instead of running the demo; remote clients enroll, open sessions, and submit over the netedge framing")
+	acceptLoops := flag.Int("acceptloops", 4, "edge accept-plane shards (serve mode)")
+	maxPerPrincipal := flag.Int("maxperprincipal", 0, "live-session cap per principal in serve mode (0 = unlimited)")
+	shed := flag.Bool("shed", false, "shed slow edge consumers instead of blocking on their outbound queue (serve mode)")
+	statsEvery := flag.Duration("statsevery", 10*time.Second, "serve-mode interval for the edge stats line")
 	flag.Parse()
+	if *listen != "" {
+		if err := runServe(serveOpts{
+			listen: *listen, codec: *codec, reqauth: *reqauth, revokeCheck: *revokeCheck,
+			telemetryAddr: *telemetryAddr, trace: *trace, shards: *shards, channels: *channels,
+			acceptLoops: *acceptLoops, maxPerPrincipal: *maxPerPrincipal, shed: *shed,
+			statsEvery: *statsEvery,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "gateway:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*trades, *batch, *seed, *shards, *channels, *revokeCheck, *reqauth, *codec, *telemetryAddr, *trace, *stages); err != nil {
 		fmt.Fprintln(os.Stderr, "gateway:", err)
 		if errors.Is(err, middleware.ErrBadConfig) {

@@ -1,9 +1,3 @@
-// Package experiments assembles the paper-reproduction reports: Table 1
-// regenerated from live probes (E1), the Figure 1 decision-tree enumeration
-// (E2), the letter-of-credit walkthrough with its leakage matrix (E3), and
-// the per-platform §5 claims as observed leakage matrices (E4–E6). The
-// cmd/dltbench binary prints these; the test suites under internal/...
-// assert them.
 package experiments
 
 import (

@@ -259,6 +259,51 @@ func encodeEnvelopeBinary(env *Envelope, sortedIDs []string) []byte {
 	return out
 }
 
+// encodeEnvelopeKeys encodes just the wrapped-key table of a binary v2
+// envelope (recipient count + per-recipient id/ephemeral/ciphertext
+// triples) in sortedIDs order. The table is immutable for a key epoch's
+// lifetime, so the encrypt stage computes it once per epoch and
+// encodeEnvelopeBinaryKeyed splices it into every envelope — turning the
+// per-seal cost from O(members) encoding into one copy.
+func encodeEnvelopeKeys(keys map[string]dcrypto.HybridCiphertext, sortedIDs []string) []byte {
+	size := uvarintSize(uint64(len(sortedIDs)))
+	for _, id := range sortedIDs {
+		k := keys[id]
+		size += lenPrefixedSize(len(id)) +
+			lenPrefixedSize(len(k.EphemeralPub)) +
+			lenPrefixedSize(len(k.Ciphertext))
+	}
+	out := make([]byte, 0, size)
+	out = binary.AppendUvarint(out, uint64(len(sortedIDs)))
+	for _, id := range sortedIDs {
+		k := keys[id]
+		out = appendLenPrefixed(out, []byte(id))
+		out = appendLenPrefixed(out, k.EphemeralPub)
+		out = appendLenPrefixed(out, k.Ciphertext)
+	}
+	return out
+}
+
+// encodeEnvelopeBinaryKeyed is encodeEnvelopeBinary with the wrapped-key
+// table already encoded (by encodeEnvelopeKeys, once per epoch): it emits
+// the envelope header and ciphertext, then splices the precomputed
+// section, producing bytes identical to encodeEnvelopeBinary.
+func encodeEnvelopeBinaryKeyed(env *Envelope, keySection []byte) []byte {
+	size := 2 +
+		lenPrefixedSize(len(env.Scheme)) +
+		lenPrefixedSize(len(env.Channel)) +
+		uvarintSize(env.Epoch) +
+		lenPrefixedSize(len(env.Ciphertext)) +
+		len(keySection)
+	out := make([]byte, 0, size)
+	out = append(out, binaryMagic, binaryKindEnvelope)
+	out = appendLenPrefixed(out, []byte(env.Scheme))
+	out = appendLenPrefixed(out, []byte(env.Channel))
+	out = binary.AppendUvarint(out, env.Epoch)
+	out = appendLenPrefixed(out, env.Ciphertext)
+	return append(out, keySection...)
+}
+
 // decodeEnvelopeBinary reverses encodeEnvelopeBinary.
 func decodeEnvelopeBinary(b []byte) (Envelope, error) {
 	var env Envelope

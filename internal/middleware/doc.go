@@ -142,11 +142,36 @@
 // (token becomes unknown, ErrNoSession — indistinguishable from a forged
 // token by design), the hard TTL, or the idle window (both
 // ErrSessionExpired, with the session evicted on detection). The manager
-// additionally sweeps expired sessions on every Open, so an abandoned
-// client population cannot grow the table without bound. A compromised
-// token alone cannot forge traffic: every submission still needs a
-// signature under the principal's private key — or, under reqauth=mac
-// (below), a MAC under the per-session key from the grant.
+// additionally sweeps expired sessions from the Open path — throttled to
+// an interval, so an abandoned client population cannot grow the table
+// without bound while a 100k-session open flood never pays a full table
+// walk per handshake. A compromised token alone cannot forge traffic:
+// every submission still needs a signature under the principal's private
+// key — or, under reqauth=mac (below), a MAC under the per-session key
+// from the grant.
+//
+// # Network edge and session binding
+//
+// Sessions opened over the real TCP edge (internal/netedge) are bound to
+// their transport connection: OpenBound stamps the session with the
+// connection's identity string, and every subsequent resolve must present
+// the same identity or fail with ErrSessionBound. A token captured in
+// flight — or exfiltrated from a compromised client — is therefore
+// useless from any other connection: the thief would need to hijack the
+// original TCP stream itself, which TCP sequence randomization and the
+// MAC on every request already guard. Sessions opened through Open (the
+// in-process transport path) stay unbound and resolve from anywhere,
+// preserving every pre-edge caller.
+//
+// Binding also gives connection teardown exact semantics: the manager
+// indexes bound tokens per transport (byTransport), so EvictTransport —
+// wired to the edge's connection-close hook — reaps precisely the dead
+// connection's sessions without scanning the table. The eviction shows up
+// in SessionStats.Evicted and confmw_sessions_evicted_total; clients that
+// reconnect simply open fresh sessions. The binding check rides the
+// resolve fast path as one string compare under the stripe read lock —
+// no extra lock, no allocation — so the edge pays nothing for it at
+// steady state.
 //
 // # Performance
 //

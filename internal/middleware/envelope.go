@@ -178,6 +178,24 @@ func (d *SyncDirectory) SetChannel(channel string, members map[string]dcrypto.Pu
 	d.mu.Unlock()
 }
 
+// AddMember adds (or replaces) one member in a channel, copy-on-write:
+// the previous snapshot stays immutable for in-flight readers and the
+// generation bumps. The incremental path enrollment flows use — a TCP
+// edge admitting principals one at a time must not re-install whole
+// channels around a lock it doesn't hold.
+func (d *SyncDirectory) AddMember(channel, identity string, key dcrypto.PublicKey) {
+	d.mu.Lock()
+	old := d.channels[channel]
+	snap := make(map[string]dcrypto.PublicKey, len(old)+1)
+	for id, k := range old {
+		snap[id] = k
+	}
+	snap[identity] = key
+	d.channels[channel] = snap
+	d.gen++
+	d.mu.Unlock()
+}
+
 // MemberKeys implements Directory. The returned map is an immutable
 // snapshot; callers must not modify it.
 func (d *SyncDirectory) MemberKeys(channel string) (map[string]dcrypto.PublicKey, error) {
@@ -228,6 +246,17 @@ type Encrypt struct {
 	mu     sync.Mutex
 	keys   map[string]*channelKey
 	epochs map[string]uint64 // next epoch per channel; survives rotation
+	// rotating single-flights epoch rotation per channel: the per-member
+	// hybrid wrap is O(members) of public-key crypto, so when a cold or
+	// expired channel meets a thundering herd (every edge connection's
+	// first submission), only the first rotator wraps — the rest wait on
+	// the channel's entry and re-read the cache. Without this, N
+	// concurrent rotators each burn the full wrap and N-1 results are
+	// discarded by the double-checked install; at 1000 members and
+	// hundreds of connections that is minutes of redundant CPU. Guarded
+	// by mu; entries are removed (and their channel closed) when the
+	// winning rotation installs or fails.
+	rotating map[string]chan struct{}
 	// fps caches the member-set fingerprint (and the effective member
 	// snapshot it was computed from) per channel, valid while both the
 	// directory generation and the exclusion generation stand still.
@@ -263,6 +292,12 @@ type channelKey struct {
 	ids       []string // sorted recipient identities
 	members   [32]byte // fingerprint of the member set the key was wrapped to
 	expiresAt time.Time
+	// keySection is the binary v2 encoding of the wrapped-key table
+	// (count + per-recipient triples), computed once at install: the
+	// table is immutable for the epoch's lifetime, and re-encoding it per
+	// submission makes every seal O(members) — at 1000-member channels
+	// that dominates the entire submit path. Nil under the JSON codec.
+	keySection []byte
 }
 
 // fpEntry is one cached member-set fingerprint: the directory and
@@ -320,6 +355,7 @@ func NewCachedEncrypt(dir Directory, keyTTL time.Duration, now func() time.Time)
 	e.keys = make(map[string]*channelKey)
 	e.epochs = make(map[string]uint64)
 	e.fps = make(map[string]*fpEntry)
+	e.rotating = make(map[string]chan struct{})
 	return e, nil
 }
 
@@ -529,54 +565,95 @@ func (e *Encrypt) channelKeyFor(channel string, dirGen uint64, members map[strin
 			e.mu.Unlock()
 		}
 
-		dataKey, err := dcrypto.NewSymmetricKey()
-		if err != nil {
-			return nil, fmt.Errorf("middleware: data key: %w", err)
-		}
-		ad := e.adFor(channel)
-		wrapped := make(map[string]dcrypto.HybridCiphertext, len(sealable))
-		ids := make([]string, 0, len(sealable))
-		for id, pub := range sealable {
-			w, err := dcrypto.EncryptHybrid(pub, dataKey, ad)
-			if err != nil {
-				return nil, fmt.Errorf("middleware: wrap key for %s: %w", id, err)
-			}
-			wrapped[id] = w
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		aead, err := dcrypto.NewAEAD(dataKey)
-		if err != nil {
-			return nil, fmt.Errorf("middleware: data key aead: %w", err)
-		}
-
+		// The cache is cold, expired, or wrapped to a different member
+		// set: a rotation is due. Single-flight it per channel — only the
+		// first arrival performs the O(members) wrap; everyone else waits
+		// for the install and re-reads the cache, which is the difference
+		// between one wrap and hundreds when an edge full of connections
+		// hits a cold channel at once.
 		e.mu.Lock()
-		if e.exclGen != gen {
-			// A revocation landed while we wrapped: our member snapshot may
-			// include the newly revoked identity. Re-snapshot and re-wrap.
+		if wait := e.rotating[channel]; wait != nil {
 			e.mu.Unlock()
+			<-wait
 			continue
 		}
-		if ck := e.keys[channel]; ck != nil && ck.members == fp && !now.After(ck.expiresAt) {
-			e.mu.Unlock()
-			return ck, nil
-		}
-		e.epochs[channel]++
-		e.rotations++
-		ck := &channelKey{
-			epoch:     e.epochs[channel],
-			dataKey:   dataKey,
-			aead:      aead,
-			ad:        ad,
-			wrapped:   wrapped,
-			ids:       ids,
-			members:   fp,
-			expiresAt: now.Add(e.keyTTL),
-		}
-		e.keys[channel] = ck
+		done := make(chan struct{})
+		e.rotating[channel] = done
 		e.mu.Unlock()
+
+		ck, retry, err := e.wrapAndInstall(channel, gen, fp, sealable, now)
+		e.mu.Lock()
+		delete(e.rotating, channel)
+		e.mu.Unlock()
+		close(done)
+		if err != nil {
+			return nil, err
+		}
+		if retry {
+			continue
+		}
 		return ck, nil
 	}
+}
+
+// wrapAndInstall generates a fresh data key, wraps it for every sealable
+// member, and installs the new epoch, holding the single-flight slot its
+// caller registered. retry is true when a revocation raced the wrap (the
+// exclusion generation moved past gen): the snapshot may include a
+// just-revoked member, so the caller must re-snapshot and try again.
+func (e *Encrypt) wrapAndInstall(channel string, gen uint64, fp [32]byte, sealable map[string]dcrypto.PublicKey, now time.Time) (*channelKey, bool, error) {
+	dataKey, err := dcrypto.NewSymmetricKey()
+	if err != nil {
+		return nil, false, fmt.Errorf("middleware: data key: %w", err)
+	}
+	ad := e.adFor(channel)
+	wrapped := make(map[string]dcrypto.HybridCiphertext, len(sealable))
+	ids := make([]string, 0, len(sealable))
+	for id, pub := range sealable {
+		w, err := dcrypto.EncryptHybrid(pub, dataKey, ad)
+		if err != nil {
+			return nil, false, fmt.Errorf("middleware: wrap key for %s: %w", id, err)
+		}
+		wrapped[id] = w
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	aead, err := dcrypto.NewAEAD(dataKey)
+	if err != nil {
+		return nil, false, fmt.Errorf("middleware: data key aead: %w", err)
+	}
+	var keySection []byte
+	if e.binary {
+		keySection = encodeEnvelopeKeys(wrapped, ids)
+	}
+
+	e.mu.Lock()
+	if e.exclGen != gen {
+		// A revocation landed while we wrapped: our member snapshot may
+		// include the newly revoked identity. Re-snapshot and re-wrap.
+		e.mu.Unlock()
+		return nil, true, nil
+	}
+	if ck := e.keys[channel]; ck != nil && ck.members == fp && !now.After(ck.expiresAt) {
+		e.mu.Unlock()
+		return ck, false, nil
+	}
+	e.epochs[channel]++
+	e.rotations++
+	ck := &channelKey{
+		epoch:      e.epochs[channel],
+		dataKey:    dataKey,
+		aead:       aead,
+		ad:         ad,
+		wrapped:    wrapped,
+		ids:        ids,
+		members:    fp,
+		expiresAt:  now.Add(e.keyTTL),
+		keySection: keySection,
+	}
+	e.keys[channel] = ck
+	e.mu.Unlock()
+	return ck, false, nil
 }
 
 // jsonBufPool recycles the staging buffers of JSON envelope marshalling:
@@ -587,9 +664,14 @@ var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // marshalEnvelope encodes the sealed envelope in the stage's codec.
 // sortedIDs orders the binary key section without a per-request sort; it
-// may be nil on the fresh-key (non-cached) path.
-func (e *Encrypt) marshalEnvelope(env *Envelope, sortedIDs []string) ([]byte, error) {
+// may be nil on the fresh-key (non-cached) path. keySection, when
+// non-nil, is the epoch's precomputed binary key table and shortcuts the
+// per-request O(members) re-encoding to a single copy.
+func (e *Encrypt) marshalEnvelope(env *Envelope, sortedIDs []string, keySection []byte) ([]byte, error) {
 	if e.binary {
+		if keySection != nil {
+			return encodeEnvelopeBinaryKeyed(env, keySection), nil
+		}
 		return encodeEnvelopeBinary(env, sortedIDs), nil
 	}
 	buf := jsonBufPool.Get().(*bytes.Buffer)
@@ -625,6 +707,7 @@ func (e *Encrypt) Handle(ctx context.Context, req *Request, next Handler) error 
 	}
 	var env Envelope
 	var sortedIDs []string
+	var keySection []byte
 	if e.keyTTL > 0 {
 		// channelKeyFor applies the revocation exclusions itself, under the
 		// cache lock, so a racing RevokeMember cannot poison a fresh epoch.
@@ -644,13 +727,14 @@ func (e *Encrypt) Handle(ctx context.Context, req *Request, next Handler) error 
 			Keys:       ck.wrapped,
 		}
 		sortedIDs = ck.ids
+		keySection = ck.keySection
 	} else {
 		env, err = sealEnvelope(req.Channel, req.Payload, e.effectiveMembers(members), e.adFor(req.Channel))
 		if err != nil {
 			return err
 		}
 	}
-	b, err := e.marshalEnvelope(&env, sortedIDs)
+	b, err := e.marshalEnvelope(&env, sortedIDs, keySection)
 	if err != nil {
 		return err
 	}

@@ -561,108 +561,126 @@ type wireRequest struct {
 	TraceID uint64 `json:"trace,omitempty"`
 }
 
+// ServeWire handles one wire message against the gateway: the shared
+// topic dispatch behind every transport front (the in-process substrate
+// via AttachTransport, the TCP edge via netedge.Server). transportID names
+// the connection the message arrived on — transports with per-connection
+// identity pass it so sessions opened here are bound to the connection and
+// submissions resolve against that binding; transports without one pass ""
+// and sessions stay unbound. The payload slice is only borrowed: binary
+// submissions alias it zero-copy during the chain run, but nothing retains
+// it past return (the encrypt stage replaces the payload before any
+// holding stage buffers the request), so stream transports may reuse their
+// read buffer for the next frame.
+func (g *Gateway) ServeWire(ctx context.Context, topic string, payload []byte, transportID string) ([]byte, error) {
+	switch topic {
+	case TopicSubmit:
+		var w wireRequest
+		if isBinaryFrame(payload) {
+			if g.codec != CodecBinary {
+				return nil, fmt.Errorf("gateway %s: binary codec not enabled", g.name)
+			}
+			var err error
+			if w, err = decodeWireRequestBinary(payload); err != nil {
+				return nil, fmt.Errorf("gateway %s: decode request: %w", g.name, err)
+			}
+		} else if err := json.Unmarshal(payload, &w); err != nil {
+			return nil, fmt.Errorf("gateway %s: decode request: %w", g.name, err)
+		}
+		req := &Request{
+			Channel:      w.Channel,
+			Principal:    w.Principal,
+			Backend:      w.Backend,
+			Payload:      w.Payload,
+			Sig:          w.Sig,
+			MAC:          w.MAC,
+			SessionToken: w.Session,
+			Meta:         w.Meta,
+			TraceID:      w.TraceID,
+			TransportID:  transportID,
+		}
+		if w.Cert != nil {
+			req.Cert = *w.Cert
+		}
+		// The ID covers the payload as submitted; the encrypt stage
+		// replaces it, so capture before running the chain.
+		id := req.ID()
+		if err := g.Submit(ctx, req); err != nil {
+			return nil, err
+		}
+		return []byte(id), nil
+	case TopicSessionOpen:
+		mgr := g.Sessions()
+		if mgr == nil {
+			return nil, fmt.Errorf("gateway %s: pipeline has no session stage", g.name)
+		}
+		var hello SessionHello
+		if err := json.Unmarshal(payload, &hello); err != nil {
+			return nil, fmt.Errorf("gateway %s: decode hello: %w", g.name, err)
+		}
+		// A hello carrying a trace ID joins the client's sampled flow:
+		// the handshake is recorded as its own trace in the ring.
+		var tr *telemetry.Trace
+		if hello.TraceID != 0 {
+			tr = g.tracer.For(hello.TraceID)
+		}
+		grant, err := mgr.OpenBound(hello, transportID)
+		if tr != nil {
+			d := time.Since(tr.Start)
+			tr.AddSpan("session.open", tr.Start, d, d, err)
+			g.tracer.Finish(tr, err)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Codec negotiation: the session gets binary framing only when
+		// the client asked for it AND the gateway offers it; everything
+		// else downgrades to JSON, which every gateway accepts.
+		grant.Codec = CodecJSON
+		if hello.Codec == CodecBinary && g.codec == CodecBinary {
+			grant.Codec = CodecBinary
+		}
+		b, err := json.Marshal(grant)
+		if err != nil {
+			return nil, fmt.Errorf("gateway %s: encode grant: %w", g.name, err)
+		}
+		return b, nil
+	case TopicSessionClose:
+		mgr := g.Sessions()
+		if mgr == nil {
+			return nil, fmt.Errorf("gateway %s: pipeline has no session stage", g.name)
+		}
+		mgr.Close(string(payload))
+		return []byte("ok"), nil
+	case TopicRevocationNotify:
+		if g.revoker == nil {
+			return nil, fmt.Errorf("gateway %s: no revocation plane configured", g.name)
+		}
+		evicted := g.SyncRevocations()
+		b, err := json.Marshal(RevocationNotice{Epoch: g.RevocationEpoch(), SessionsRevoked: evicted})
+		if err != nil {
+			return nil, fmt.Errorf("gateway %s: encode revocation notice: %w", g.name, err)
+		}
+		return b, nil
+	default:
+		return nil, fmt.Errorf("gateway %s: unknown topic %q", g.name, topic)
+	}
+}
+
 // AttachTransport registers the gateway as a network endpoint serving
 // TopicSubmit, TopicSessionOpen, and TopicSessionClose. The reply to an
 // accepted submission is its request ID (batched submissions are
 // acknowledged before a transaction exists); to an accepted handshake, a
 // marshalled SessionGrant. Requests run under the caller's ctx, so
-// server-side deadlines and cancellation reach the chain.
+// server-side deadlines and cancellation reach the chain. The in-process
+// substrate has no per-connection identity, so sessions opened through it
+// stay unbound (see ServeWire and the TCP edge for bound sessions).
 func (g *Gateway) AttachTransport(ctx context.Context, net *transport.Network, endpoint string) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	return net.Register(endpoint, func(msg transport.Message) ([]byte, error) {
-		switch msg.Topic {
-		case TopicSubmit:
-			var w wireRequest
-			if isBinaryFrame(msg.Payload) {
-				if g.codec != CodecBinary {
-					return nil, fmt.Errorf("gateway %s: binary codec not enabled", g.name)
-				}
-				var err error
-				if w, err = decodeWireRequestBinary(msg.Payload); err != nil {
-					return nil, fmt.Errorf("gateway %s: decode request: %w", g.name, err)
-				}
-			} else if err := json.Unmarshal(msg.Payload, &w); err != nil {
-				return nil, fmt.Errorf("gateway %s: decode request: %w", g.name, err)
-			}
-			req := &Request{
-				Channel:      w.Channel,
-				Principal:    w.Principal,
-				Backend:      w.Backend,
-				Payload:      w.Payload,
-				Sig:          w.Sig,
-				MAC:          w.MAC,
-				SessionToken: w.Session,
-				Meta:         w.Meta,
-				TraceID:      w.TraceID,
-			}
-			if w.Cert != nil {
-				req.Cert = *w.Cert
-			}
-			// The ID covers the payload as submitted; the encrypt stage
-			// replaces it, so capture before running the chain.
-			id := req.ID()
-			if err := g.Submit(ctx, req); err != nil {
-				return nil, err
-			}
-			return []byte(id), nil
-		case TopicSessionOpen:
-			mgr := g.Sessions()
-			if mgr == nil {
-				return nil, fmt.Errorf("gateway %s: pipeline has no session stage", g.name)
-			}
-			var hello SessionHello
-			if err := json.Unmarshal(msg.Payload, &hello); err != nil {
-				return nil, fmt.Errorf("gateway %s: decode hello: %w", g.name, err)
-			}
-			// A hello carrying a trace ID joins the client's sampled flow:
-			// the handshake is recorded as its own trace in the ring.
-			var tr *telemetry.Trace
-			if hello.TraceID != 0 {
-				tr = g.tracer.For(hello.TraceID)
-			}
-			grant, err := mgr.Open(hello)
-			if tr != nil {
-				d := time.Since(tr.Start)
-				tr.AddSpan("session.open", tr.Start, d, d, err)
-				g.tracer.Finish(tr, err)
-			}
-			if err != nil {
-				return nil, err
-			}
-			// Codec negotiation: the session gets binary framing only when
-			// the client asked for it AND the gateway offers it; everything
-			// else downgrades to JSON, which every gateway accepts.
-			grant.Codec = CodecJSON
-			if hello.Codec == CodecBinary && g.codec == CodecBinary {
-				grant.Codec = CodecBinary
-			}
-			b, err := json.Marshal(grant)
-			if err != nil {
-				return nil, fmt.Errorf("gateway %s: encode grant: %w", g.name, err)
-			}
-			return b, nil
-		case TopicSessionClose:
-			mgr := g.Sessions()
-			if mgr == nil {
-				return nil, fmt.Errorf("gateway %s: pipeline has no session stage", g.name)
-			}
-			mgr.Close(string(msg.Payload))
-			return []byte("ok"), nil
-		case TopicRevocationNotify:
-			if g.revoker == nil {
-				return nil, fmt.Errorf("gateway %s: no revocation plane configured", g.name)
-			}
-			evicted := g.SyncRevocations()
-			b, err := json.Marshal(RevocationNotice{Epoch: g.RevocationEpoch(), SessionsRevoked: evicted})
-			if err != nil {
-				return nil, fmt.Errorf("gateway %s: encode revocation notice: %w", g.name, err)
-			}
-			return b, nil
-		default:
-			return nil, fmt.Errorf("gateway %s: unknown topic %q", g.name, msg.Topic)
-		}
+		return g.ServeWire(ctx, msg.Topic, msg.Payload, "")
 	})
 }
 

@@ -84,6 +84,16 @@ type Request struct {
 	// content.
 	TraceID uint64
 
+	// TransportID names the transport connection the request arrived on.
+	// It is set by the server-side transport layer (the TCP edge stamps
+	// each connection's identity here before Submit), never by clients,
+	// and never crosses the wire. Sessions opened over an identified
+	// connection are bound to it: the session stage rejects a token
+	// presented from any other TransportID with ErrSessionBound, closing
+	// the token-replay surface. Empty for transports without per-connection
+	// identity (the in-process substrate), where sessions stay unbound.
+	TransportID string
+
 	// Tx is the ledger transaction built by the terminal handler.
 	Tx ledger.Transaction
 

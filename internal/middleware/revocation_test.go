@@ -724,7 +724,7 @@ func TestSessionOpenRacingRevocation(t *testing.T) {
 			}
 			continue
 		}
-		if _, _, _, err := mgr.resolve(grant.Token); err == nil {
+		if _, _, _, err := mgr.resolve(grant.Token, ""); err == nil {
 			t.Fatalf("iteration %d: revoked certificate kept a resolvable session", i)
 		}
 	}

@@ -40,6 +40,13 @@ var (
 	// destroys the session's MAC key, so a revoked client's symmetric
 	// fast path dies with its session.
 	ErrSessionRevoked = errors.New("middleware: session certificate revoked")
+	// ErrSessionBound is returned when a token minted on one transport
+	// connection is presented over a different one (or over a transport
+	// with no connection identity at all). Sessions opened through
+	// OpenBound are pinned to the connection that performed the handshake,
+	// so a stolen or replayed token is useless anywhere else; the session
+	// itself stays live for its rightful connection.
+	ErrSessionBound = errors.New("middleware: session token bound to another connection")
 )
 
 // RequestAuthMode selects how the session stage authenticates token-bearing
@@ -177,6 +184,10 @@ type session struct {
 	key       dcrypto.PublicKey
 	mac       []byte
 	serial    uint64
+	// boundTo pins the session to the transport connection that opened it
+	// (OpenBound); empty for unbound sessions. resolve rejects any other
+	// connection's TransportID with ErrSessionBound.
+	boundTo   string
 	openedAt  time.Time
 	expiresAt time.Time
 	lastUsed  atomic.Int64
@@ -233,6 +244,16 @@ type SessionManager struct {
 	revMode       RevokeCheckMode
 	revSweepEvery time.Duration
 
+	// sweepEvery throttles the Open-path table sweep: a full sweep walks
+	// every stripe, so running one per open makes opens O(live sessions)
+	// and a 100k-session edge quadratic. Expiry enforcement does not
+	// depend on the sweep — resolve rejects and evicts stale tokens
+	// itself — so the sweep is pure table hygiene and an interval bound
+	// keeps it amortized O(1) per open. Derived from ttl/idle at
+	// construction; lastSweep is guarded by mu.
+	sweepEvery time.Duration
+	lastSweep  time.Time
+
 	// stripes is the token table. Lock order: mu (when needed) strictly
 	// before any stripe lock; never acquire mu while holding a stripe.
 	stripes [sessionStripeCount]sessionStripe
@@ -245,6 +266,11 @@ type SessionManager struct {
 	// revocation delta ever scans other principals' sessions. Kept in
 	// lockstep with the stripes under mu.
 	byPrincipal map[string]map[string]time.Time
+	// byTransport indexes bound session tokens per transport connection,
+	// so EvictTransport (the connection-close path) reaps exactly the dead
+	// connection's sessions without scanning the stripes. Kept in lockstep
+	// with the stripes under mu; unbound sessions never appear here.
+	byTransport map[string]map[string]bool
 	// seenNonces remembers handshake nonces until their freshness window
 	// closes, so a recorded hello cannot be replayed to mint a second
 	// token. Keyed by nonce hex, valued by forget-after time.
@@ -342,6 +368,7 @@ func NewSessionManager(caKey dcrypto.PublicKey, ttl, idle time.Duration, now fun
 		idle:        idle,
 		now:         now,
 		byPrincipal: make(map[string]map[string]time.Time),
+		byTransport: make(map[string]map[string]bool),
 		seenNonces:  make(map[string]time.Time),
 	}
 	for i := range m.stripes {
@@ -353,6 +380,17 @@ func NewSessionManager(caKey dcrypto.PublicKey, ttl, idle time.Duration, now fun
 	}
 	if m.revMode != RevokeCheckOff && m.revoker == nil {
 		return nil, fmt.Errorf("middleware: revocation checks (%v) need a revoker", m.revMode)
+	}
+	// A quarter of the shortest lifetime keeps test clocks (millisecond
+	// ttls) sweeping on practically every open, while production windows
+	// (minutes) settle at the one-second cap.
+	m.sweepEvery = m.ttl
+	if m.idle < m.sweepEvery {
+		m.sweepEvery = m.idle
+	}
+	m.sweepEvery /= 4
+	if m.sweepEvery > time.Second {
+		m.sweepEvery = time.Second
 	}
 	m.lastRevSweep.Store(m.now().UnixNano())
 	return m, nil
@@ -370,7 +408,19 @@ const sessionMACInfo = "middleware/session/mac/v1/"
 // Under reqauth=mac the grant additionally carries a per-session HMAC key,
 // derived via HKDF salted with the handshake transcript digest so the
 // symmetric fast path stays rooted in the PKI handshake it amortizes.
+// Sessions opened this way are unbound: the token works from any transport.
 func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
+	return m.OpenBound(hello, "")
+}
+
+// OpenBound is Open with the token pinned to a transport connection
+// identity: every subsequent resolve must present the same TransportID or
+// fail with ErrSessionBound, so a token captured in flight (or leaked by a
+// client) cannot be replayed over a different connection. The TCP edge
+// opens every session this way, stamping each connection's identity; an
+// empty transportID degrades to an unbound Open. Connection teardown
+// should call EvictTransport to reap the bound sessions.
+func (m *SessionManager) OpenBound(hello SessionHello, transportID string) (SessionGrant, error) {
 	now := m.now()
 	if hello.IssuedAt.Before(now.Add(-helloFreshness)) || hello.IssuedAt.After(now.Add(helloFreshness)) {
 		return SessionGrant{}, fmt.Errorf("%w: issued %v, now %v", ErrStaleHello, hello.IssuedAt, now)
@@ -422,6 +472,7 @@ func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
 		key:       key,
 		mac:       macKey,
 		serial:    hello.Cert.Serial,
+		boundTo:   transportID,
 		openedAt:  now,
 		expiresAt: expires,
 	}
@@ -431,7 +482,10 @@ func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
 	// copy of it has gone stale, so replaying it cannot mint a token.
 	nonceKey := hex.EncodeToString(hello.Nonce)
 	m.mu.Lock()
-	m.sweepLocked(now)
+	if now.Sub(m.lastSweep) >= m.sweepEvery {
+		m.sweepLocked(now)
+		m.lastSweep = now
+	}
 	if _, seen := m.seenNonces[nonceKey]; seen {
 		m.mu.Unlock()
 		return SessionGrant{}, fmt.Errorf("%w: principal %s", ErrReplayedHello, hello.Principal)
@@ -460,6 +514,14 @@ func (m *SessionManager) Open(hello SessionHello) (SessionGrant, error) {
 		m.byPrincipal[hello.Principal] = set
 	}
 	set[token] = now
+	if transportID != "" {
+		conns := m.byTransport[transportID]
+		if conns == nil {
+			conns = make(map[string]bool)
+			m.byTransport[transportID] = conns
+		}
+		conns[token] = true
+	}
 	m.mu.Unlock()
 	return SessionGrant{Token: token, Principal: hello.Principal, ExpiresAt: expires, MacKey: macKey}, nil
 }
@@ -492,6 +554,41 @@ func (m *SessionManager) deleteSessionLocked(st *sessionStripe, token string, s 
 			delete(m.byPrincipal, s.principal)
 		}
 	}
+	if s.boundTo != "" {
+		if conns := m.byTransport[s.boundTo]; conns != nil {
+			delete(conns, token)
+			if len(conns) == 0 {
+				delete(m.byTransport, s.boundTo)
+			}
+		}
+	}
+}
+
+// EvictTransport evicts every session bound to the transport connection —
+// the connection-teardown path: a closed TCP connection's sessions can
+// never be used again (their tokens answer ErrSessionBound everywhere
+// else), so the edge reaps them immediately instead of waiting out the
+// idle window. Evictions count in SessionStats.Evicted. Returns how many
+// sessions died. Trivial for transports that never bound a session.
+func (m *SessionManager) EvictTransport(transportID string) int {
+	if transportID == "" {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for token := range m.byTransport[transportID] {
+		st := m.stripeFor(token)
+		st.mu.Lock()
+		if s, ok := st.sessions[token]; ok {
+			m.deleteSessionLocked(st, token, s)
+			m.evicted.Add(1)
+			n++
+		}
+		st.mu.Unlock()
+	}
+	delete(m.byTransport, transportID)
+	return n
 }
 
 // resolve returns the verified principal, certified key, and (under
@@ -502,7 +599,11 @@ func (m *SessionManager) deleteSessionLocked(st *sessionStripe, token string, s 
 // consulted per the configured mode: resolve mode probes the revoker's
 // version on every call (one atomic load when nothing changed), sweep mode
 // only applies the delta when the sweep interval has elapsed.
-func (m *SessionManager) resolve(token string) (string, dcrypto.PublicKey, []byte, error) {
+// transportID is the connection identity the token arrived over; a
+// bound session resolves only for its own connection (ErrSessionBound
+// otherwise, without touching the idle clock — a replay must not keep the
+// victim's session warm).
+func (m *SessionManager) resolve(token, transportID string) (string, dcrypto.PublicKey, []byte, error) {
 	now := m.now()
 	switch m.revMode {
 	case RevokeCheckResolve:
@@ -537,6 +638,10 @@ func (m *SessionManager) resolve(token string) (string, dcrypto.PublicKey, []byt
 		st.mu.RUnlock()
 		m.evictExpired(st, token, now)
 		return "", dcrypto.PublicKey{}, nil, ErrSessionExpired
+	}
+	if s.boundTo != "" && s.boundTo != transportID {
+		st.mu.RUnlock()
+		return "", dcrypto.PublicKey{}, nil, ErrSessionBound
 	}
 	// Concurrent stores race benignly: every racer writes "about now".
 	s.lastUsed.Store(now.UnixNano())
@@ -613,8 +718,9 @@ func (m *SessionManager) SweepRevoked() int {
 
 // sweepLocked evicts every session past its TTL or idle window, and every
 // remembered nonce and revocation tombstone past its forget-after time.
-// Called with mu held, on each Open, so an abandoned client population
-// cannot grow any table without bound.
+// Called with mu held, from Open at most once per sweepEvery, so an
+// abandoned client population cannot grow any table without bound while a
+// 100k-session open flood never pays a full table walk per handshake.
 func (m *SessionManager) sweepLocked(now time.Time) {
 	for i := range m.stripes {
 		st := &m.stripes[i]
@@ -756,7 +862,7 @@ func (s *Session) Handle(ctx context.Context, req *Request, next Handler) error 
 	if req.SessionToken == "" {
 		return next(ctx, req)
 	}
-	principal, key, mac, err := s.mgr.resolve(req.SessionToken)
+	principal, key, mac, err := s.mgr.resolve(req.SessionToken, req.TransportID)
 	if err != nil {
 		return fmt.Errorf("session %s: %w", req.Principal, err)
 	}

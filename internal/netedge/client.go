@@ -1,0 +1,310 @@
+package netedge
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dltprivacy/internal/dcrypto"
+	"dltprivacy/internal/middleware"
+	"dltprivacy/internal/pki"
+)
+
+// dialOptions collects the client knobs; see the With* constructors.
+type dialOptions struct {
+	inFlight int
+	shed     bool
+	maxFrame int
+	timeout  time.Duration
+}
+
+// DialOption configures a Client.
+type DialOption func(*dialOptions)
+
+// WithInFlight bounds how many requests the client keeps in flight on the
+// connection at once — the pipelining window. A full window blocks Call
+// (default) or, with WithClientShedding, fails it with ErrBackpressure.
+// Default 1024.
+func WithInFlight(n int) DialOption {
+	return func(o *dialOptions) {
+		if n > 0 {
+			o.inFlight = n
+		}
+	}
+}
+
+// WithClientShedding makes a full in-flight window fail Call with
+// ErrBackpressure instead of blocking — the deterministic client-side
+// backpressure signal.
+func WithClientShedding() DialOption {
+	return func(o *dialOptions) { o.shed = true }
+}
+
+// WithClientMaxFrame bounds reply frames the client will accept. Default
+// DefaultMaxFrame.
+func WithClientMaxFrame(n int) DialOption {
+	return func(o *dialOptions) {
+		if n > 0 {
+			o.maxFrame = n
+		}
+	}
+}
+
+// WithDialTimeout bounds the TCP connect. Default 10s.
+func WithDialTimeout(d time.Duration) DialOption {
+	return func(o *dialOptions) {
+		if d > 0 {
+			o.timeout = d
+		}
+	}
+}
+
+// callResult carries one reply (or the connection's death) to its waiter.
+type callResult struct {
+	b   []byte
+	err error
+}
+
+// Client is one pipelined edge connection: concurrent-safe, many requests
+// in flight matched to replies by request id, in-flight window bounded.
+// One goroutine reads the socket; callers write under a mutex through a
+// buffered writer flushed per call.
+type Client struct {
+	conn     net.Conn
+	bw       *bufio.Writer
+	wmu      sync.Mutex
+	maxFrame int
+	shed     bool
+
+	window chan struct{}
+	nextID atomic.Uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]chan callResult
+
+	done     chan struct{}
+	failOnce sync.Once
+	errv     atomic.Value
+}
+
+// Dial connects to an edge server.
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	opt := dialOptions{inFlight: 1024, maxFrame: DefaultMaxFrame, timeout: 10 * time.Second}
+	for _, o := range opts {
+		o(&opt)
+	}
+	conn, err := net.DialTimeout("tcp", addr, opt.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("netedge: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:     conn,
+		bw:       bufio.NewWriterSize(conn, 16<<10),
+		maxFrame: opt.maxFrame,
+		shed:     opt.shed,
+		window:   make(chan struct{}, opt.inFlight),
+		pending:  make(map[uint64]chan callResult),
+		done:     make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; in-flight calls fail with ErrClosed.
+// Idempotent.
+func (c *Client) Close() error {
+	c.fail(ErrClosed)
+	return nil
+}
+
+// fail records the connection's terminal error once, closes the socket,
+// and fails every pending call.
+func (c *Client) fail(err error) {
+	c.failOnce.Do(func() {
+		c.errv.Store(err)
+		close(c.done)
+		c.conn.Close()
+		c.pmu.Lock()
+		for id, ch := range c.pending {
+			delete(c.pending, id)
+			ch <- callResult{err: err}
+		}
+		c.pmu.Unlock()
+	})
+}
+
+// err reports why the connection died.
+func (c *Client) err() error {
+	if e, ok := c.errv.Load().(error); ok {
+		return e
+	}
+	return ErrClosed
+}
+
+// readLoop is the one socket reader: it matches reply frames to pending
+// calls by request id. Reply payloads are copied out of the reused read
+// buffer before delivery, so callers own what they receive.
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 16<<10)
+	buf := make([]byte, 0, 4096)
+	for {
+		f, nbuf, err := readFrame(br, buf, c.maxFrame)
+		buf = nbuf
+		if err != nil {
+			c.fail(fmt.Errorf("netedge: read: %w", err))
+			return
+		}
+		var res callResult
+		switch f.kind {
+		case frameOK:
+			if len(f.body) > 0 {
+				res.b = append([]byte(nil), f.body...)
+			}
+		case frameError:
+			res.err = &WireError{Msg: string(f.body)}
+		default:
+			c.fail(fmt.Errorf("%w: server sent kind 0x%02x", ErrBadFrame, f.kind))
+			return
+		}
+		c.pmu.Lock()
+		ch, ok := c.pending[f.id]
+		if ok {
+			delete(c.pending, f.id)
+		}
+		c.pmu.Unlock()
+		if ok {
+			ch <- res
+		}
+	}
+}
+
+// Call sends one request frame and waits for its reply. payload is only
+// read before Call returns; the reply is the caller's to keep. Server-side
+// rejections come back as *WireError carrying the gateway's error text.
+func (c *Client) Call(ctx context.Context, topic string, payload []byte) ([]byte, error) {
+	// Acquire an in-flight slot: the bounded window that keeps one client
+	// from queueing unboundedly into a slow server.
+	if c.shed {
+		select {
+		case c.window <- struct{}{}:
+		default:
+			return nil, ErrBackpressure
+		}
+	} else {
+		select {
+		case c.window <- struct{}{}:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-c.done:
+			return nil, c.err()
+		}
+	}
+	defer func() { <-c.window }()
+
+	id := c.nextID.Add(1)
+	ch := make(chan callResult, 1)
+	c.pmu.Lock()
+	c.pending[id] = ch
+	c.pmu.Unlock()
+
+	bp := framePool.Get().(*[]byte)
+	*bp = appendFrame((*bp)[:0], frameRequest, id, topic, payload)
+	c.wmu.Lock()
+	_, werr := c.bw.Write(*bp)
+	if werr == nil {
+		werr = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	framePool.Put(bp)
+	if werr != nil {
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		c.fail(fmt.Errorf("netedge: write: %w", werr))
+		return nil, c.err()
+	}
+
+	select {
+	case r := <-ch:
+		return r.b, r.err
+	case <-ctx.Done():
+		// Abandon the call: the reader drops the reply when it arrives.
+		c.pmu.Lock()
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// OpenSession performs the signed session handshake over this connection,
+// asking for codec ("" for the gateway default). The granted token is
+// bound to this connection: presenting it over another one fails with
+// middleware.ErrSessionBound.
+func (c *Client) OpenSession(ctx context.Context, principal string, cert pki.Certificate, key *dcrypto.PrivateKey, codec string) (middleware.SessionGrant, error) {
+	hello, err := middleware.NewSessionHello(principal, cert, key)
+	if err != nil {
+		return middleware.SessionGrant{}, err
+	}
+	hello.Codec = codec
+	b, err := json.Marshal(hello)
+	if err != nil {
+		return middleware.SessionGrant{}, fmt.Errorf("netedge: encode hello: %w", err)
+	}
+	reply, err := c.Call(ctx, middleware.TopicSessionOpen, b)
+	if err != nil {
+		return middleware.SessionGrant{}, err
+	}
+	var grant middleware.SessionGrant
+	if err := json.Unmarshal(reply, &grant); err != nil {
+		return middleware.SessionGrant{}, fmt.Errorf("netedge: decode grant: %w", err)
+	}
+	return grant, nil
+}
+
+// Submit encodes req under codec (the one the session grant negotiated)
+// and submits it; the reply is the gateway's submission ID.
+func (c *Client) Submit(ctx context.Context, req *middleware.Request, codec string) (string, error) {
+	b, err := middleware.EncodeWireRequest(req, codec)
+	if err != nil {
+		return "", fmt.Errorf("netedge: encode request: %w", err)
+	}
+	reply, err := c.Call(ctx, middleware.TopicSubmit, b)
+	if err != nil {
+		return "", err
+	}
+	return string(reply), nil
+}
+
+// SubmitRaw submits pre-encoded wire bytes — the loadgen path, where the
+// same encoded frame template is reused across the steady state.
+func (c *Client) SubmitRaw(ctx context.Context, wire []byte) (string, error) {
+	reply, err := c.Call(ctx, middleware.TopicSubmit, wire)
+	if err != nil {
+		return "", err
+	}
+	return string(reply), nil
+}
+
+// CloseSession ends a session opened over this connection.
+func (c *Client) CloseSession(ctx context.Context, token string) error {
+	_, err := c.Call(ctx, middleware.TopicSessionClose, []byte(token))
+	return err
+}
+
+// NotifyRevocation tells the gateway the revocation plane moved.
+func (c *Client) NotifyRevocation(ctx context.Context) (middleware.RevocationNotice, error) {
+	reply, err := c.Call(ctx, middleware.TopicRevocationNotify, nil)
+	if err != nil {
+		return middleware.RevocationNotice{}, err
+	}
+	var notice middleware.RevocationNotice
+	if err := json.Unmarshal(reply, &notice); err != nil {
+		return middleware.RevocationNotice{}, fmt.Errorf("netedge: decode revocation notice: %w", err)
+	}
+	return notice, nil
+}

@@ -1,0 +1,54 @@
+// Package netedge is the real network edge of the gateway: a TCP listener
+// and dialer that carry the middleware wire protocol — binary codec v2
+// frames and JSON alike — over actual sockets, where everything before it
+// ran on the in-process transport substrate.
+//
+// # Stream framing
+//
+// TCP is a byte stream, so each wire message rides in a stream frame:
+//
+//	uint32 (big endian)  length of everything that follows
+//	byte                 kind: 0x01 request, 0x02 ok reply, 0x03 error reply
+//	uvarint              request id (client-assigned, echoed in the reply)
+//	requests only:       uvarint topic length, topic bytes
+//	rest                 payload (reply text for error replies)
+//
+// The payload is the same bytes the in-process transport carries for the
+// topic: a codec v2 0xDC frame or JSON document for gateway.submit (the
+// gateway sniffs, exactly as before), a JSON SessionHello for
+// session.open, a bare token for session.close. Length prefixes are
+// validated against the configured maximum before any allocation, and the
+// payload is handed to the handler zero-copy from the connection's reused
+// read buffer — the decode path from socket to middleware.ParseEnvelope
+// never copies a submission.
+//
+// # Connections, backpressure, and deadlines
+//
+// The Server runs a sharded accept plane (several goroutines accepting on
+// one listener; the kernel load-balances) and two goroutines per
+// connection: a reader that decodes frames and runs the handler inline —
+// preserving per-connection submission order end to end — and a writer
+// draining a bounded outbound queue. The queue is never unbounded: when a
+// peer stops draining replies the enqueue either blocks (default,
+// propagating backpressure to the socket and from there to the client) or,
+// with WithShedding, sheds the connection with ErrBackpressure. Reads and
+// writes both carry deadlines, so a dead peer costs an idle window, not a
+// leaked connection.
+//
+// # Session binding
+//
+// Every connection gets a unique transport identity, stamped on each
+// request (middleware.Request.TransportID) and on every session opened
+// through it (SessionManager.OpenBound): a session token minted on one
+// connection is rejected with middleware.ErrSessionBound when presented
+// over any other, closing the token-replay surface left open by
+// transport-less sessions. When a connection dies the server's close hook
+// (cmd/gateway wires SessionManager.EvictTransport) reaps its bound
+// sessions immediately.
+//
+// The Client is the matching dialer: concurrent-safe, pipelined (many
+// requests in flight over one connection, matched by request id), with a
+// bounded in-flight window that blocks or sheds like the server side.
+// cmd/loadgen multiplexes tens of thousands of sessions over a small
+// connection pool this way.
+package netedge

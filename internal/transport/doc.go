@@ -1,0 +1,17 @@
+// Package transport provides the in-memory network substrate the platform
+// models and most tests run on: named endpoints, unicast and multicast
+// delivery, partition faults, and delivery interception. Delivery is
+// synchronous and deterministic, which keeps the experiment suite
+// reproducible; the paper's claims concern information flow, not
+// asynchrony.
+//
+// The gateway registers here as an endpoint serving the wire topics
+// (gateway.submit, session.open, session.close, revocation.notify), so a
+// full pipeline round trip — codec decode, session resolve, stage chain,
+// ordering — runs in-process with zero sockets. internal/netedge is this
+// package's socket-backed sibling: it carries the same topics and the
+// same wire payloads over real TCP, so anything developed against the
+// in-memory substrate serves unchanged on the network edge. Choose
+// transport for determinism (tests, experiments, benchmarks of the chain
+// itself); choose netedge when the process boundary is the point.
+package transport

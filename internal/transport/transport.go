@@ -1,8 +1,3 @@
-// Package transport provides the in-memory network substrate the platform
-// models run on: named endpoints, unicast and multicast delivery, partition
-// faults, and delivery interception for tests. Delivery is synchronous and
-// deterministic, which keeps the experiment suite reproducible; the paper's
-// claims concern information flow, not asynchrony.
 package transport
 
 import (

@@ -1,0 +1,16 @@
+// Package workload generates deterministic synthetic enterprise workloads
+// for the benchmark harness and the load generator: trade transactions,
+// letter-of-credit parameter sets, and consortium topologies (org rosters
+// and channel member lists). Generation is seeded so every run replays the
+// identical sequence — benchmark comparisons across mechanisms stay fair,
+// and a cmd/loadgen run against a live gateway is reproducible from its
+// -seed flag alone.
+//
+// The shapes mirror the paper's use cases: Trades are the confidential
+// bilateral records the envelope-encryption pipeline carries, Orgs names
+// the consortium principals (org-00, org-01, ...) that enroll with the
+// PKI, and Topology lays channels over member subsets the way a
+// permissioned network partitions visibility. Payload sizes are
+// parameterized so benchmarks can sweep them without changing the
+// generator.
+package workload

@@ -1,8 +1,3 @@
-// Package workload generates deterministic synthetic enterprise workloads
-// for the benchmark harness: trade transactions, letter-of-credit
-// parameter sets, and consortium topologies. Generation is seeded so every
-// benchmark run replays the identical sequence, keeping comparisons across
-// mechanisms fair.
 package workload
 
 import (
