@@ -37,6 +37,9 @@ type fastPathEnv struct {
 	// per-session MAC and no signature at all.
 	sigTemplates []middleware.Request
 	macTemplates []middleware.Request
+	// macKeys holds each member's session MAC key, for benches that
+	// re-authenticate template variants (different payloads or channels).
+	macKeys map[string][]byte
 }
 
 func newFastPathEnv(b *testing.B, env *gatewayBenchEnv, reqauth, codec string, channels []string, cfgOpts ...func(*middleware.Config)) *fastPathEnv {
@@ -87,7 +90,10 @@ func newFastPathEnv(b *testing.B, env *gatewayBenchEnv, reqauth, codec string, c
 		grants[member] = grant
 	}
 
-	fp := &fastPathEnv{gw: gw, sink: sink}
+	fp := &fastPathEnv{gw: gw, sink: sink, macKeys: make(map[string][]byte, len(grants))}
+	for member, grant := range grants {
+		fp.macKeys[member] = grant.MacKey
+	}
 	for i, tmpl := range env.templates {
 		ch := channels[i%len(channels)]
 		sig := tmpl // struct copy

@@ -8,6 +8,9 @@
 // allocation budget) is not met. Speedup rules take an optional fourth
 // field naming the metric (ns, allocs, or bytes; ns is the default), so
 // "at least 50% fewer allocations" is expressed as a 2.0 allocs rule.
+// Ceiling rules ('name,max[,metric]') pin a benchmark to an absolute bar —
+// the batched group-seal path's "amortized microsecond per transaction"
+// budget is a 1000 ns ceiling plus a 5 allocs ceiling on the batch=64 run.
 //
 // Typical CI usage:
 //
@@ -15,13 +18,16 @@
 //	benchgate -in bench.txt -out BENCH_gateway.json \
 //	    -baseline bench_baseline.json -tolerance 0.25 \
 //	    -speedup 'BenchmarkGatewaySharded/shards=4,BenchmarkGatewaySharded/shards=1,1.7' \
-//	    -speedup 'BenchmarkGatewaySessionMAC/reqauth=mac,BenchmarkGatewaySession/session(amortized-authn+keycache),2.0,allocs'
+//	    -speedup 'BenchmarkGatewaySessionMAC/reqauth=mac,BenchmarkGatewaySession/session(amortized-authn+keycache),2.0,allocs' \
+//	    -ceiling 'BenchmarkGatewayBatchSeal/batch=64,1000,ns' \
+//	    -ceiling 'BenchmarkGatewayBatchSeal/batch=64,5,allocs'
 //
 // Refresh the baseline after an intentional performance change — or when
 // the CI runner hardware or Go toolchain shifts enough to move absolute
 // ns/op — with -update, which rewrites the baseline file from the current
 // run. The -speedup rules are ratios within one run and stay meaningful
-// across machines; the absolute gate is only as stable as the runner pool.
+// across machines; the baseline gate and any ns -ceiling are only as
+// stable as the runner pool (allocs and bytes ceilings are deterministic).
 package main
 
 import (
@@ -87,6 +93,55 @@ func (r speedupRule) metricOf(res Result) float64 {
 	}
 }
 
+// ceilingRule requires Name to stay at or below Max on the chosen metric —
+// an absolute bar, unlike the baseline gate's relative tolerance. An
+// allocs or bytes ceiling is deterministic; an ns ceiling is only as
+// stable as the runner pool, so give it the same headroom thought a
+// baseline refresh gets.
+type ceilingRule struct {
+	Name   string
+	Max    float64
+	Metric string
+}
+
+// metricOf extracts the rule's metric from a parsed result.
+func (r ceilingRule) metricOf(res Result) float64 {
+	switch r.Metric {
+	case "allocs":
+		return res.AllocsPerOp
+	case "bytes":
+		return res.BytesPerOp
+	default:
+		return res.NsPerOp
+	}
+}
+
+type ceilingFlags []ceilingRule
+
+func (c *ceilingFlags) String() string { return fmt.Sprint(*c) }
+
+func (c *ceilingFlags) Set(v string) error {
+	parts := strings.Split(v, ",")
+	if len(parts) != 2 && len(parts) != 3 {
+		return fmt.Errorf("ceiling rule %q: want name,max[,metric]", v)
+	}
+	max, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil || max <= 0 {
+		return fmt.Errorf("ceiling rule %q: bad max %q", v, parts[1])
+	}
+	rule := ceilingRule{Name: parts[0], Max: max, Metric: "ns"}
+	if len(parts) == 3 {
+		switch parts[2] {
+		case "ns", "allocs", "bytes":
+			rule.Metric = parts[2]
+		default:
+			return fmt.Errorf("ceiling rule %q: unknown metric %q (want ns, allocs, or bytes)", v, parts[2])
+		}
+	}
+	*c = append(*c, rule)
+	return nil
+}
+
 type speedupFlags []speedupRule
 
 func (s *speedupFlags) String() string { return fmt.Sprint(*s) }
@@ -122,8 +177,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		tolerance = fs.Float64("tolerance", 0.25, "allowed fractional regression (ns/op, B/op, allocs/op) before failing")
 		update    = fs.Bool("update", false, "rewrite the baseline from this run instead of gating")
 		speedups  speedupFlags
+		ceilings  ceilingFlags
 	)
 	fs.Var(&speedups, "speedup", "required ratio 'fast,slow,minRatio[,metric]' (repeatable; metric ns|allocs|bytes, default ns): slow must be >= minRatio * fast on the metric")
+	fs.Var(&ceilings, "ceiling", "absolute bar 'name,max[,metric]' (repeatable; metric ns|allocs|bytes, default ns): the benchmark must report <= max on the metric")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -162,6 +219,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	printTable(report.Benchmarks, os.Stderr)
 
 	if err := checkSpeedups(results, speedups); err != nil {
+		return err
+	}
+	if err := checkCeilings(results, ceilings); err != nil {
 		return err
 	}
 	if *baseline == "" {
@@ -343,6 +403,32 @@ func checkSpeedups(current []Result, rules []speedupRule) error {
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("benchmark speedup gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+// checkCeilings enforces the absolute bars within the current run. A rule
+// naming a benchmark absent from the run fails: a ceiling that silently
+// stops applying when the benchmark is renamed guards nothing.
+func checkCeilings(current []Result, rules []ceilingRule) error {
+	cur := make(map[string]Result, len(current))
+	for _, r := range current {
+		cur[r.Name] = r
+	}
+	var failures []string
+	for _, rule := range rules {
+		res, ok := cur[rule.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("ceiling rule: %s missing from this run", rule.Name))
+			continue
+		}
+		if got := rule.metricOf(res); got > rule.Max {
+			failures = append(failures, fmt.Sprintf("%s reports %.0f %s/op, want <= %.0f",
+				rule.Name, got, rule.Metric, rule.Max))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark ceiling gate failed:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
 }

@@ -190,3 +190,50 @@ func TestSpeedupFlagParsing(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckCeilings(t *testing.T) {
+	current := []Result{
+		{Name: "BenchmarkGatewayBatchSeal/batch=64", NsPerOp: 950, BytesPerOp: 280, AllocsPerOp: 0},
+	}
+	pass := []ceilingRule{
+		{Name: "BenchmarkGatewayBatchSeal/batch=64", Max: 1000, Metric: "ns"},
+		{Name: "BenchmarkGatewayBatchSeal/batch=64", Max: 5, Metric: "allocs"},
+	}
+	if err := checkCeilings(current, pass); err != nil {
+		t.Fatalf("950 ns / 0 allocs failed a 1000 ns + 5 allocs ceiling: %v", err)
+	}
+	fail := []ceilingRule{{Name: "BenchmarkGatewayBatchSeal/batch=64", Max: 900, Metric: "ns"}}
+	err := checkCeilings(current, fail)
+	if err == nil || !strings.Contains(err.Error(), "want <= 900") {
+		t.Fatalf("950 ns vs 900 ns ceiling = %v", err)
+	}
+	bytesFail := []ceilingRule{{Name: "BenchmarkGatewayBatchSeal/batch=64", Max: 128, Metric: "bytes"}}
+	if err := checkCeilings(current, bytesFail); err == nil || !strings.Contains(err.Error(), "bytes") {
+		t.Fatalf("280 B vs 128 bytes ceiling = %v", err)
+	}
+	missing := []ceilingRule{{Name: "BenchmarkNope", Max: 1000, Metric: "ns"}}
+	if err := checkCeilings(current, missing); err == nil || !strings.Contains(err.Error(), "BenchmarkNope") {
+		t.Fatalf("missing ceiling benchmark not flagged: %v", err)
+	}
+}
+
+func TestCeilingFlagParsing(t *testing.T) {
+	var c ceilingFlags
+	if err := c.Set("a,1000"); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	if len(c) != 1 || c[0].Name != "a" || c[0].Max != 1000 || c[0].Metric != "ns" {
+		t.Fatalf("parsed %+v", c)
+	}
+	if err := c.Set("a,5,allocs"); err != nil {
+		t.Fatalf("Set with metric: %v", err)
+	}
+	if len(c) != 2 || c[1].Metric != "allocs" {
+		t.Fatalf("metric rule parsed %+v", c)
+	}
+	for _, bad := range []string{"a", "a,zero", "a,-1", "a,0", "a,5,latency", "a,5,allocs,extra"} {
+		if err := c.Set(bad); err == nil {
+			t.Fatalf("Set(%q) accepted", bad)
+		}
+	}
+}

@@ -51,6 +51,9 @@ import (
 func main() {
 	trades := flag.Int("trades", 24, "number of workload trades to submit")
 	batch := flag.Int("batch", 4, "batch stage group size")
+	groupSeal := flag.Bool("groupseal", false, "seal each (channel, epoch) batch group with one AEAD invocation (amortized group envelope; rides the encrypt key cache)")
+	auditAsync := flag.Int("auditasync", 0, "audit ring depth: record leakage-log entries off the submit path, flushed on close (0 = record inline)")
+	timingSample := flag.Int("timingsample", 0, "run full per-stage timing for one submission in N, counters stay exact (0 = time every submission)")
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	shards := flag.Int("shards", 2, "ordering shards behind the gateway")
 	channels := flag.Int("channels", 2, "channels to spread trades across")
@@ -78,7 +81,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*trades, *batch, *seed, *shards, *channels, *revokeCheck, *reqauth, *codec, *telemetryAddr, *trace, *stages); err != nil {
+	if err := run(*trades, *batch, *seed, *shards, *channels, *revokeCheck, *reqauth, *codec, *telemetryAddr, *trace, *stages, *groupSeal, *auditAsync, *timingSample); err != nil {
 		fmt.Fprintln(os.Stderr, "gateway:", err)
 		if errors.Is(err, middleware.ErrBadConfig) {
 			fmt.Fprintf(os.Stderr, "registered stages:\n%s", middleware.StageUsage())
@@ -87,7 +90,7 @@ func main() {
 	}
 }
 
-func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck, reqauth, codec, telemetryAddr string, trace int, stagesOverride string) error {
+func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck, reqauth, codec, telemetryAddr string, trace int, stagesOverride string, groupSeal bool, auditAsync, timingSample int) error {
 	if nShards < 1 || nChannels < 1 {
 		return fmt.Errorf("need at least 1 shard and 1 channel, got %d/%d", nShards, nChannels)
 	}
@@ -159,16 +162,24 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 	if revokeCheck == "sweep" {
 		sessionParams["revokesweep"] = "30s"
 	}
+	auditParams := map[string]string{"observer": "gateway-op"}
+	if auditAsync > 0 {
+		auditParams["auditasync"] = fmt.Sprint(auditAsync)
+	}
+	batchParams := map[string]string{"size": fmt.Sprint(batchSize)}
+	if groupSeal {
+		batchParams["groupseal"] = "on"
+	}
 	cfg := middleware.Config{
 		Stages: []middleware.StageConfig{
 			{Name: middleware.StageSession, Params: sessionParams},
 			{Name: middleware.StageAuthn},
 			{Name: middleware.StageRateLimit, Params: map[string]string{"rate": "5000", "burst": "5000"}},
 			{Name: middleware.StageEncrypt, Params: map[string]string{"keyttl": "5m"}},
-			{Name: middleware.StageAudit, Params: map[string]string{"observer": "gateway-op"}},
+			{Name: middleware.StageAudit, Params: auditParams},
 			{Name: middleware.StageRetry, Params: map[string]string{"attempts": "3", "backoff": "2ms"}},
 			{Name: middleware.StageBreaker, Params: map[string]string{"threshold": "5", "cooldown": "250ms"}},
-			{Name: middleware.StageBatch, Params: map[string]string{"size": fmt.Sprint(batchSize)}},
+			{Name: middleware.StageBatch, Params: batchParams},
 		},
 		Shards:    nShards,
 		ShardPins: map[string]int{channels[0]: 0},
@@ -176,6 +187,9 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 	}
 	if trace > 0 {
 		cfg.Trace = fmt.Sprint(trace)
+	}
+	if timingSample > 0 {
+		cfg.TimingSample = fmt.Sprint(timingSample)
 	}
 	// -stages overrides the whole pipeline; the demo's request-auth and
 	// revocation knobs then follow the override's session stage instead of

@@ -16,8 +16,10 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash"
 	"io"
 	"math/big"
+	"sync"
 )
 
 // Errors returned by key operations.
@@ -209,21 +211,111 @@ func (pk PublicKey) IsZero() bool { return pk.X == nil && pk.Y == nil }
 // throughout the library for transaction IDs, Merkle leaves, and anchors.
 func Hash(data []byte) [32]byte { return sha256.Sum256(data) }
 
+// hashScratch is the working memory of one HashConcat or ConcatHasher
+// computation. The length prefixes and the digest pass through the
+// hash.Hash interface, so stack buffers would escape; pooling them keeps
+// the request-digest path allocation-free for real.
+type hashScratch struct {
+	buf [hmacBlockSize]byte
+	sum [32]byte
+}
+
+var hashScratchPool = sync.Pool{New: func() any { return new(hashScratch) }}
+
 // HashConcat hashes the concatenation of the given byte slices with
-// unambiguous length prefixes. The hash state comes from the shared pool
-// and the digest is summed into a stack value, so the call itself is
-// allocation-free — it sits on the per-request digest path of the gateway.
+// unambiguous length prefixes. The hash state and scratch come from shared
+// pools, so the call itself is allocation-free — it sits on the
+// per-request digest path of the gateway. (The variadic slice is the
+// caller's; hot paths with string fields should use ConcatHasher, which
+// has no variadic and no []byte conversions.)
 func HashConcat(parts ...[]byte) [32]byte {
 	h := getSHA256()
-	var lenbuf [8]byte
+	s := hashScratchPool.Get().(*hashScratch)
 	for _, p := range parts {
-		putUint64(lenbuf[:], uint64(len(p)))
-		h.Write(lenbuf[:])
+		putUint64(s.buf[:8], uint64(len(p)))
+		h.Write(s.buf[:8])
 		h.Write(p)
 	}
-	var out [32]byte
-	h.Sum(out[:0])
+	h.Sum(s.sum[:0])
+	out := s.sum
+	hashScratchPool.Put(s)
 	putSHA256(h)
+	return out
+}
+
+// ConcatHasher computes the same digest as HashConcat incrementally:
+// each part is length-prefixed and fed to a pooled SHA-256 state, and
+// string parts stream through pooled scratch instead of converting to
+// []byte — so hashing a struct of string and []byte fields allocates
+// nothing at all (no variadic slice, no conversions, no escaping
+// buffers). Obtain with NewConcatHasher, feed parts in order, and call
+// Sum exactly once; the hasher is dead after Sum (its state returns to
+// the pools).
+type ConcatHasher struct {
+	h hash.Hash
+	s *hashScratch
+}
+
+// NewConcatHasher returns a hasher over pooled state. Every hasher
+// obtained must be finished with Sum, or its state leaks from the pools.
+func NewConcatHasher() ConcatHasher {
+	return ConcatHasher{h: getSHA256(), s: hashScratchPool.Get().(*hashScratch)}
+}
+
+// Part feeds one length-prefixed byte part.
+func (c ConcatHasher) Part(p []byte) {
+	putUint64(c.s.buf[:8], uint64(len(p)))
+	c.h.Write(c.s.buf[:8])
+	c.h.Write(p)
+}
+
+// PartString feeds one length-prefixed string part, streamed through the
+// pooled scratch so no []byte conversion is allocated. The digest is
+// identical to Part of the string's bytes.
+func (c ConcatHasher) PartString(p string) {
+	putUint64(c.s.buf[:8], uint64(len(p)))
+	c.h.Write(c.s.buf[:8])
+	for len(p) > 0 {
+		n := copy(c.s.buf[:], p)
+		c.h.Write(c.s.buf[:n])
+		p = p[n:]
+	}
+}
+
+// Raw feeds bytes with no length prefix — for callers streaming an
+// already-canonical encoding (one whose framing the caller owns) through
+// the pooled hash state instead of staging it in a buffer first.
+func (c ConcatHasher) Raw(p []byte) { c.h.Write(p) }
+
+// RawString feeds a string with no length prefix, streamed through the
+// pooled scratch so no []byte conversion is allocated.
+func (c ConcatHasher) RawString(p string) {
+	for len(p) > 0 {
+		n := copy(c.s.buf[:], p)
+		c.h.Write(c.s.buf[:n])
+		p = p[n:]
+	}
+}
+
+// RawUint64 feeds v as 8 big-endian bytes, no length prefix.
+func (c ConcatHasher) RawUint64(v uint64) {
+	putUint64(c.s.buf[:8], v)
+	c.h.Write(c.s.buf[:8])
+}
+
+// RawByte feeds a single byte, no length prefix.
+func (c ConcatHasher) RawByte(b byte) {
+	c.s.buf[0] = b
+	c.h.Write(c.s.buf[:1])
+}
+
+// Sum finalizes the digest and releases the hasher's pooled state. The
+// hasher must not be used again.
+func (c ConcatHasher) Sum() [32]byte {
+	c.h.Sum(c.s.sum[:0])
+	out := c.s.sum
+	hashScratchPool.Put(c.s)
+	putSHA256(c.h)
 	return out
 }
 

@@ -3,6 +3,7 @@ package dcrypto
 import (
 	"crypto/sha256"
 	"crypto/subtle"
+	"encoding"
 	"errors"
 	"fmt"
 	"hash"
@@ -84,6 +85,102 @@ func MAC(key []byte, parts ...[]byte) [32]byte {
 	putSHA256(h)
 	macScratchPool.Put(s)
 	return out
+}
+
+// MACKey is an HMAC-SHA256 key with its inner and outer hash states
+// precomputed: the pad blocks are derived AND compressed once at key
+// establishment, and each Sum restores the one-block-deep states instead
+// of re-deriving the pads and re-hashing them — two of the four SHA-256
+// compressions of a short-message HMAC disappear from the per-request
+// path. A long-lived verifier (a session record checking a MAC per
+// request) should hold one of these. Sum and Verify are safe for
+// concurrent use; the states are read-only after New.
+type MACKey struct {
+	// ipadState and opadState are the marshaled SHA-256 states after
+	// absorbing the xor-padded key block, restored into a pooled hash via
+	// encoding.BinaryUnmarshaler (which every stdlib hash implements).
+	ipadState, opadState []byte
+}
+
+// NewMACKey precomputes the HMAC states for key. Tags are byte-identical
+// to MAC under the same key.
+func NewMACKey(key []byte) *MACKey {
+	k := key
+	if len(k) > hmacBlockSize {
+		sum := sha256.Sum256(k)
+		k = sum[:]
+	}
+	var ipad, opad [hmacBlockSize]byte
+	copy(ipad[:], k)
+	copy(opad[:], k)
+	for i := range ipad {
+		ipad[i] ^= 0x36
+		opad[i] ^= 0x5c
+	}
+	marshal := func(pad []byte) []byte {
+		h := sha256.New()
+		h.Write(pad)
+		state, err := h.(encoding.BinaryMarshaler).MarshalBinary()
+		if err != nil {
+			// The stdlib SHA-256 marshaler cannot fail; a change that makes
+			// it fail must not silently produce wrong tags.
+			panic("dcrypto: marshal sha256 state: " + err.Error())
+		}
+		return state
+	}
+	return &MACKey{ipadState: marshal(ipad[:]), opadState: marshal(opad[:])}
+}
+
+// restore loads a precomputed pad state into h.
+func restoreState(h hash.Hash, state []byte) {
+	if err := h.(encoding.BinaryUnmarshaler).UnmarshalBinary(state); err != nil {
+		panic("dcrypto: restore sha256 state: " + err.Error())
+	}
+}
+
+// macState bundles one hash state with its staging scratch so the
+// per-request Sum pays one pool round trip, not two. The hash needs no
+// Reset: restoreState overwrites it completely.
+type macState struct {
+	h hash.Hash
+	s macScratch
+}
+
+var macStatePool = sync.Pool{New: func() any { return &macState{h: sha256.New()} }}
+
+// Sum computes the HMAC-SHA256 tag of msg, allocation-free. msg is staged
+// through the pooled scratch rather than written directly: a caller's
+// stack buffer passed straight into hash.Hash would escape to the heap at
+// every call site.
+func (k *MACKey) Sum(msg []byte) [32]byte {
+	st := macStatePool.Get().(*macState)
+	h, s := st.h, &st.s
+	restoreState(h, k.ipadState)
+	for len(msg) > 0 {
+		n := copy(s.ipad[:], msg)
+		h.Write(s.ipad[:n])
+		msg = msg[n:]
+	}
+	h.Sum(s.sum[:0])
+	restoreState(h, k.opadState)
+	h.Write(s.sum[:])
+	h.Sum(s.sum[:0])
+	out := s.sum
+	macStatePool.Put(st)
+	return out
+}
+
+// Verify checks a tag over msg in constant time, with the same contract
+// as VerifyMAC.
+func (k *MACKey) Verify(msg, tag []byte) error {
+	if len(tag) != MACSize {
+		return ErrInvalidMAC
+	}
+	want := k.Sum(msg)
+	if subtle.ConstantTimeCompare(want[:], tag) != 1 {
+		return ErrInvalidMAC
+	}
+	return nil
 }
 
 // VerifyMAC checks an HMAC-SHA256 tag over msg in constant time. It returns

@@ -6,6 +6,7 @@ import (
 	"crypto/ecdh"
 	"crypto/rand"
 	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -56,6 +57,120 @@ func EncryptWithAEAD(aead cipher.AEAD, plaintext, associatedData []byte) ([]byte
 		return nil, fmt.Errorf("read random: %w", err)
 	}
 	return aead.Seal(out, out[:ns], plaintext, associatedData), nil
+}
+
+// EncryptSegmentsWithAEAD seals N plaintext segments with a single AEAD
+// invocation: the segments are concatenated into one length-prefixed frame
+// (uvarint count, then uvarint length + bytes per segment) and sealed in
+// place, so a group of N payloads pays one random-nonce read, one GCM pass,
+// and one authentication tag instead of N of each. The frame is staged
+// directly inside the output buffer and encrypted in place — the whole
+// group seal is a single exactly-sized allocation. The middleware batch
+// stage's group seal is the intended caller; DecryptSegmentsWithAEAD
+// reverses it.
+func EncryptSegmentsWithAEAD(aead cipher.AEAD, segments [][]byte, associatedData []byte) ([]byte, error) {
+	out := make([]byte, 0, SealedSegmentsSize(aead, segments))
+	return AppendEncryptSegmentsWithAEAD(out, aead, segments, associatedData)
+}
+
+// SealedSegmentsSize is the exact ciphertext length EncryptSegmentsWithAEAD
+// (and its append form) produces for segments under aead: nonce,
+// length-prefixed frame, and tag. Callers embedding the ciphertext inside a
+// larger buffer size it with this.
+func SealedSegmentsSize(aead cipher.AEAD, segments [][]byte) int {
+	total := uvarintLen(uint64(len(segments)))
+	for _, s := range segments {
+		total += uvarintLen(uint64(len(s))) + len(s)
+	}
+	return aead.NonceSize() + total + aead.Overhead()
+}
+
+// AppendEncryptSegmentsWithAEAD seals like EncryptSegmentsWithAEAD but
+// appends the ciphertext to dst instead of allocating its own buffer, so a
+// caller staging the sealed group inside a larger frame (the binary group
+// envelope) pays one allocation for the whole frame rather than a
+// ciphertext buffer plus a copy. Give dst SealedSegmentsSize free capacity;
+// with less, append reallocates and the fusion benefit is lost, but the
+// output bytes are the same.
+func AppendEncryptSegmentsWithAEAD(dst []byte, aead cipher.AEAD, segments [][]byte, associatedData []byte) ([]byte, error) {
+	ns := aead.NonceSize()
+	base := len(dst)
+	out := dst
+	if base+ns <= cap(dst) {
+		out = dst[:base+ns]
+	} else {
+		out = append(dst, make([]byte, ns)...)
+	}
+	if _, err := io.ReadFull(rand.Reader, out[base:]); err != nil {
+		return nil, fmt.Errorf("read random: %w", err)
+	}
+	out = binary.AppendUvarint(out, uint64(len(segments)))
+	for _, s := range segments {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+		out = append(out, s...)
+	}
+	// In-place seal: dst resumes exactly where the plaintext starts, which
+	// cipher.AEAD documents as the supported exact-overlap form.
+	return aead.Seal(out[:base+ns], out[base:base+ns], out[base+ns:], associatedData), nil
+}
+
+// DecryptSegmentsWithAEAD reverses EncryptSegmentsWithAEAD, returning the
+// plaintext segments. The returned slices alias one decrypted buffer.
+func DecryptSegmentsWithAEAD(aead cipher.AEAD, ciphertext, associatedData []byte) ([][]byte, error) {
+	ns := aead.NonceSize()
+	if len(ciphertext) < ns {
+		return nil, ErrDecrypt
+	}
+	pt, err := aead.Open(nil, ciphertext[:ns], ciphertext[ns:], associatedData)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return splitSegments(pt)
+}
+
+// DecryptSegments is DecryptSegmentsWithAEAD for callers holding the raw
+// symmetric key (envelope recipients, which unwrap the data key per group).
+func DecryptSegments(key, ciphertext, associatedData []byte) ([][]byte, error) {
+	aead, err := newAEAD(key)
+	if err != nil {
+		return nil, err
+	}
+	return DecryptSegmentsWithAEAD(aead, ciphertext, associatedData)
+}
+
+// splitSegments parses the length-prefixed segment frame. Lengths are
+// validated against the remaining buffer, so a malformed frame is a
+// rejection, never a panic — although the frame was authenticated, the
+// decoder stays defensive.
+func splitSegments(pt []byte) ([][]byte, error) {
+	count, n := binary.Uvarint(pt)
+	if n <= 0 || count > uint64(len(pt)) {
+		return nil, ErrDecrypt
+	}
+	pt = pt[n:]
+	out := make([][]byte, 0, count)
+	for i := uint64(0); i < count; i++ {
+		l, n := binary.Uvarint(pt)
+		if n <= 0 || l > uint64(len(pt)-n) {
+			return nil, ErrDecrypt
+		}
+		out = append(out, pt[n:n+int(l):n+int(l)])
+		pt = pt[n+int(l):]
+	}
+	if len(pt) != 0 {
+		return nil, ErrDecrypt
+	}
+	return out, nil
+}
+
+// uvarintLen is the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // DecryptSymmetric reverses EncryptSymmetric.

@@ -75,6 +75,114 @@ func TestSymmetricTruncatedCiphertext(t *testing.T) {
 	}
 }
 
+func TestSegmentsRoundTrip(t *testing.T) {
+	key, _ := NewSymmetricKey()
+	aead, err := NewAEAD(key)
+	if err != nil {
+		t.Fatalf("NewAEAD: %v", err)
+	}
+	segments := [][]byte{
+		[]byte("trade 1: 100 @ 4.20"),
+		{}, // empty segment survives the frame
+		[]byte("trade 3"),
+		bytes.Repeat([]byte{0xAB}, 300), // length needs a 2-byte uvarint
+	}
+	ad := []byte("channel-A/epoch-7")
+	ct, err := EncryptSegmentsWithAEAD(aead, segments, ad)
+	if err != nil {
+		t.Fatalf("EncryptSegmentsWithAEAD: %v", err)
+	}
+	got, err := DecryptSegmentsWithAEAD(aead, ct, ad)
+	if err != nil {
+		t.Fatalf("DecryptSegmentsWithAEAD: %v", err)
+	}
+	if len(got) != len(segments) {
+		t.Fatalf("decrypted %d segments, want %d", len(got), len(segments))
+	}
+	for i := range segments {
+		if !bytes.Equal(got[i], segments[i]) {
+			t.Fatalf("segment %d = %q, want %q", i, got[i], segments[i])
+		}
+	}
+	got2, err := DecryptSegments(key, ct, ad)
+	if err != nil {
+		t.Fatalf("DecryptSegments: %v", err)
+	}
+	if len(got2) != len(segments) || !bytes.Equal(got2[3], segments[3]) {
+		t.Fatal("DecryptSegments mismatch with DecryptSegmentsWithAEAD")
+	}
+}
+
+func TestSegmentsEmptyGroup(t *testing.T) {
+	key, _ := NewSymmetricKey()
+	aead, _ := NewAEAD(key)
+	ct, err := EncryptSegmentsWithAEAD(aead, nil, nil)
+	if err != nil {
+		t.Fatalf("EncryptSegmentsWithAEAD(nil): %v", err)
+	}
+	got, err := DecryptSegmentsWithAEAD(aead, ct, nil)
+	if err != nil {
+		t.Fatalf("DecryptSegmentsWithAEAD: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty group decrypted to %d segments", len(got))
+	}
+}
+
+func TestSegmentsTamperAndWrongAADFail(t *testing.T) {
+	key, _ := NewSymmetricKey()
+	aead, _ := NewAEAD(key)
+	ct, err := EncryptSegmentsWithAEAD(aead, [][]byte{[]byte("a"), []byte("b")}, []byte("ad-1"))
+	if err != nil {
+		t.Fatalf("EncryptSegmentsWithAEAD: %v", err)
+	}
+	if _, err := DecryptSegmentsWithAEAD(aead, ct, []byte("ad-2")); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("wrong aad = %v, want ErrDecrypt", err)
+	}
+	tampered := bytes.Clone(ct)
+	tampered[len(tampered)-1] ^= 0x01
+	if _, err := DecryptSegmentsWithAEAD(aead, tampered, []byte("ad-1")); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("tampered = %v, want ErrDecrypt", err)
+	}
+	if _, err := DecryptSegmentsWithAEAD(aead, ct[:4], []byte("ad-1")); !errors.Is(err, ErrDecrypt) {
+		t.Fatalf("truncated = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestSegmentsSingleAllocation(t *testing.T) {
+	key, _ := NewSymmetricKey()
+	aead, _ := NewAEAD(key)
+	segments := [][]byte{
+		bytes.Repeat([]byte{1}, 64),
+		bytes.Repeat([]byte{2}, 64),
+		bytes.Repeat([]byte{3}, 64),
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := EncryptSegmentsWithAEAD(aead, segments, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("EncryptSegmentsWithAEAD allocates %.0f times per op, want 1", allocs)
+	}
+}
+
+func TestSplitSegmentsMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"empty frame":           {},
+		"count without body":    {0x02},
+		"length past end":       {0x01, 0x7F, 0x01},
+		"trailing junk":         {0x01, 0x01, 0xAA, 0xBB},
+		"huge count":            {0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+		"truncated uvarint len": {0x01, 0x80},
+	}
+	for name, frame := range cases {
+		if _, err := splitSegments(frame); err == nil {
+			t.Errorf("%s: splitSegments accepted malformed frame %x", name, frame)
+		}
+	}
+}
+
 func TestHybridRoundTrip(t *testing.T) {
 	recipient, err := GenerateKey()
 	if err != nil {

@@ -7,13 +7,10 @@
 package ledger
 
 import (
-	"bytes"
-	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"dltprivacy/internal/dcrypto"
@@ -55,58 +52,68 @@ type Transaction struct {
 	Timestamp time.Time         `json:"timestamp"`
 
 	Endorsements []Endorsement `json:"endorsements,omitempty"`
+
+	// digestMemo caches the canonical digest once PrimeDigest has run. A
+	// pointer, so it rides along value copies of a primed transaction
+	// (into an ordering service's pending slice, into a cut block) and the
+	// block data hash reuses the submit-side computation instead of
+	// re-serializing and re-hashing the full payload. Wire-decoded and
+	// hand-built transactions have a nil memo and hash from content as
+	// before. The holder must treat a primed transaction as immutable —
+	// which ordered transactions already are.
+	digestMemo *[32]byte
 }
 
-// digestBufPool recycles the staging buffers of transaction digests: the
-// digest sits on the ordering submit path (once for the operator's audit
-// observation, once per block cut), so it must not re-serialize the whole
-// transaction through reflection on every call.
-var digestBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
-
-// writeLenPrefixed appends a length-prefixed field, keeping the encoding
-// injective (no field concatenation can collide with another split).
-func writeLenPrefixed(buf *bytes.Buffer, b []byte) {
-	var l [8]byte
-	binary.BigEndian.PutUint64(l[:], uint64(len(b)))
-	buf.Write(l[:])
-	buf.Write(b)
-}
-
-func writeLenPrefixedString(buf *bytes.Buffer, s string) {
-	var l [8]byte
-	binary.BigEndian.PutUint64(l[:], uint64(len(s)))
-	buf.Write(l[:])
-	buf.WriteString(s)
+// PrimeDigest computes and caches the canonical digest. Callers that hash
+// a transaction more than once on a hot path (an ordering service digests
+// every transaction at observation and again at block cut) prime it once
+// at intake; the transaction must not be mutated afterwards.
+func (tx *Transaction) PrimeDigest() {
+	if tx.digestMemo != nil {
+		return
+	}
+	d := tx.digest()
+	tx.digestMemo = &d
 }
 
 // Digest returns the canonical hash of the signed content of the
 // transaction (everything except the endorsements): length-prefixed fields
 // in fixed order, meta keys sorted, the timestamp as UTC nanoseconds. The
-// canonical form is hashed straight out of a pooled buffer — no JSON, no
-// reflection — because every ordered transaction pays this at least twice
-// (submit-side observation and block data hash).
+// canonical form streams straight into a pooled SHA-256 state — no JSON,
+// no reflection, and no staging buffer, so a large payload (a batch
+// stage's sealed group frame runs to tens of kilobytes) is hashed in
+// place instead of memmoved through scratch first — because every ordered
+// transaction pays this at least twice (submit-side observation and block
+// data hash).
 func (tx Transaction) Digest() [32]byte {
-	buf := digestBufPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	buf.WriteString("ledger/tx/v2")
-	writeLenPrefixedString(buf, tx.Channel)
-	writeLenPrefixedString(buf, tx.Creator)
-	writeLenPrefixedString(buf, tx.Contract)
-	writeLenPrefixed(buf, tx.Payload)
-	var l [8]byte
-	binary.BigEndian.PutUint64(l[:], uint64(len(tx.Writes)))
-	buf.Write(l[:])
+	if tx.digestMemo != nil {
+		return *tx.digestMemo
+	}
+	return tx.digest()
+}
+
+// digest is the uncached canonical-form hash. The ConcatHasher's Part
+// framing (8-byte big-endian length prefix, then the bytes) is the same
+// framing the v2 canonical form has always used, so the digest is
+// byte-identical to the staged-buffer implementation it replaces.
+func (tx Transaction) digest() [32]byte {
+	h := dcrypto.NewConcatHasher()
+	h.RawString("ledger/tx/v2")
+	h.PartString(tx.Channel)
+	h.PartString(tx.Creator)
+	h.PartString(tx.Contract)
+	h.Part(tx.Payload)
+	h.RawUint64(uint64(len(tx.Writes)))
 	for _, w := range tx.Writes {
-		writeLenPrefixedString(buf, w.Key)
-		writeLenPrefixed(buf, w.Value)
+		h.PartString(w.Key)
+		h.Part(w.Value)
 		if w.Delete {
-			buf.WriteByte(1)
+			h.RawByte(1)
 		} else {
-			buf.WriteByte(0)
+			h.RawByte(0)
 		}
 	}
-	binary.BigEndian.PutUint64(l[:], uint64(len(tx.Meta)))
-	buf.Write(l[:])
+	h.RawUint64(uint64(len(tx.Meta)))
 	if len(tx.Meta) > 0 {
 		keys := make([]string, 0, len(tx.Meta))
 		for k := range tx.Meta {
@@ -114,15 +121,12 @@ func (tx Transaction) Digest() [32]byte {
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
-			writeLenPrefixedString(buf, k)
-			writeLenPrefixedString(buf, tx.Meta[k])
+			h.PartString(k)
+			h.PartString(tx.Meta[k])
 		}
 	}
-	binary.BigEndian.PutUint64(l[:], uint64(tx.Timestamp.UTC().UnixNano()))
-	buf.Write(l[:])
-	out := dcrypto.Hash(buf.Bytes())
-	digestBufPool.Put(buf)
-	return out
+	h.RawUint64(uint64(tx.Timestamp.UTC().UnixNano()))
+	return h.Sum()
 }
 
 // ID returns the transaction identifier, the hex form of the digest.

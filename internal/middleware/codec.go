@@ -37,9 +37,10 @@ var ErrBadFrame = errors.New("middleware: malformed binary frame")
 // are cold, structured, and versioned by the pki package, and re-encoding
 // them field-by-field here would couple the framing to pki internals.
 const (
-	binaryMagic        = 0xDC
-	binaryKindRequest  = 0x01
-	binaryKindEnvelope = 0x02
+	binaryMagic             = 0xDC
+	binaryKindRequest       = 0x01
+	binaryKindEnvelope      = 0x02
+	binaryKindGroupEnvelope = 0x03
 )
 
 // isBinaryFrame sniffs the framing of a wire payload: binary frames start
@@ -302,6 +303,118 @@ func encodeEnvelopeBinaryKeyed(env *Envelope, keySection []byte) []byte {
 	out = binary.AppendUvarint(out, env.Epoch)
 	out = appendLenPrefixed(out, env.Ciphertext)
 	return append(out, keySection...)
+}
+
+// encodeGroupEnvelopeBinary marshals a group envelope into the binary v2
+// framing (kind 0x03) with a single exactly-sized allocation. Like
+// encodeEnvelopeBinary, sortedIDs may name the emit order; nil sorts here.
+func encodeGroupEnvelopeBinary(genv *GroupEnvelope, sortedIDs []string) []byte {
+	if sortedIDs == nil {
+		sortedIDs = make([]string, 0, len(genv.Keys))
+		for id := range genv.Keys {
+			sortedIDs = append(sortedIDs, id)
+		}
+		sort.Strings(sortedIDs)
+	}
+	return encodeGroupEnvelopeBinaryKeyed(genv, encodeEnvelopeKeys(genv.Keys, sortedIDs))
+}
+
+// encodeGroupEnvelopeBinaryKeyed is encodeGroupEnvelopeBinary with the
+// wrapped-key table already encoded — the batch stage splices the epoch's
+// precomputed section (the same bytes single envelopes of that epoch
+// splice), so a group seal re-encodes no per-member material.
+func encodeGroupEnvelopeBinaryKeyed(genv *GroupEnvelope, keySection []byte) []byte {
+	size := 2 +
+		lenPrefixedSize(len(genv.Scheme)) +
+		lenPrefixedSize(len(genv.Channel)) +
+		uvarintSize(genv.Epoch) +
+		uvarintSize(genv.Count) +
+		lenPrefixedSize(len(genv.Ciphertext)) +
+		len(keySection)
+	out := make([]byte, 0, size)
+	out = append(out, binaryMagic, binaryKindGroupEnvelope)
+	out = appendLenPrefixed(out, []byte(genv.Scheme))
+	out = appendLenPrefixed(out, []byte(genv.Channel))
+	out = binary.AppendUvarint(out, genv.Epoch)
+	out = binary.AppendUvarint(out, genv.Count)
+	out = appendLenPrefixed(out, genv.Ciphertext)
+	return append(out, keySection...)
+}
+
+// encodeGroupEnvelopeBinarySealed is encodeGroupEnvelopeBinaryKeyed with
+// the group seal fused in: the member payloads are sealed directly into the
+// frame's ciphertext field, so header, ciphertext, and the epoch's spliced
+// key section share one exactly-sized allocation — the standalone
+// ciphertext buffer, and the copy of it into the frame, both disappear from
+// the per-group cost. The frame bytes are identical to sealing first and
+// encoding after (modulo the random nonce).
+func encodeGroupEnvelopeBinarySealed(ck *channelKey, channel string, payloads [][]byte, ad []byte) ([]byte, error) {
+	ctSize := dcrypto.SealedSegmentsSize(ck.aead, payloads)
+	size := 2 +
+		lenPrefixedSize(len(GroupEnvelopeScheme)) +
+		lenPrefixedSize(len(channel)) +
+		uvarintSize(ck.epoch) +
+		uvarintSize(uint64(len(payloads))) +
+		uvarintSize(uint64(ctSize)) + ctSize +
+		len(ck.keySection)
+	out := make([]byte, 0, size)
+	out = append(out, binaryMagic, binaryKindGroupEnvelope)
+	out = appendLenPrefixed(out, []byte(GroupEnvelopeScheme))
+	out = appendLenPrefixed(out, []byte(channel))
+	out = binary.AppendUvarint(out, ck.epoch)
+	out = binary.AppendUvarint(out, uint64(len(payloads)))
+	out = binary.AppendUvarint(out, uint64(ctSize))
+	out, err := dcrypto.AppendEncryptSegmentsWithAEAD(out, ck.aead, payloads, ad)
+	if err != nil {
+		return nil, fmt.Errorf("middleware: seal group: %w", err)
+	}
+	return append(out, ck.keySection...), nil
+}
+
+// decodeGroupEnvelopeBinary reverses encodeGroupEnvelopeBinary.
+func decodeGroupEnvelopeBinary(b []byte) (GroupEnvelope, error) {
+	var genv GroupEnvelope
+	if len(b) < 2 || b[0] != binaryMagic || b[1] != binaryKindGroupEnvelope {
+		return genv, fmt.Errorf("%w: not a binary group envelope frame", ErrBadFrame)
+	}
+	r := &frameReader{b: b[2:]}
+	genv.Scheme = r.str()
+	genv.Channel = r.str()
+	genv.Epoch = r.uvarint()
+	genv.Count = r.uvarint()
+	genv.Ciphertext = r.bytes()
+	nKeys := r.uvarint()
+	if r.err == nil && nKeys > uint64(len(r.b)) {
+		return GroupEnvelope{}, fmt.Errorf("%w: key count %d exceeds remaining bytes", ErrBadFrame, nKeys)
+	}
+	if r.err == nil && nKeys > 0 {
+		genv.Keys = make(map[string]dcrypto.HybridCiphertext, nKeys)
+		for i := uint64(0); i < nKeys && r.err == nil; i++ {
+			id := r.str()
+			genv.Keys[id] = dcrypto.HybridCiphertext{
+				EphemeralPub: r.bytes(),
+				Ciphertext:   r.bytes(),
+			}
+		}
+	}
+	if err := r.done(); err != nil {
+		return GroupEnvelope{}, err
+	}
+	return genv, nil
+}
+
+// EncodeGroupEnvelope marshals a group envelope in the named codec — the
+// encoding counterpart of ParseGroupEnvelope, for clients and tests that
+// handle group envelopes outside the batch stage.
+func EncodeGroupEnvelope(genv GroupEnvelope, codec string) ([]byte, error) {
+	switch codec {
+	case "", CodecJSON:
+		return json.Marshal(genv)
+	case CodecBinary:
+		return encodeGroupEnvelopeBinary(&genv, nil), nil
+	default:
+		return nil, fmt.Errorf("middleware: unknown codec %q", codec)
+	}
 }
 
 // decodeEnvelopeBinary reverses encodeEnvelopeBinary.

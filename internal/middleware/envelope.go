@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dltprivacy/internal/dcrypto"
@@ -148,8 +149,11 @@ func (d StaticDirectory) MemberKeys(channel string) (map[string]dcrypto.PublicKe
 // the encrypt stage's fingerprint cache stays exact.
 type SyncDirectory struct {
 	mu       sync.RWMutex
-	gen      uint64
 	channels map[string]map[string]dcrypto.PublicKey
+	// gen is written under mu (updates are serialized) but read with a
+	// bare atomic load: Generation sits on the per-request seal fast
+	// path, where an RLock round-trip is measurable.
+	gen atomic.Uint64
 }
 
 // NewSyncDirectory creates an empty SyncDirectory.
@@ -174,7 +178,7 @@ func (d *SyncDirectory) SetChannel(channel string, members map[string]dcrypto.Pu
 	} else {
 		d.channels[channel] = snap
 	}
-	d.gen++
+	d.gen.Add(1)
 	d.mu.Unlock()
 }
 
@@ -192,7 +196,7 @@ func (d *SyncDirectory) AddMember(channel, identity string, key dcrypto.PublicKe
 	}
 	snap[identity] = key
 	d.channels[channel] = snap
-	d.gen++
+	d.gen.Add(1)
 	d.mu.Unlock()
 }
 
@@ -209,12 +213,7 @@ func (d *SyncDirectory) MemberKeys(channel string) (map[string]dcrypto.PublicKey
 }
 
 // Generation implements GenerationalDirectory.
-func (d *SyncDirectory) Generation() uint64 {
-	d.mu.RLock()
-	g := d.gen
-	d.mu.RUnlock()
-	return g
-}
+func (d *SyncDirectory) Generation() uint64 { return d.gen.Load() }
 
 // Encrypt is the envelope-encryption stage. It refuses unauthenticated
 // requests even if misassembled by hand: sealing ciphertext for an
@@ -235,13 +234,24 @@ type Encrypt struct {
 	gdir   GenerationalDirectory
 	keyTTL time.Duration
 	now    func() time.Time
+	// defaultClock marks now as the package default (coarseNow): only then
+	// may channelKeyFor trust a request's session-stamped clock reading.
+	defaultClock bool
 	// binary switches envelope marshalling to the binary v2 framing
 	// (Config.Codec = "binary"); set at Build time, before traffic.
 	binary bool
+	// deferSeal switches Handle into deferred group-seal mode (see
+	// deferGroupSeal): the payload stays plaintext and the request is
+	// tagged with its epoch key for the batch stage to seal whole groups
+	// at once. Set at Build time, before traffic; requires keyTTL > 0.
+	deferSeal bool
 
 	// adCache holds the per-channel associated-data strings, computed once
-	// per channel instead of concatenated per request.
-	adCache sync.Map // channel string -> []byte
+	// per channel instead of concatenated per request. groupADCache is its
+	// group-envelope counterpart (a distinct AD domain, see
+	// groupEnvelopeAD).
+	adCache      sync.Map // channel string -> []byte
+	groupADCache sync.Map // channel string -> []byte
 
 	mu     sync.Mutex
 	keys   map[string]*channelKey
@@ -347,8 +357,11 @@ func NewCachedEncrypt(dir Directory, keyTTL time.Duration, now func() time.Time)
 	if keyTTL <= 0 {
 		return nil, fmt.Errorf("middleware: encrypt key ttl must be positive, got %v", keyTTL)
 	}
-	if now == nil {
-		now = time.Now
+	e.defaultClock = now == nil
+	if e.defaultClock {
+		// The default clock is the cheap monotonic-anchored one:
+		// channelKeyFor reads it on every seal.
+		now = coarseNow
 	}
 	e.keyTTL = keyTTL
 	e.now = now
@@ -523,8 +536,25 @@ func memberFingerprint(members map[string]dcrypto.PublicKey) [32]byte {
 // therefore only make members newer than the tag, never older, so a cache
 // entry never advertises a stale member set under a fresh generation —
 // the next request at the new generation recomputes and converges.
-func (e *Encrypt) channelKeyFor(channel string, dirGen uint64, members map[string]dcrypto.PublicKey) (*channelKey, error) {
-	now := e.now()
+func (e *Encrypt) channelKeyFor(req *Request, channel string, dirGen uint64) (*channelKey, error) {
+	var now time.Time
+	if e.defaultClock && !req.nowStamp.IsZero() {
+		// The session stage already read the shared default clock for this
+		// request; its stamp is at most a stage-transit older than a fresh
+		// read, which expiry granularity (keyTTL) tolerates.
+		now = req.nowStamp
+	} else {
+		now = e.now()
+	}
+	// The member snapshot is fetched lazily, only when the fingerprint
+	// cache misses: on the steady-state path (fingerprint hit, live key —
+	// and also fingerprint hit with an expired key, which reuses the
+	// cached member set) the directory is never consulted, saving its
+	// read-lock and map hand-off on every seal.
+	var (
+		members map[string]dcrypto.PublicKey
+		fetched bool
+	)
 	for {
 		var (
 			fp       [32]byte
@@ -542,6 +572,20 @@ func (e *Encrypt) channelKeyFor(channel string, dirGen uint64, members map[strin
 			fp, sealable = fe.fp, fe.members
 			e.mu.Unlock()
 		} else {
+			if !fetched {
+				// Cache miss and no snapshot in hand: drop the lock, fetch,
+				// and re-enter. dirGen was read before this fetch (Handle
+				// reads it before calling), so the snapshot can only be
+				// newer than the tag — the same ordering invariant the
+				// eager fetch upheld.
+				e.mu.Unlock()
+				m, err := e.dir.MemberKeys(channel)
+				if err != nil {
+					return nil, err
+				}
+				members, fetched = m, true
+				continue
+			}
 			// Snapshot the exclusion state, then fingerprint outside the
 			// lock: the O(n log n) sort-and-hash of the member set must not
 			// sit in the critical section every seal on every channel
@@ -701,44 +745,65 @@ func (e *Encrypt) Handle(ctx context.Context, req *Request, next Handler) error 
 	if e.gdir != nil {
 		dirGen = e.gdir.Generation()
 	}
-	members, err := e.dir.MemberKeys(req.Channel)
-	if err != nil {
-		return err
-	}
-	var env Envelope
-	var sortedIDs []string
-	var keySection []byte
 	if e.keyTTL > 0 {
 		// channelKeyFor applies the revocation exclusions itself, under the
 		// cache lock, so a racing RevokeMember cannot poison a fresh epoch.
-		ck, err := e.channelKeyFor(req.Channel, dirGen, members)
+		// It also fetches the member snapshot itself, and only on a cache
+		// miss: the steady-state fast path never consults the directory.
+		ck, err := e.channelKeyFor(req, req.Channel, dirGen)
 		if err != nil {
 			return err
+		}
+		if e.deferSeal {
+			// Deferred group seal: tag the request with its epoch key and
+			// leave the payload plaintext — the batch stage seals the whole
+			// (channel, epoch) group with one AEAD invocation. The request
+			// is marked encrypted because its payload is guaranteed sealed
+			// before anything downstream of batch (the terminal handler)
+			// sees it; the plaintext never leaves the process. This early
+			// return is also why the Envelope below is declared per branch:
+			// a single declaration above the branch would heap-allocate it
+			// on the deferred path too, where it is never used.
+			req.groupKey = ck
+			req.encrypted = true
+			return next(ctx, req)
 		}
 		ct, err := dcrypto.EncryptWithAEAD(ck.aead, req.Payload, ck.ad)
 		if err != nil {
 			return fmt.Errorf("middleware: seal payload: %w", err)
 		}
-		env = Envelope{
+		env := Envelope{
 			Scheme:     EnvelopeScheme,
 			Channel:    req.Channel,
 			Epoch:      ck.epoch,
 			Ciphertext: ct,
 			Keys:       ck.wrapped,
 		}
-		sortedIDs = ck.ids
-		keySection = ck.keySection
-	} else {
-		env, err = sealEnvelope(req.Channel, req.Payload, e.effectiveMembers(members), e.adFor(req.Channel))
+		b, err := e.marshalEnvelope(&env, ck.ids, ck.keySection)
 		if err != nil {
 			return err
 		}
+		return e.sealed(ctx, req, b, next)
 	}
-	b, err := e.marshalEnvelope(&env, sortedIDs, keySection)
+	members, err := e.dir.MemberKeys(req.Channel)
 	if err != nil {
 		return err
 	}
-	req.Payload = b
+	env, err := sealEnvelope(req.Channel, req.Payload, e.effectiveMembers(members), e.adFor(req.Channel))
+	if err != nil {
+		return err
+	}
+	b, err := e.marshalEnvelope(&env, nil, nil)
+	if err != nil {
+		return err
+	}
+	return e.sealed(ctx, req, b, next)
+}
+
+// sealed installs the marshalled envelope as the request payload and passes
+// it downstream — the common tail of Handle's immediate-seal paths.
+func (e *Encrypt) sealed(ctx context.Context, req *Request, payload []byte, next Handler) error {
+	req.Payload = payload
 	req.encrypted = true
 	if req.Meta == nil {
 		req.Meta = make(map[string]string)

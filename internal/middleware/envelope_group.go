@@ -1,0 +1,159 @@
+package middleware
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"dltprivacy/internal/dcrypto"
+)
+
+// GroupEnvelopeScheme identifies the group envelope the batch stage's
+// group-seal mode produces: N same-(channel, epoch) payloads concatenated
+// into one length-prefixed frame and sealed with a single AEAD invocation
+// under the epoch's cached data key, sharing that epoch's wrapped-key
+// table. One nonce, one GCM pass, one tag, and one key section for the
+// whole group — the per-transaction seal cost amortizes to 1/N.
+const GroupEnvelopeScheme = "hybrid-aes256gcm/group/v1"
+
+// BatchPrincipal is the creator recorded on released group transactions.
+// Like AggregatePrincipal it marks a synthetic release vehicle: the member
+// submissions were authenticated individually at admission, and their
+// payloads travel inside the sealed group frame.
+const BatchPrincipal = "batched"
+
+// MetaBatch records the scheme and member count on a released group
+// transaction.
+const MetaBatch = "batch"
+
+// GroupEnvelope is N encrypted payloads plus the data key wrapped per
+// channel member. The ciphertext is one AEAD seal over a length-prefixed
+// concatenation of the member payloads (see dcrypto.EncryptSegmentsWithAEAD);
+// the key table is the same per-epoch table single envelopes of that epoch
+// carry, so a recipient unwraps once and opens every member payload.
+type GroupEnvelope struct {
+	Scheme     string                              `json:"scheme"`
+	Channel    string                              `json:"channel"`
+	Epoch      uint64                              `json:"epoch,omitempty"`
+	Count      uint64                              `json:"count"`
+	Ciphertext []byte                              `json:"ciphertext"`
+	Keys       map[string]dcrypto.HybridCiphertext `json:"keys"`
+}
+
+// groupEnvelopeAD binds group ciphertexts to their channel under a domain
+// separate from single envelopes: a group frame re-framed as a single
+// envelope (or vice versa) under the same epoch key fails authentication
+// instead of decrypting to confusing bytes. The wrapped-key table keeps the
+// single-envelope domain — it is the same table, wrapped once per epoch.
+func groupEnvelopeAD(channel string) []byte {
+	return []byte("middleware/group-envelope/v1/" + channel)
+}
+
+// OpenGroupEnvelope recovers every member payload for a recipient holding
+// its private key. The returned slices are the original submission
+// payloads, byte-identical to what each member would have carried in its
+// own single envelope.
+func OpenGroupEnvelope(genv GroupEnvelope, member string, key *dcrypto.PrivateKey) ([][]byte, error) {
+	if genv.Scheme != GroupEnvelopeScheme {
+		return nil, fmt.Errorf("middleware: unsupported group envelope scheme %q", genv.Scheme)
+	}
+	wrapped, ok := genv.Keys[member]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotRecipient, member)
+	}
+	// The key table is shared with the epoch's single envelopes, so the
+	// unwrap uses the single-envelope domain; only the group ciphertext
+	// lives in the group domain.
+	dataKey, err := dcrypto.DecryptHybrid(key, wrapped, envelopeAD(genv.Channel))
+	if err != nil {
+		return nil, fmt.Errorf("middleware: unwrap key: %w", err)
+	}
+	segments, err := dcrypto.DecryptSegments(dataKey, genv.Ciphertext, groupEnvelopeAD(genv.Channel))
+	if err != nil {
+		return nil, fmt.Errorf("middleware: open group: %w", err)
+	}
+	if uint64(len(segments)) != genv.Count {
+		return nil, fmt.Errorf("middleware: group envelope declares %d members, frame holds %d", genv.Count, len(segments))
+	}
+	return segments, nil
+}
+
+// ParseGroupEnvelope decodes a marshalled group envelope (the payload of a
+// released group transaction), in either wire codec: binary frames are
+// sniffed by their magic byte, everything else parses as JSON.
+func ParseGroupEnvelope(b []byte) (GroupEnvelope, error) {
+	if isBinaryFrame(b) {
+		genv, err := decodeGroupEnvelopeBinary(b)
+		if err != nil {
+			return GroupEnvelope{}, fmt.Errorf("middleware: parse group envelope: %w", err)
+		}
+		return genv, nil
+	}
+	var genv GroupEnvelope
+	if err := json.Unmarshal(b, &genv); err != nil {
+		return GroupEnvelope{}, fmt.Errorf("middleware: parse group envelope: %w", err)
+	}
+	return genv, nil
+}
+
+// deferGroupSeal switches the encrypt stage into deferred group-seal mode:
+// Handle resolves and tags the request with the channel's epoch key but
+// leaves the payload plaintext, and the batch stage seals whole groups
+// under the tagged key with one AEAD invocation. Wired by Config.Build when
+// the batch stage runs groupseal=on; requires the epoch key cache
+// (keyttl > 0), which Build validates.
+func (e *Encrypt) deferGroupSeal() { e.deferSeal = true }
+
+// sealGroup seals the member payloads of one (channel, epoch) group with a
+// single AEAD invocation under the epoch key and marshals the group
+// envelope in the stage's codec. The binary path splices the epoch's
+// precomputed key section, so the per-group cost beyond the one GCM pass is
+// a header and a copy.
+func (e *Encrypt) sealGroup(ck *channelKey, channel string, payloads [][]byte) ([]byte, error) {
+	if e.binary {
+		// The binary path fuses seal and encode: the AEAD writes the group
+		// ciphertext directly into the frame allocation.
+		return encodeGroupEnvelopeBinarySealed(ck, channel, payloads, e.groupADFor(channel))
+	}
+	ct, err := dcrypto.EncryptSegmentsWithAEAD(ck.aead, payloads, e.groupADFor(channel))
+	if err != nil {
+		return nil, fmt.Errorf("middleware: seal group: %w", err)
+	}
+	genv := GroupEnvelope{
+		Scheme:     GroupEnvelopeScheme,
+		Channel:    channel,
+		Epoch:      ck.epoch,
+		Count:      uint64(len(payloads)),
+		Ciphertext: ct,
+		Keys:       ck.wrapped,
+	}
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(&genv); err != nil {
+		jsonBufPool.Put(buf)
+		return nil, fmt.Errorf("middleware: marshal group envelope: %w", err)
+	}
+	staged := buf.Bytes()
+	staged = staged[:len(staged)-1] // Encode appends a newline Marshal would not
+	out := make([]byte, len(staged))
+	copy(out, staged)
+	jsonBufPool.Put(buf)
+	return out, nil
+}
+
+// groupADFor returns the channel's group associated data, computed once per
+// channel like adFor.
+func (e *Encrypt) groupADFor(channel string) []byte {
+	if v, ok := e.groupADCache.Load(channel); ok {
+		return v.([]byte)
+	}
+	ad := groupEnvelopeAD(channel)
+	e.groupADCache.Store(channel, ad)
+	return ad
+}
+
+// errNoGroupKey is returned when the batch stage runs groupseal=on but a
+// request arrives without a deferred epoch key — only possible when the
+// chain was assembled by hand around Config.Build's wiring.
+var errNoGroupKey = errors.New("middleware: batch groupseal: request carries no deferred group key (encrypt stage not in deferred mode?)")

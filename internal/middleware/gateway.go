@@ -141,6 +141,18 @@ type GatewayStats struct {
 	// TracesSampled counts requests recorded into the trace ring over the
 	// gateway's lifetime; 0 when tracing is off.
 	TracesSampled uint64
+	// BatchGroupsSealed counts group envelopes the batch stage released in
+	// group-seal mode; BatchGroupTxs the member transactions inside them;
+	// BatchPending the submissions currently buffered. All 0 without a
+	// batch stage (and the first two outside group-seal mode).
+	BatchGroupsSealed uint64
+	BatchGroupTxs     uint64
+	BatchPending      int
+	// AuditShed counts leakage observations dropped because the audit
+	// stage's async ring was full; AuditRingPending the observations
+	// enqueued but not yet recorded. Both 0 without an async audit ring.
+	AuditShed        uint64
+	AuditRingPending uint64
 }
 
 // NewGateway builds the configured chain and fronts it with the ordering
@@ -156,8 +168,16 @@ func NewGateway(name string, cfg Config, env Env, orderer ordering.Backend) (*Ga
 	if orderer == nil {
 		return nil, fmt.Errorf("%w: gateway needs an ordering backend", ErrBadConfig)
 	}
-	if env.Now == nil {
-		env.Now = time.Now
+	// With no injected clock the gateway runs coarseNow, but env.Now stays
+	// nil into cfg.Build: each stage constructor adopts the default clock
+	// itself and — crucially — KNOWS it did (defaultClock), which is what
+	// lets the session stage's per-request reading ride req.nowStamp into
+	// the encrypt stage instead of every stage reading the clock again.
+	// Materializing coarseNow here would make the stages see an injected
+	// clock and disable that sharing.
+	gwNow := env.Now
+	if gwNow == nil {
+		gwNow = coarseNow
 	}
 	sharded, _ := orderer.(*ordering.ShardedBackend)
 	if cfg.Shards > 0 {
@@ -182,7 +202,7 @@ func NewGateway(name string, cfg Config, env Env, orderer ordering.Backend) (*Ga
 		codec:    codec,
 		orderer:  orderer,
 		sharded:  sharded,
-		now:      env.Now,
+		now:      gwNow,
 		revoker:  env.Revoker,
 		auditLog: env.Log,
 		backends: make(map[string][]Backend),
@@ -211,9 +231,10 @@ func NewGateway(name string, cfg Config, env Env, orderer ordering.Backend) (*Ga
 }
 
 // Close releases the gateway's push subscription on its revocation source,
-// if any. Idempotent; the gateway still serves traffic afterwards, it just
-// stops receiving revocation pushes (sweep intervals and revocation.notify
-// keep working).
+// if any, and drains the audit stage's async ring: every leakage
+// observation enqueued before Close returns is recorded. Idempotent; the
+// gateway still serves traffic afterwards — it just stops receiving
+// revocation pushes, and later audit observations record inline.
 func (g *Gateway) Close() {
 	g.revMu.Lock()
 	unsub := g.unsubscribe
@@ -221,6 +242,9 @@ func (g *Gateway) Close() {
 	g.revMu.Unlock()
 	if unsub != nil {
 		unsub()
+	}
+	if a, ok := g.chain.stage(StageAudit).(*Audit); ok && a != nil {
+		a.Close()
 	}
 }
 
@@ -293,11 +317,18 @@ func (g *Gateway) Name() string { return g.name }
 // order is the terminal handler: build the ledger transaction and submit
 // it for ordering.
 func (g *Gateway) order(ctx context.Context, req *Request) error {
-	meta := make(map[string]string, len(req.Meta)+1)
-	for k, v := range req.Meta {
-		meta[k] = v
+	meta := req.Meta
+	if req.metaOwned && meta != nil {
+		// The batch stage built this map for its release vehicle and no
+		// caller holds it: annotate in place instead of copying.
+		meta["gateway"] = g.name
+	} else {
+		meta = make(map[string]string, len(req.Meta)+1)
+		for k, v := range req.Meta {
+			meta[k] = v
+		}
+		meta["gateway"] = g.name
 	}
-	meta["gateway"] = g.name
 	tx := ledger.Transaction{
 		Channel:   req.Channel,
 		Creator:   req.Principal,
@@ -335,20 +366,79 @@ func (g *Gateway) Submit(ctx context.Context, req *Request) error {
 	return nil
 }
 
+// SubmitFuture is the completion handle SubmitAsync returns: it resolves
+// with the request's delivery outcome — immediately for requests ordered
+// or rejected inline, at group release for requests the batch stage
+// buffered. Wait may be called repeatedly; the first resolution sticks.
+type SubmitFuture struct {
+	ch chan error
+
+	mu       sync.Mutex
+	resolved bool
+	err      error
+}
+
+// Wait blocks until the submission's delivery outcome is known or ctx is
+// done. A nil return means the request was ordered (or delivered through
+// its group); a batched member whose group release failed gets the
+// ErrBatchRelease-wrapped group error.
+func (f *SubmitFuture) Wait(ctx context.Context) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.resolved {
+		return f.err
+	}
+	select {
+	case err := <-f.ch:
+		f.resolved, f.err = true, err
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SubmitAsync runs one request through the chain and returns a completion
+// future instead of coupling the caller to the group release: a request
+// the batch stage buffers is acknowledged immediately (nil error, like
+// Submit) and its future resolves when its group is released — letting
+// submitters pipeline a whole batch and then collect outcomes, instead of
+// blocking a round-trip per transaction. Requests rejected or ordered
+// inline resolve their future before SubmitAsync returns. The returned
+// error mirrors Submit (nil means accepted).
+func (g *Gateway) SubmitAsync(ctx context.Context, req *Request) (*SubmitFuture, error) {
+	req.done = make(chan error, 1)
+	f := &SubmitFuture{ch: req.done}
+	err := g.Submit(ctx, req)
+	if !req.buffered {
+		// Never reached a holding stage: the outcome is already final.
+		// Buffered requests resolve at release (the batch stage owns their
+		// completion — including the filling request, whose release ran
+		// inside this Submit call).
+		req.complete(err)
+	}
+	return f, err
+}
+
 // Tracer returns the gateway's request tracer, nil when Config.Trace is
 // off. The handle /tracez serves from.
 func (g *Gateway) Tracer() *telemetry.Tracer { return g.tracer }
 
 // Flush releases any partially-filled batch or aggregation group
-// downstream. Gateways without a holding stage flush trivially.
+// downstream, then waits for the audit stage's async ring (if any) to
+// catch up, so after Flush returns every accepted submission is ordered
+// AND its leakage observation recorded. Gateways without a holding stage
+// flush trivially.
 func (g *Gateway) Flush(ctx context.Context) error {
+	var err error
 	if b, ok := g.chain.stage(StageBatch).(*Batch); ok && b != nil {
-		return b.Flush(ctx)
+		err = b.Flush(ctx)
+	} else if a, ok := g.chain.stage(StageAggregate).(*Aggregate); ok && a != nil {
+		err = a.Flush(ctx)
 	}
-	if a, ok := g.chain.stage(StageAggregate).(*Aggregate); ok && a != nil {
-		return a.Flush(ctx)
+	if a, ok := g.chain.stage(StageAudit).(*Audit); ok && a != nil {
+		a.Flush()
 	}
-	return nil
+	return err
 }
 
 // Backend is a platform adapter the gateway relays ordered blocks into:
@@ -430,6 +520,15 @@ func (g *Gateway) Stats() GatewayStats {
 	}
 	stats.RevocationSweeps = g.sweeps.Load()
 	stats.TracesSampled = g.tracer.Sampled()
+	if b, ok := g.chain.stage(StageBatch).(*Batch); ok && b != nil {
+		stats.BatchGroupsSealed = b.GroupsSealed()
+		stats.BatchGroupTxs = b.GroupTxs()
+		stats.BatchPending = b.Pending()
+	}
+	if a, ok := g.chain.stage(StageAudit).(*Audit); ok && a != nil {
+		stats.AuditShed = a.Shed()
+		stats.AuditRingPending = a.RingPending()
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	for name, ctr := range g.commits {
@@ -487,6 +586,40 @@ func (g *Gateway) RegisterMetrics(reg *telemetry.Registry) error {
 	}
 	if g.sharded != nil {
 		if err := g.sharded.RegisterMetrics(reg); err != nil {
+			return err
+		}
+	}
+	if b, ok := g.chain.stage(StageBatch).(*Batch); ok && b != nil {
+		if err := reg.CounterFunc("confmw_batch_groups_sealed_total",
+			"Group envelopes released by the batch stage (group-seal mode).", b.GroupsSealed); err != nil {
+			return err
+		}
+		if err := reg.CounterFunc("confmw_batch_group_txs_total",
+			"Member transactions released inside group envelopes.", b.GroupTxs); err != nil {
+			return err
+		}
+		if err := reg.GaugeFunc("confmw_batch_pending",
+			"Submissions currently buffered by the batch stage.",
+			func() float64 { return float64(b.Pending()) }); err != nil {
+			return err
+		}
+	}
+	if a, ok := g.chain.stage(StageAudit).(*Audit); ok && a != nil && a.Async() {
+		for _, c := range []struct {
+			name, help string
+			fn         func() uint64
+		}{
+			{"confmw_audit_enqueued_total", "Leakage observations accepted into the audit ring.", a.Enqueued},
+			{"confmw_audit_drained_total", "Leakage observations the audit drainer recorded.", a.Drained},
+			{"confmw_audit_shed_total", "Leakage observations dropped because the audit ring was full.", a.Shed},
+		} {
+			if err := reg.CounterFunc(c.name, c.help, c.fn); err != nil {
+				return err
+			}
+		}
+		if err := reg.GaugeFunc("confmw_audit_ring_pending",
+			"Leakage observations enqueued but not yet recorded.",
+			func() float64 { return float64(a.RingPending()) }); err != nil {
 			return err
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -111,6 +112,53 @@ type Request struct {
 	// downstream reported. Keeping it on the request avoids any per-call
 	// allocation.
 	downstreamNanos int64
+	// untimed marks a request the chain's timing sampler skipped: every
+	// instrumented frame still counts calls and errors exactly but reads
+	// no clocks and observes no latency. Decided once per request at
+	// Execute — mixing timed and untimed frames inside one request would
+	// corrupt the exclusive-time nesting protocol — and never set while
+	// the request carries a trace.
+	untimed bool
+
+	// nowStamp is the session stage's clock reading, left on the request
+	// so downstream stages on the same default clock (encrypt's epoch
+	// expiry check) reuse it instead of reading the clock again. Only a
+	// stage running the default coarseNow clock writes or trusts it — a
+	// test-injected clock never mixes with the stamp in either direction.
+	nowStamp time.Time
+
+	// groupKey is the cached (channel, epoch) key the encrypt stage
+	// resolved in deferred group-seal mode: the payload stays plaintext
+	// until the batch stage seals the whole group under it with one AEAD
+	// invocation. Nil outside deferred mode.
+	groupKey *channelKey
+	// buffered marks a request the batch stage acknowledged with delivery
+	// still pending; SubmitAsync futures of buffered requests resolve at
+	// group release, not at Submit return.
+	buffered bool
+	// metaOwned marks a Meta map owned by the pipeline itself (a synthetic
+	// release vehicle built by the batch stage): the terminal handler may
+	// annotate and hand it to the ledger transaction directly instead of
+	// defensively copying a caller-owned map.
+	metaOwned bool
+	// done resolves the request's completion future (SubmitAsync): whoever
+	// delivers the request — the batch stage at release, or SubmitAsync
+	// itself when no stage buffers it — sends the delivery error (nil on
+	// success) exactly once. Nil for plain Submit callers.
+	done chan error
+}
+
+// complete resolves the request's completion future, if any. The buffered
+// send plus default keeps a double resolution (a logic bug, not an expected
+// path) from blocking the release loop.
+func (r *Request) complete(err error) {
+	if r.done == nil {
+		return
+	}
+	select {
+	case r.done <- err:
+	default:
+	}
 }
 
 // Trace returns the in-flight sampled trace, or nil when the request is
@@ -118,16 +166,64 @@ type Request struct {
 // extra spans on it.
 func (r *Request) Trace() *telemetry.Trace { return r.trace }
 
+// requestDigestDomain separates request digests from every other hash in
+// the library.
+const requestDigestDomain = "middleware/request/v1"
+
+// reqDigestBufSize covers the canonical form of a typical request (five
+// 8-byte length prefixes, the domain, short channel/principal/backend
+// names, and a payload up to ~400 bytes) so the digest is one staging copy
+// plus one direct SHA-256 call — no hash-interface round trips. Larger
+// requests stream through the pooled incremental hasher instead.
+const reqDigestBufSize = 512
+
+var reqDigestBufPool = sync.Pool{New: func() any { return new([reqDigestBufSize]byte) }}
+
+// appendDigestPart appends HashConcat's part encoding: an 8-byte big-endian
+// length, then the bytes. (appendLenPrefixed in codec.go is the uvarint wire
+// form; the digest form must stay byte-identical to dcrypto.HashConcat.)
+func appendDigestPart(b []byte, s string) []byte {
+	n := uint64(len(s))
+	b = append(b, byte(n>>56), byte(n>>48), byte(n>>40), byte(n>>32),
+		byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	return append(b, s...)
+}
+
 // Digest returns the canonical signed content of the request: channel,
-// principal, backend, and payload, length-prefixed.
+// principal, backend, and payload, length-prefixed. This runs once per
+// request on the session verify path, so it is built to allocate nothing:
+// the variadic HashConcat form it replaces was the single largest
+// allocation source in the gateway profile (one []byte conversion per
+// string field plus the parts slice).
 func (r *Request) Digest() [32]byte {
-	return dcrypto.HashConcat(
-		[]byte("middleware/request/v1"),
-		[]byte(r.Channel),
-		[]byte(r.Principal),
-		[]byte(r.Backend),
-		r.Payload,
-	)
+	total := 5*8 + len(requestDigestDomain) +
+		len(r.Channel) + len(r.Principal) + len(r.Backend) + len(r.Payload)
+	if total <= reqDigestBufSize {
+		bp := reqDigestBufPool.Get().(*[reqDigestBufSize]byte)
+		b := appendDigestPart(bp[:0], requestDigestDomain)
+		b = appendDigestPart(b, r.Channel)
+		b = appendDigestPart(b, r.Principal)
+		b = appendDigestPart(b, r.Backend)
+		b = appendDigestPartBytes(b, r.Payload)
+		d := dcrypto.Hash(b)
+		reqDigestBufPool.Put(bp)
+		return d
+	}
+	h := dcrypto.NewConcatHasher()
+	h.PartString(requestDigestDomain)
+	h.PartString(r.Channel)
+	h.PartString(r.Principal)
+	h.PartString(r.Backend)
+	h.Part(r.Payload)
+	return h.Sum()
+}
+
+// appendDigestPartBytes is appendDigestPart for a byte-slice part.
+func appendDigestPartBytes(b, p []byte) []byte {
+	n := uint64(len(p))
+	b = append(b, byte(n>>56), byte(n>>48), byte(n>>40), byte(n>>32),
+		byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	return append(b, p...)
 }
 
 // ID returns the hex form of the request digest, the submission identifier
@@ -190,6 +286,12 @@ type Stage interface {
 // spent in the stage itself, minus everything its direct downstream
 // reported — and is what the per-stage latency histograms observe, so
 // Σ ExclusiveNanos over stages ≈ wall time even around retry loops.
+//
+// Under sampled timing (Config.TimingSample) Calls and Errors stay exact
+// while Nanos, ExclusiveNanos, and the latency histograms cover only the
+// timed 1-in-N subset — multiply by the sample divisor to estimate
+// totals, or read the histogram quantiles directly (sampling preserves
+// the latency distribution, not the sums).
 type StageStats struct {
 	Name           string
 	Calls          uint64
@@ -216,6 +318,14 @@ type Chain struct {
 	stages  []Stage
 	metrics []*stageMetrics
 	head    Handler
+
+	// timingEvery > 1 enables sampled stage timing: one in every
+	// timingEvery requests runs fully instrumented, the rest skip the
+	// clock reads and latency observations (calls and errors stay exact).
+	// 0 or 1 — the default for every directly-constructed chain — times
+	// every request. Set once via setTimingSample before traffic.
+	timingEvery uint64
+	timingCtr   atomic.Uint64
 }
 
 // NewChain composes stages (outermost first) around the terminal handler.
@@ -251,14 +361,41 @@ func NewChain(terminal Handler, stages ...Stage) *Chain {
 // frames add their inclusive time into it — retry's several attempts
 // accumulate, batch's zero invocations leave it zero), and restores
 // parent + own inclusive time on the way out.
+// chainEpoch anchors instrument()'s timestamps: both edges of a frame are
+// read as time.Since(chainEpoch), which is a bare monotonic-clock read —
+// about half the cost of time.Now, which also reads the wall clock — and
+// the rare sampled-trace path reconstructs the exact span start as
+// chainEpoch.Add(startOff).
+var chainEpoch = time.Now()
+
+// coarseNow is the hot paths' default time source: the current time
+// rebuilt from one monotonic-clock read against the process epoch, about
+// half the cost of time.Now. Its monotonic reading — what expiry, idle,
+// and freshness comparisons between two of its values actually use — is
+// exact; only the wall reading can drift from the system clock, by
+// whatever steps land after process start. The session and cached-encrypt
+// stages default to it when no clock is injected.
+func coarseNow() time.Time { return chainEpoch.Add(time.Since(chainEpoch)) }
+
 func instrument(s Stage, m *stageMetrics, next Handler) Handler {
 	return func(ctx context.Context, req *Request) error {
 		m.calls.Add(1)
+		if req.untimed {
+			// Sampled-out request: exact calls/errors, no clocks, no
+			// latency observation, no exclusive-time bookkeeping. The
+			// whole request is untimed (decided at Execute), so no timed
+			// frame ever reads the downstreamNanos this frame skips.
+			err := s.Handle(ctx, req, next)
+			if err != nil {
+				m.errors.Add(1)
+			}
+			return err
+		}
 		parent := req.downstreamNanos
 		req.downstreamNanos = 0
-		start := time.Now()
+		startOff := time.Since(chainEpoch)
 		err := s.Handle(ctx, req, next)
-		incl := int64(time.Since(start))
+		incl := int64(time.Since(chainEpoch) - startOff)
 		excl := incl - req.downstreamNanos
 		if excl < 0 {
 			excl = 0
@@ -271,7 +408,7 @@ func instrument(s Stage, m *stageMetrics, next Handler) Handler {
 			m.errors.Add(1)
 		}
 		if tr := req.trace; tr != nil {
-			tr.AddSpan(m.name, start, time.Duration(incl), time.Duration(excl), err)
+			tr.AddSpan(m.name, chainEpoch.Add(startOff), time.Duration(incl), time.Duration(excl), err)
 		}
 		return err
 	}
@@ -285,7 +422,25 @@ func (c *Chain) Execute(ctx context.Context, req *Request) error {
 	if req.Channel == "" || req.Principal == "" {
 		return errors.New("middleware: request needs channel and principal")
 	}
+	// Per-request timing decision: a traced request is always fully
+	// timed (its spans need real timestamps); otherwise one in every
+	// timingEvery requests is. Reset unconditionally — callers reuse
+	// request structs across submissions.
+	if c.timingEvery > 1 {
+		req.untimed = req.trace == nil && c.timingCtr.Add(1)%c.timingEvery != 0
+	} else {
+		req.untimed = false
+	}
 	return c.head(ctx, req)
+}
+
+// setTimingSample enables 1-in-every sampled stage timing on the chain.
+// It must be called before traffic; Config.Build is the validated front
+// door (the TimingSample knob).
+func (c *Chain) setTimingSample(every int) {
+	if every > 1 {
+		c.timingEvery = uint64(every)
+	}
 }
 
 // Stats snapshots per-stage counters in chain order.

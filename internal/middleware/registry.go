@@ -345,9 +345,21 @@ func init() {
 		desc: "leakage accounting: record what the observer could see (Env.Log)",
 		params: []paramSpec{
 			{"observer", `leakage-log observer name (default "gateway")`},
+			{"auditasync", "async ring depth (default 0 = record synchronously on the submit path)"},
 		},
 		build: func(p *params, sc StageConfig, env Env) (Stage, error) {
-			return NewAudit(env.Log, p.str("observer", "gateway"))
+			observer := p.str("observer", "gateway")
+			depth := p.intVal("auditasync", 0)
+			if p.err != nil {
+				return nil, p.err
+			}
+			if depth < 0 {
+				return nil, fmt.Errorf("auditasync must be >= 0, got %d (0 records synchronously)", depth)
+			}
+			if depth > 0 {
+				return NewAsyncAudit(env.Log, observer, depth)
+			}
+			return NewAudit(env.Log, observer)
 		},
 	})
 	mustRegisterStage(stageDef{
@@ -395,10 +407,15 @@ func init() {
 		desc: "write-combine accepted submissions into downstream groups",
 		params: []paramSpec{
 			{"size", "group size (default 8)"},
+			{"groupseal", "seal each (channel, epoch) group with one AEAD invocation: on|off (default off; needs encrypt keyttl > 0)"},
 		},
 		terminal:    true,
 		terminalWhy: "any later stage would be skipped for batched requests",
 		build: func(p *params, sc StageConfig, env Env) (Stage, error) {
+			p.enum("groupseal", "off", "on", "off")
+			if p.err != nil {
+				return nil, p.err
+			}
 			return NewBatch(p.intVal("size", 8))
 		},
 	})

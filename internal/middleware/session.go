@@ -183,7 +183,11 @@ type session struct {
 	principal string
 	key       dcrypto.PublicKey
 	mac       []byte
-	serial    uint64
+	// macKey is the precomputed-pad verifier over mac, derived once at
+	// Open so the per-request HMAC check skips the pad derivation. Nil
+	// when the manager runs reqauth=sig.
+	macKey *dcrypto.MACKey
+	serial uint64
 	// boundTo pins the session to the transport connection that opened it
 	// (OpenBound); empty for unbound sessions. resolve rejects any other
 	// connection's TransportID with ErrSessionBound.
@@ -212,12 +216,21 @@ type sessionStripe struct {
 	revoked map[string]time.Time
 }
 
-// stripeFor hashes a token onto its stripe (FNV-1a over the token bytes).
+// stripeFor hashes a token onto its stripe: FNV-1a over the first 16 token
+// bytes plus the length. Genuine tokens are uniformly random hex, so an
+// 8-byte prefix already carries 32 bits of stripe entropy against 64
+// stripes; bounding the scan keeps the per-request hash O(1) in token
+// length (tokens are 64 hex chars, and this sits on the resolve hot path).
 func (m *SessionManager) stripeFor(token string) *sessionStripe {
 	h := uint32(2166136261)
-	for i := 0; i < len(token); i++ {
+	n := len(token)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
 		h = (h ^ uint32(token[i])) * 16777619
 	}
+	h = (h ^ uint32(len(token))) * 16777619
 	return &m.stripes[h&(sessionStripeCount-1)]
 }
 
@@ -238,6 +251,10 @@ type SessionManager struct {
 	maxPerPrincipal int
 	reqauth         RequestAuthMode
 	now             func() time.Time
+	// defaultClock marks now as the package default (coarseNow): only then
+	// may the session stage stamp its reading onto requests for downstream
+	// stages on the same clock to reuse.
+	defaultClock bool
 
 	// Revocation plane, fixed at construction (WithRevocationChecks).
 	revoker       Revoker
@@ -359,17 +376,21 @@ func NewSessionManager(caKey dcrypto.PublicKey, ttl, idle time.Duration, now fun
 	if ttl <= 0 || idle <= 0 {
 		return nil, fmt.Errorf("middleware: session ttl and idle must be positive, got ttl=%v idle=%v", ttl, idle)
 	}
-	if now == nil {
-		now = time.Now
+	defaultClock := now == nil
+	if defaultClock {
+		// The default clock is the cheap monotonic-anchored one: resolve
+		// reads it on every authenticated request.
+		now = coarseNow
 	}
 	m := &SessionManager{
-		caKey:       caKey,
-		ttl:         ttl,
-		idle:        idle,
-		now:         now,
-		byPrincipal: make(map[string]map[string]time.Time),
-		byTransport: make(map[string]map[string]bool),
-		seenNonces:  make(map[string]time.Time),
+		caKey:        caKey,
+		ttl:          ttl,
+		idle:         idle,
+		now:          now,
+		defaultClock: defaultClock,
+		byPrincipal:  make(map[string]map[string]time.Time),
+		byTransport:  make(map[string]map[string]bool),
+		seenNonces:   make(map[string]time.Time),
 	}
 	for i := range m.stripes {
 		m.stripes[i].sessions = make(map[string]*session)
@@ -475,6 +496,9 @@ func (m *SessionManager) OpenBound(hello SessionHello, transportID string) (Sess
 		boundTo:   transportID,
 		openedAt:  now,
 		expiresAt: expires,
+	}
+	if len(macKey) > 0 {
+		s.macKey = dcrypto.NewMACKey(macKey)
 	}
 	s.lastUsed.Store(now.UnixNano())
 
@@ -592,7 +616,8 @@ func (m *SessionManager) EvictTransport(transportID string) int {
 }
 
 // resolve returns the verified principal, certified key, and (under
-// reqauth=mac) session MAC key bound to a token, touching its idle clock.
+// reqauth=mac) precomputed session MAC verifier bound to a token, touching
+// its idle clock.
 // This is the gateway's per-request hot path: one read lock on one stripe,
 // no control-plane mutex, no allocation. Expired or idle sessions are
 // evicted via a write-locked slow path, and the revocation plane is
@@ -603,8 +628,14 @@ func (m *SessionManager) EvictTransport(transportID string) int {
 // bound session resolves only for its own connection (ErrSessionBound
 // otherwise, without touching the idle clock — a replay must not keep the
 // victim's session warm).
-func (m *SessionManager) resolve(token, transportID string) (string, dcrypto.PublicKey, []byte, error) {
-	now := m.now()
+func (m *SessionManager) resolve(token, transportID string) (string, dcrypto.PublicKey, *dcrypto.MACKey, error) {
+	return m.resolveAt(m.now(), token, transportID)
+}
+
+// resolveAt is resolve with the caller's clock reading: the session stage
+// reads the clock once per request and shares the value between resolve and
+// the stamp it leaves for downstream stages.
+func (m *SessionManager) resolveAt(now time.Time, token, transportID string) (string, dcrypto.PublicKey, *dcrypto.MACKey, error) {
 	switch m.revMode {
 	case RevokeCheckResolve:
 		if m.revoker.RevocationVersion() != m.revEpoch.Load() {
@@ -617,24 +648,29 @@ func (m *SessionManager) resolve(token, transportID string) (string, dcrypto.Pub
 	}
 	st := m.stripeFor(token)
 	st.mu.RLock()
-	if forgetAfter, tombstoned := st.revoked[token]; tombstoned {
-		st.mu.RUnlock()
-		if now.After(forgetAfter) {
-			st.mu.Lock()
-			if forgetAfter, still := st.revoked[token]; still && now.After(forgetAfter) {
-				delete(st.revoked, token)
+	// The len guard skips hashing the token against an empty tombstone
+	// table — the steady state of a deployment with no recent revocations.
+	if len(st.revoked) > 0 {
+		if forgetAfter, tombstoned := st.revoked[token]; tombstoned {
+			st.mu.RUnlock()
+			if now.After(forgetAfter) {
+				st.mu.Lock()
+				if forgetAfter, still := st.revoked[token]; still && now.After(forgetAfter) {
+					delete(st.revoked, token)
+				}
+				st.mu.Unlock()
+				return "", dcrypto.PublicKey{}, nil, ErrNoSession
 			}
-			st.mu.Unlock()
-			return "", dcrypto.PublicKey{}, nil, ErrNoSession
+			return "", dcrypto.PublicKey{}, nil, ErrSessionRevoked
 		}
-		return "", dcrypto.PublicKey{}, nil, ErrSessionRevoked
 	}
 	s, ok := st.sessions[token]
 	if !ok {
 		st.mu.RUnlock()
 		return "", dcrypto.PublicKey{}, nil, ErrNoSession
 	}
-	if now.After(s.expiresAt) || now.UnixNano()-s.lastUsed.Load() > int64(m.idle) {
+	nowNanos := now.UnixNano()
+	if now.After(s.expiresAt) || nowNanos-s.lastUsed.Load() > int64(m.idle) {
 		st.mu.RUnlock()
 		m.evictExpired(st, token, now)
 		return "", dcrypto.PublicKey{}, nil, ErrSessionExpired
@@ -644,8 +680,8 @@ func (m *SessionManager) resolve(token, transportID string) (string, dcrypto.Pub
 		return "", dcrypto.PublicKey{}, nil, ErrSessionBound
 	}
 	// Concurrent stores race benignly: every racer writes "about now".
-	s.lastUsed.Store(now.UnixNano())
-	principal, key, mac := s.principal, s.key, s.mac
+	s.lastUsed.Store(nowNanos)
+	principal, key, mac := s.principal, s.key, s.macKey
 	st.mu.RUnlock()
 	return principal, key, mac, nil
 }
@@ -862,7 +898,14 @@ func (s *Session) Handle(ctx context.Context, req *Request, next Handler) error 
 	if req.SessionToken == "" {
 		return next(ctx, req)
 	}
-	principal, key, mac, err := s.mgr.resolve(req.SessionToken, req.TransportID)
+	now := s.mgr.now()
+	if s.mgr.defaultClock {
+		// Leave the reading for downstream stages on the same default
+		// clock (encrypt's epoch expiry check): one clock read per request
+		// instead of one per stage.
+		req.nowStamp = now
+	}
+	principal, key, mac, err := s.mgr.resolveAt(now, req.SessionToken, req.TransportID)
 	if err != nil {
 		return fmt.Errorf("session %s: %w", req.Principal, err)
 	}
@@ -875,10 +918,10 @@ func (s *Session) Handle(ctx context.Context, req *Request, next Handler) error 
 		// A MAC is only meaningful under reqauth=mac, where the session
 		// holds the key to check it against; in sig mode no key was ever
 		// derived, so a MAC-bearing request is a misconfigured client.
-		if s.mgr.reqauth != AuthMAC {
+		if s.mgr.reqauth != AuthMAC || mac == nil {
 			return fmt.Errorf("%w: session principal %s sent a MAC to a signature-only gateway", ErrBadMAC, req.Principal)
 		}
-		if err := dcrypto.VerifyMAC(mac, d[:], req.MAC); err != nil {
+		if err := mac.Verify(d[:], req.MAC); err != nil {
 			return fmt.Errorf("%w: session principal %s", ErrBadMAC, req.Principal)
 		}
 	} else {

@@ -183,12 +183,75 @@ func (c *Client) readLoop() {
 	}
 }
 
+// PendingCall is one request in flight: the handle CallAsync returns. The
+// reply arrives through Wait, which also releases the call's in-flight
+// window slot — every PendingCall must be waited on eventually (batched-ack
+// pipelining waits after the sends), or the window leaks a slot.
+type PendingCall struct {
+	c  *Client
+	id uint64
+	ch chan callResult
+
+	mu       sync.Mutex
+	settled  bool
+	res      callResult
+	released bool
+}
+
+// release frees the call's in-flight window slot, exactly once.
+func (p *PendingCall) release() {
+	if !p.released {
+		p.released = true
+		<-p.c.window
+	}
+}
+
+// Wait blocks until the reply arrives (or ctx ends) and returns it. A
+// context abandonment settles the call with ctx.Err(): the reader drops the
+// reply when it arrives. After the first settlement, Wait returns the same
+// result to every caller.
+func (p *PendingCall) Wait(ctx context.Context) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.settled {
+		return p.res.b, p.res.err
+	}
+	select {
+	case r := <-p.ch:
+		p.res = r
+	case <-ctx.Done():
+		// Abandon the call: the reader drops the reply when it arrives.
+		p.c.pmu.Lock()
+		delete(p.c.pending, p.id)
+		p.c.pmu.Unlock()
+		p.res = callResult{err: ctx.Err()}
+	}
+	p.settled = true
+	p.release()
+	return p.res.b, p.res.err
+}
+
 // Call sends one request frame and waits for its reply. payload is only
 // read before Call returns; the reply is the caller's to keep. Server-side
 // rejections come back as *WireError carrying the gateway's error text.
 func (c *Client) Call(ctx context.Context, topic string, payload []byte) ([]byte, error) {
+	p, err := c.CallAsync(ctx, topic, payload)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait(ctx)
+}
+
+// CallAsync sends one request frame and returns without waiting for the
+// reply — the pipelining half of Call. The caller collects the reply with
+// Wait; sending a batch of CallAsyncs and then waiting turns N round trips
+// into one flight of frames and one flight of acks. payload is only read
+// before CallAsync returns. An error here means the frame never left
+// (backpressure shed or a dead connection) and no PendingCall exists.
+func (c *Client) CallAsync(ctx context.Context, topic string, payload []byte) (*PendingCall, error) {
 	// Acquire an in-flight slot: the bounded window that keeps one client
-	// from queueing unboundedly into a slow server.
+	// from queueing unboundedly into a slow server. The slot belongs to the
+	// PendingCall until Wait settles it.
 	if c.shed {
 		select {
 		case c.window <- struct{}{}:
@@ -204,7 +267,6 @@ func (c *Client) Call(ctx context.Context, topic string, payload []byte) ([]byte
 			return nil, c.err()
 		}
 	}
-	defer func() { <-c.window }()
 
 	id := c.nextID.Add(1)
 	ch := make(chan callResult, 1)
@@ -225,20 +287,11 @@ func (c *Client) Call(ctx context.Context, topic string, payload []byte) ([]byte
 		c.pmu.Lock()
 		delete(c.pending, id)
 		c.pmu.Unlock()
+		<-c.window
 		c.fail(fmt.Errorf("netedge: write: %w", werr))
 		return nil, c.err()
 	}
-
-	select {
-	case r := <-ch:
-		return r.b, r.err
-	case <-ctx.Done():
-		// Abandon the call: the reader drops the reply when it arrives.
-		c.pmu.Lock()
-		delete(c.pending, id)
-		c.pmu.Unlock()
-		return nil, ctx.Err()
-	}
+	return &PendingCall{c: c, id: id, ch: ch}, nil
 }
 
 // OpenSession performs the signed session handshake over this connection,
@@ -288,6 +341,48 @@ func (c *Client) SubmitRaw(ctx context.Context, wire []byte) (string, error) {
 		return "", err
 	}
 	return string(reply), nil
+}
+
+// PendingSubmit is one submission in flight; Wait returns the gateway's
+// submission ID. Like PendingCall, it must be waited on eventually.
+type PendingSubmit struct {
+	p *PendingCall
+}
+
+// Wait blocks until the submission's ack arrives and returns the gateway's
+// submission ID.
+func (s *PendingSubmit) Wait(ctx context.Context) (string, error) {
+	reply, err := s.p.Wait(ctx)
+	if err != nil {
+		return "", err
+	}
+	return string(reply), nil
+}
+
+// SubmitAsync encodes and sends req without waiting for the ack — the
+// client half of batched submission pipelining. Fire a batch of
+// SubmitAsyncs (e.g. one gateway-side group), then Wait on each
+// PendingSubmit to collect the acks in one flight.
+func (c *Client) SubmitAsync(ctx context.Context, req *middleware.Request, codec string) (*PendingSubmit, error) {
+	b, err := middleware.EncodeWireRequest(req, codec)
+	if err != nil {
+		return nil, fmt.Errorf("netedge: encode request: %w", err)
+	}
+	p, err := c.CallAsync(ctx, middleware.TopicSubmit, b)
+	if err != nil {
+		return nil, err
+	}
+	return &PendingSubmit{p: p}, nil
+}
+
+// SubmitRawAsync sends pre-encoded wire bytes without waiting for the ack —
+// SubmitAsync for the loadgen path's reused frame templates.
+func (c *Client) SubmitRawAsync(ctx context.Context, wire []byte) (*PendingSubmit, error) {
+	p, err := c.CallAsync(ctx, middleware.TopicSubmit, wire)
+	if err != nil {
+		return nil, err
+	}
+	return &PendingSubmit{p: p}, nil
 }
 
 // CloseSession ends a session opened over this connection.

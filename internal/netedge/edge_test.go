@@ -653,3 +653,122 @@ func TestEdgeServerCloseFailsPending(t *testing.T) {
 	}
 	close(block)
 }
+
+// TestEdgePipelinedSubmitAsync proves the batched-ack path: a whole flight
+// of SubmitRawAsync frames goes out before any ack is read, then every
+// PendingSubmit resolves with a distinct submission ID and every submission
+// lands on the ledger exactly once.
+func TestEdgePipelinedSubmitAsync(t *testing.T) {
+	e := newEdgeEnv(t)
+	var mu sync.Mutex
+	seen := map[string]int{}
+	e.ord.Subscribe("deals", func(b ledger.Block) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, tx := range b.Txs {
+			seen[tx.Meta["seq"]]++
+		}
+		return nil
+	})
+	c := e.dialEdge(t)
+	ctx := context.Background()
+	p := bootstrap(t, c, "alice")
+
+	const n = 32
+	pendings := make([]*PendingSubmit, n)
+	for i := range pendings {
+		seq := fmt.Sprintf("pipelined-%02d", i)
+		ps, err := c.SubmitRawAsync(ctx, p.submission(t, []byte(seq), map[string]string{"seq": seq}))
+		if err != nil {
+			t.Fatalf("submit async %d: %v", i, err)
+		}
+		pendings[i] = ps
+	}
+	ids := make(map[string]bool, n)
+	for i, ps := range pendings {
+		id, err := ps.Wait(ctx)
+		if err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		if id == "" || ids[id] {
+			t.Fatalf("wait %d: submission id %q empty or duplicated", i, id)
+		}
+		ids[id] = true
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		seq := fmt.Sprintf("pipelined-%02d", i)
+		if seen[seq] != 1 {
+			t.Fatalf("submission %s delivered %d times, want exactly 1", seq, seen[seq])
+		}
+	}
+}
+
+// TestEdgeCallAsyncWindowAccounting proves the PendingCall owns its window
+// slot: unwaited calls hold slots (shedding when the window fills), Wait
+// releases exactly one each, and double-Wait neither double-releases nor
+// changes the settled result.
+func TestEdgeCallAsyncWindowAccounting(t *testing.T) {
+	release := make(chan struct{})
+	h := HandlerFunc(func(ctx context.Context, topic string, payload []byte, transportID string) ([]byte, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return payload, nil
+	})
+	srv, err := Listen("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr().String(), WithInFlight(2), WithClientShedding())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	p1, err := c.CallAsync(ctx, "t", []byte("one"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.CallAsync(ctx, "t", []byte("two"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window full: both slots are held by unwaited pending calls.
+	if _, err := c.CallAsync(ctx, "t", []byte("three")); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("third async call: got %v, want ErrBackpressure", err)
+	}
+	close(release)
+	for i, p := range []*PendingCall{p1, p2} {
+		b, err := p.Wait(ctx)
+		if err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		// Wait again: settled result, no second slot release.
+		b2, err2 := p.Wait(ctx)
+		if err2 != nil || string(b2) != string(b) {
+			t.Fatalf("re-wait %d: got %q/%v, want %q/nil", i, b2, err2, b)
+		}
+	}
+	// Both slots are free again — if Wait over-released, this would still
+	// pass, so prove exact accounting: two more asyncs fit, a third sheds.
+	q1, err := c.CallAsync(ctx, "t", []byte("four"))
+	if err != nil {
+		t.Fatalf("post-wait call 1: %v", err)
+	}
+	q2, err := c.CallAsync(ctx, "t", []byte("five"))
+	if err != nil {
+		t.Fatalf("post-wait call 2: %v", err)
+	}
+	if _, err := c.CallAsync(ctx, "t", []byte("six")); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("post-wait third call: got %v, want ErrBackpressure", err)
+	}
+	for _, q := range []*PendingCall{q1, q2} {
+		if _, err := q.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

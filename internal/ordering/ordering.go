@@ -151,6 +151,12 @@ func (s *Service) Submit(tx ledger.Transaction) error {
 	if err := tx.Validate(); err != nil {
 		return fmt.Errorf("ordering submit: %w", err)
 	}
+	// The digest is needed twice from here — the observation ID below and
+	// the block data hash at cut time. Prime it once; a group envelope's
+	// payload is batch-size times a single submission's, so re-hashing it
+	// per use would put the canonical serialization back on the amortized
+	// fast path.
+	tx.PrimeDigest()
 	s.observe(tx)
 	if s.seqCost > 0 {
 		// One sequencer per node: submissions pass through it one at a
