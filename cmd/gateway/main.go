@@ -56,6 +56,7 @@ func main() {
 	timingSample := flag.Int("timingsample", 0, "run full per-stage timing for one submission in N, counters stay exact (0 = time every submission)")
 	seed := flag.Int64("seed", 42, "workload generator seed")
 	shards := flag.Int("shards", 2, "ordering shards behind the gateway")
+	replicas := flag.Int("replicas", 0, "ordering operators per shard: 0 runs solo shards, >= 3 runs replicated clusters with automatic leader failover")
 	channels := flag.Int("channels", 2, "channels to spread trades across")
 	revokeCheck := flag.String("revokecheck", "resolve", "session revocation check mode: off, resolve, or sweep")
 	reqauth := flag.String("reqauth", "mac", "steady-state session request auth: sig (per-request ECDSA) or mac (per-session HMAC)")
@@ -72,7 +73,8 @@ func main() {
 	if *listen != "" {
 		if err := runServe(serveOpts{
 			listen: *listen, codec: *codec, reqauth: *reqauth, revokeCheck: *revokeCheck,
-			telemetryAddr: *telemetryAddr, trace: *trace, shards: *shards, channels: *channels,
+			telemetryAddr: *telemetryAddr, trace: *trace, shards: *shards, replicas: *replicas,
+			channels:    *channels,
 			acceptLoops: *acceptLoops, maxPerPrincipal: *maxPerPrincipal, shed: *shed,
 			statsEvery: *statsEvery,
 		}); err != nil {
@@ -81,7 +83,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*trades, *batch, *seed, *shards, *channels, *revokeCheck, *reqauth, *codec, *telemetryAddr, *trace, *stages, *groupSeal, *auditAsync, *timingSample); err != nil {
+	if err := run(*trades, *batch, *seed, *shards, *replicas, *channels, *revokeCheck, *reqauth, *codec, *telemetryAddr, *trace, *stages, *groupSeal, *auditAsync, *timingSample); err != nil {
 		fmt.Fprintln(os.Stderr, "gateway:", err)
 		if errors.Is(err, middleware.ErrBadConfig) {
 			fmt.Fprintf(os.Stderr, "registered stages:\n%s", middleware.StageUsage())
@@ -90,7 +92,7 @@ func main() {
 	}
 }
 
-func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck, reqauth, codec, telemetryAddr string, trace int, stagesOverride string, groupSeal bool, auditAsync, timingSample int) error {
+func run(nTrades, batchSize int, seed int64, nShards, replicas, nChannels int, revokeCheck, reqauth, codec, telemetryAddr string, trace int, stagesOverride string, groupSeal bool, auditAsync, timingSample int) error {
 	if nShards < 1 || nChannels < 1 {
 		return fmt.Errorf("need at least 1 shard and 1 channel, got %d/%d", nShards, nChannels)
 	}
@@ -126,14 +128,14 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 	}
 
 	// Sharded ordering tier: each shard is its own envelope-visibility
-	// service with its own operator — the operator set whose leakage the
-	// audit log accounts for. Channels spread over shards by consistent
-	// hashing; the pin below overrides it for the first channel.
+	// service — solo under -replicas 0, a replicated cluster with automatic
+	// leader failover under -replicas >= 3 — whose operators are the set the
+	// audit log accounts leakage for. Channels spread over shards by
+	// consistent hashing; the pin below overrides it for the first channel.
 	log := audit.NewLog()
-	shardBackends := make([]ordering.Backend, nShards)
-	for i := range shardBackends {
-		shardBackends[i] = ordering.New(fmt.Sprintf("orderer-op-%d", i),
-			ordering.VisibilityEnvelope, ordering.WithAuditLog(log))
+	shardBackends, err := buildShards(nShards, replicas, log)
+	if err != nil {
+		return err
 	}
 	orderer, err := ordering.NewSharded(shardBackends)
 	if err != nil {
@@ -329,9 +331,10 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 	for _, bs := range stats.Backends {
 		fmt.Fprintf(w, "%s\t%d\t%d\t%d\n", bs.Name, bs.Blocks, bs.Txs, bs.Errors)
 	}
-	fmt.Fprintln(w, "\nSHARD\tOPERATORS\tROUTED\tDELIVERED\tPINNED")
+	fmt.Fprintln(w, "\nSHARD\tOPERATORS\tROUTED\tDELIVERED\tPINNED\tFAILOVERS\tMIGRATED")
 	for _, sh := range stats.Shards {
-		fmt.Fprintf(w, "%d\t%v\t%d\t%d\t%d\n", sh.Shard, sh.Operators, sh.RoutedTxs, sh.DeliveredBlocks, sh.PinnedChannels)
+		fmt.Fprintf(w, "%d\t%v\t%d\t%d\t%d\t%d\t%d\n", sh.Shard, sh.Operators, sh.RoutedTxs, sh.DeliveredBlocks,
+			sh.PinnedChannels, sh.Failovers, sh.MigratedIn)
 	}
 	w.Flush()
 	if stats.Sessions != nil {
@@ -347,11 +350,18 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 		return err
 	}
 
+	// Fault tolerance, live: kill the leader of the first channel's shard
+	// and migrate the channel to another shard, with client traffic riding
+	// through both.
+	if replicas >= 3 {
+		if err := demoFailover(gw, orderer, bus, channels, members, grants, authenticate, nShards); err != nil {
+			return err
+		}
+	}
+
 	fmt.Println("\nleakage (who saw transaction data?):")
 	ops := []string{"gateway-op"}
-	for i := 0; i < nShards; i++ {
-		ops = append(ops, fmt.Sprintf("orderer-op-%d", i))
-	}
+	ops = append(ops, shardOperatorNames(nShards, replicas)...)
 	ops = append(ops, members[0])
 	for _, op := range ops {
 		saw := log.SawAny(op, audit.ClassTxData)
@@ -451,6 +461,64 @@ func run(nTrades, batchSize int, seed int64, nShards, nChannels int, revokeCheck
 	return nil
 }
 
+// demoFailover exercises the replicated shard fabric with live client
+// traffic: it kills the leader of the first channel's shard (the next
+// submission rides the automatic election), then migrates the channel to
+// another shard over the shard.rebalance admin topic and submits again.
+func demoFailover(gw *middleware.Gateway, orderer *ordering.ShardedBackend, bus *transport.Network,
+	channels, members []string, grants map[string]middleware.SessionGrant,
+	authenticate func(*middleware.Request) error, nShards int) error {
+	ch := channels[0]
+	shardIdx := orderer.ShardFor(ch)
+	shard, err := orderer.Shard(shardIdx)
+	if err != nil {
+		return err
+	}
+	rs, ok := shard.(*ordering.ReplicatedShard)
+	if !ok {
+		return fmt.Errorf("shard %d is %T, want a replicated shard", shardIdx, shard)
+	}
+	submit := func(payload string) error {
+		req := &middleware.Request{
+			Channel:      ch,
+			Principal:    members[0],
+			Payload:      []byte(payload),
+			SessionToken: grants[members[0]].Token,
+		}
+		if err := authenticate(req); err != nil {
+			return err
+		}
+		if _, err := middleware.SubmitOver(bus, members[0], "gateway", req); err != nil {
+			return err
+		}
+		return gw.Flush(context.Background())
+	}
+	dead, err := rs.CrashLeader(ch)
+	if err != nil {
+		return err
+	}
+	if err := submit("submitted into the failover window"); err != nil {
+		return fmt.Errorf("submit across leader kill: %w", err)
+	}
+	fmt.Printf("\nkilled shard %d leader %s mid-run: the next submission rode the automatic election (shard failovers: %d)\n",
+		shardIdx, dead, rs.Failovers())
+	if nShards < 2 {
+		return nil
+	}
+	target := (shardIdx + 1) % nShards
+	notice, err := middleware.RebalanceOver(bus, "admin", "gateway",
+		middleware.RebalanceRequest{Channel: ch, To: target})
+	if err != nil {
+		return fmt.Errorf("migrate %s to shard %d: %w", ch, target, err)
+	}
+	if err := submit("submitted after migration"); err != nil {
+		return fmt.Errorf("submit after migration: %w", err)
+	}
+	fmt.Printf("migrated %s to shard %d over %s (%d move); the chain continued there without a gap\n",
+		ch, orderer.ShardFor(ch), middleware.TopicShardRebalance, len(notice.Migrations))
+	return nil
+}
+
 // fetchStatusz reads the gateway stats snapshot back through the telemetry
 // listener — the demo consumes its own observability surface instead of
 // reaching into the Gateway.
@@ -540,6 +608,50 @@ func printScrape(base string, trace int) error {
 		}
 	}
 	return nil
+}
+
+// buildShards constructs the ordering tier: solo envelope-visibility
+// services when replicas is 0, or 3+-operator replicated clusters with
+// automatic leader failover. Shard i's operators are "orderer-op-<i>"
+// (solo) or "orderer-op-<i>-<r>" (replicated).
+func buildShards(nShards, replicas int, log *audit.Log) ([]ordering.Backend, error) {
+	if replicas != 0 && replicas < 3 {
+		return nil, fmt.Errorf("-replicas must be 0 (solo shards) or >= 3 (a replicated cluster needs a majority quorum), got %d", replicas)
+	}
+	shards := make([]ordering.Backend, nShards)
+	for i := range shards {
+		if replicas == 0 {
+			shards[i] = ordering.New(fmt.Sprintf("orderer-op-%d", i),
+				ordering.VisibilityEnvelope, ordering.WithAuditLog(log))
+			continue
+		}
+		ops := make([]string, replicas)
+		for r := range ops {
+			ops[r] = fmt.Sprintf("orderer-op-%d-%d", i, r)
+		}
+		rs, err := ordering.NewReplicatedShard(ops, ordering.VisibilityEnvelope, ordering.WithShardAudit(log))
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = rs
+	}
+	return shards, nil
+}
+
+// shardOperatorNames lists every ordering operator the topology runs, for
+// the leakage matrix.
+func shardOperatorNames(nShards, replicas int) []string {
+	var ops []string
+	for i := 0; i < nShards; i++ {
+		if replicas == 0 {
+			ops = append(ops, fmt.Sprintf("orderer-op-%d", i))
+			continue
+		}
+		for r := 0; r < replicas; r++ {
+			ops = append(ops, fmt.Sprintf("orderer-op-%d-%d", i, r))
+		}
+	}
+	return ops
 }
 
 // standUpPlatforms boots the three platform models — with a Fabric channel

@@ -30,6 +30,7 @@ type serveOpts struct {
 	telemetryAddr   string
 	trace           int
 	shards          int
+	replicas        int
 	channels        int
 	acceptLoops     int
 	maxPerPrincipal int
@@ -63,14 +64,30 @@ func runServe(o serveOpts) error {
 	dir := middleware.NewSyncDirectory()
 
 	log := audit.NewLog()
-	shardBackends := make([]ordering.Backend, o.shards)
-	for i := range shardBackends {
-		shardBackends[i] = ordering.New(fmt.Sprintf("orderer-op-%d", i),
-			ordering.VisibilityEnvelope, ordering.WithAuditLog(log))
+	shardBackends, err := buildShards(o.shards, o.replicas, log)
+	if err != nil {
+		return err
 	}
 	orderer, err := ordering.NewSharded(shardBackends)
 	if err != nil {
 		return err
+	}
+	// Replicated shards get a health probe on the stats tick: leaderless
+	// clusters (a leader died with no submit traffic to trip failover)
+	// recover on the probe interval instead of on the next submission.
+	var probe func() int
+	if o.replicas >= 3 {
+		replicated := make([]*ordering.ReplicatedShard, len(shardBackends))
+		for i, b := range shardBackends {
+			replicated[i] = b.(*ordering.ReplicatedShard)
+		}
+		probe = func() int {
+			n := 0
+			for _, rs := range replicated {
+				n += rs.ProbeHealth()
+			}
+			return n
+		}
 	}
 	var ordered atomic.Uint64
 	for _, ch := range channels {
@@ -150,8 +167,8 @@ func runServe(o serveOpts) error {
 	go func() { _ = hsrv.Serve(tln) }()
 	defer hsrv.Close()
 
-	fmt.Printf("edge: listening on %s (codec=%s reqauth=%s revokecheck=%s shards=%d channels=%d acceptloops=%d shed=%v)\n",
-		edge.Addr(), o.codec, o.reqauth, o.revokeCheck, o.shards, o.channels, o.acceptLoops, o.shed)
+	fmt.Printf("edge: listening on %s (codec=%s reqauth=%s revokecheck=%s shards=%d replicas=%d channels=%d acceptloops=%d shed=%v)\n",
+		edge.Addr(), o.codec, o.reqauth, o.revokeCheck, o.shards, o.replicas, o.channels, o.acceptLoops, o.shed)
 	fmt.Printf("telemetry: http://%s/metrics /statusz /tracez /debug/pprof\n", tln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -161,6 +178,11 @@ func runServe(o serveOpts) error {
 	for {
 		select {
 		case <-ticker.C:
+			if probe != nil {
+				if n := probe(); n > 0 {
+					fmt.Printf("edge: health probe recovered %d leaderless shard cluster(s)\n", n)
+				}
+			}
 			st := edge.Stats()
 			fmt.Printf("edge: conns=%d (accepted %d) requests=%d ordered=%d sessions=%d frame_errs=%d sheds=%d in=%dMB out=%dMB\n",
 				st.Live, st.Accepted, st.Requests, ordered.Load(), gw.Sessions().Len(),

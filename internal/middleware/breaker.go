@@ -2,10 +2,21 @@ package middleware
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
+
+	"dltprivacy/internal/ordering"
 )
+
+// isFailoverWindow reports whether an error marks a backend that is
+// electing a new sequencing leader rather than one that is down. Such
+// errors are transient by construction (the retry stage classifies them
+// retryable) and a closed circuit does not count them as failures.
+func isFailoverWindow(err error) bool {
+	return errors.Is(err, ordering.ErrNoLeader)
+}
 
 // Breaker is a per-backend circuit breaker: after threshold consecutive
 // downstream failures for a backend, it fails fast with ErrCircuitOpen
@@ -93,6 +104,14 @@ func (b *Breaker) Handle(ctx context.Context, req *Request, next Handler) error 
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if err != nil {
+		if c.state == stateClosed && isFailoverWindow(err) {
+			// A shard between leaders is healing, not down: its election
+			// resolves within one retry backoff, so these errors must not
+			// accumulate toward permanently tripping a healthy backend's
+			// circuit. Quorum loss (ordering.ErrNoQuorum) is NOT exempt —
+			// that shard genuinely cannot serve and should fail fast.
+			return err
+		}
 		c.failures++
 		if c.state == stateOpen {
 			// Already open (tripped by concurrent requests); a stale

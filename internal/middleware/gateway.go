@@ -34,7 +34,37 @@ const (
 	// so it needs no authentication. The reply is a marshalled
 	// RevocationNotice.
 	TopicRevocationNotify = "revocation.notify"
+	// TopicShardRebalance is the admin topic driving online channel
+	// migration on a sharded ordering backend. The payload is an optional
+	// marshalled RebalanceRequest: with Channel set, that channel migrates
+	// to the requested shard; without one, the gateway runs a skew-driven
+	// rebalancing pass over the per-shard load counters. The reply is a
+	// marshalled RebalanceNotice listing the moves.
+	TopicShardRebalance = "shard.rebalance"
 )
+
+// DefaultRebalanceSkew is the load-skew factor a shard.rebalance request
+// without an explicit skew uses: shards loaded beyond this multiple of the
+// mean shed channels.
+const DefaultRebalanceSkew = 2.0
+
+// RebalanceRequest asks a gateway to migrate ordering channels. Either a
+// manual move (Channel + To) or an automatic pass (Skew, 0 meaning
+// DefaultRebalanceSkew).
+type RebalanceRequest struct {
+	// Channel, when set, migrates that one channel to shard To.
+	Channel string `json:"channel,omitempty"`
+	// To is the target shard index for a manual move.
+	To int `json:"to,omitempty"`
+	// Skew is the load-skew factor for an automatic pass (> 1).
+	Skew float64 `json:"skew,omitempty"`
+}
+
+// RebalanceNotice is the reply to a shard.rebalance request: the
+// migrations performed (empty when the topology was already balanced).
+type RebalanceNotice struct {
+	Migrations []ordering.Migration `json:"migrations"`
+}
 
 // RevocationNotice is the reply to a revocation.notify request: what the
 // triggered sync did.
@@ -498,6 +528,12 @@ func (g *Gateway) Bound(channel string) []Backend {
 	return append([]Backend(nil), g.backends[channel]...)
 }
 
+// Sharded exposes the sharded ordering backend this gateway fronts, nil
+// for unsharded deployments. Admin surfaces (the shard.rebalance topic,
+// operational tooling, the chaos harness) use it to migrate channels and
+// read per-shard counters.
+func (g *Gateway) Sharded() *ordering.ShardedBackend { return g.sharded }
+
 // Stats snapshots gateway, per-stage, and per-backend counters.
 func (g *Gateway) Stats() GatewayStats {
 	stats := GatewayStats{
@@ -795,6 +831,41 @@ func (g *Gateway) ServeWire(ctx context.Context, topic string, payload []byte, t
 			return nil, fmt.Errorf("gateway %s: encode revocation notice: %w", g.name, err)
 		}
 		return b, nil
+	case TopicShardRebalance:
+		if g.sharded == nil {
+			return nil, fmt.Errorf("gateway %s: ordering backend is not sharded", g.name)
+		}
+		var req RebalanceRequest
+		if len(payload) > 0 {
+			if err := json.Unmarshal(payload, &req); err != nil {
+				return nil, fmt.Errorf("gateway %s: decode rebalance request: %w", g.name, err)
+			}
+		}
+		var moves []ordering.Migration
+		if req.Channel != "" {
+			from := g.sharded.ShardFor(req.Channel)
+			if err := g.sharded.Migrate(req.Channel, req.To); err != nil {
+				return nil, fmt.Errorf("gateway %s: %w", g.name, err)
+			}
+			if from != req.To {
+				moves = []ordering.Migration{{Channel: req.Channel, From: from, To: req.To}}
+			}
+		} else {
+			skew := req.Skew
+			if skew == 0 {
+				skew = DefaultRebalanceSkew
+			}
+			var err error
+			moves, err = g.sharded.Rebalance(skew)
+			if err != nil {
+				return nil, fmt.Errorf("gateway %s: %w", g.name, err)
+			}
+		}
+		b, err := json.Marshal(RebalanceNotice{Migrations: moves})
+		if err != nil {
+			return nil, fmt.Errorf("gateway %s: encode rebalance notice: %w", g.name, err)
+		}
+		return b, nil
 	default:
 		return nil, fmt.Errorf("gateway %s: unknown topic %q", g.name, topic)
 	}
@@ -887,6 +958,25 @@ func NotifyRevocationOver(net *transport.Network, from, endpoint string) (Revoca
 	var notice RevocationNotice
 	if err := json.Unmarshal(reply, &notice); err != nil {
 		return RevocationNotice{}, fmt.Errorf("middleware: decode revocation notice: %w", err)
+	}
+	return notice, nil
+}
+
+// RebalanceOver drives shard.rebalance at a gateway endpoint over the
+// network substrate: a manual channel migration when req.Channel is set,
+// or a skew-driven pass otherwise. Returns the moves the gateway made.
+func RebalanceOver(net *transport.Network, from, endpoint string, req RebalanceRequest) (RebalanceNotice, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return RebalanceNotice{}, fmt.Errorf("middleware: encode rebalance request: %w", err)
+	}
+	reply, err := net.Send(transport.Message{From: from, To: endpoint, Topic: TopicShardRebalance, Payload: b})
+	if err != nil {
+		return RebalanceNotice{}, err
+	}
+	var notice RebalanceNotice
+	if err := json.Unmarshal(reply, &notice); err != nil {
+		return RebalanceNotice{}, fmt.Errorf("middleware: decode rebalance notice: %w", err)
 	}
 	return notice, nil
 }

@@ -11,6 +11,7 @@ import (
 
 	"dltprivacy/internal/dcrypto"
 	"dltprivacy/internal/ledger"
+	"dltprivacy/internal/ordering"
 	"dltprivacy/internal/pki"
 	"dltprivacy/internal/telemetry"
 	"dltprivacy/internal/transport"
@@ -511,9 +512,14 @@ func (c *Chain) stage(name string) Stage {
 }
 
 // IsTransient reports whether an error is worth retrying: transport
-// partitions (which heal) and anything explicitly marked with
-// ErrTransient. Permanent protocol errors (authentication, validation,
-// open breakers) are not.
+// partitions (which heal), a sequencing shard between leaders (an election
+// resolves it — usually within one retry backoff), and anything explicitly
+// marked with ErrTransient. Permanent protocol errors (authentication,
+// validation, open breakers) are not; neither is ordering.ErrNoQuorum — a
+// shard that lost its replication quorum needs operator action, not
+// retries.
 func IsTransient(err error) bool {
-	return errors.Is(err, ErrTransient) || errors.Is(err, transport.ErrPartitioned)
+	return errors.Is(err, ErrTransient) ||
+		errors.Is(err, transport.ErrPartitioned) ||
+		errors.Is(err, ordering.ErrNoLeader)
 }

@@ -30,6 +30,14 @@ var (
 	ErrNoQuorum = errors.New("ordering: replication quorum unavailable")
 	// ErrClusterSize is returned for clusters smaller than 3 nodes.
 	ErrClusterSize = errors.New("ordering: cluster needs at least 3 nodes")
+	// ErrQueuedAwaitingLeader marks a submission that was accepted into the
+	// pending queue but could not be sequenced because leadership (or the
+	// replication quorum) fell over between enqueue and flush. The
+	// transaction stays queued: the next successful Flush — typically the
+	// failover replay — sequences it, so resubmitting it would order it
+	// twice. The underlying ErrNoLeader/ErrNoQuorum stays matchable through
+	// errors.Is.
+	ErrQueuedAwaitingLeader = errors.New("ordering: transaction queued awaiting a sequencing leader")
 )
 
 // logEntry is one replicated ordering decision.
@@ -68,6 +76,13 @@ type Cluster struct {
 	pending  []ledger.Transaction
 	batch    int
 	subs     []DeliverFunc
+	// base/baseHash anchor the chain when the cluster adopted state from
+	// another shard (channel migration): the replicated log starts empty
+	// here, so elections re-derive height as base + committed entries and
+	// fall back to baseHash when the log holds nothing yet. Zero for
+	// clusters that started the chain themselves.
+	base     uint64
+	baseHash [32]byte
 
 	// deliver serializes replication + delivery so subscribers receive
 	// blocks in height order under concurrent submitters (see
@@ -234,11 +249,11 @@ func (c *Cluster) Elect() (string, error) {
 	// Re-derive chain state from the leader's committed log, so ordering
 	// resumes exactly where the quorum left off.
 	leader.mu.Lock()
-	c.height = uint64(leader.committed)
+	c.height = c.base + uint64(leader.committed)
 	if leader.committed > 0 {
 		c.lastHash = leader.log[leader.committed-1].block.Hash()
 	} else {
-		c.lastHash = [32]byte{}
+		c.lastHash = c.baseHash
 	}
 	leader.mu.Unlock()
 	return leader.operator, nil
@@ -271,9 +286,72 @@ func (c *Cluster) Submit(tx ledger.Transaction) error {
 	ready := len(c.pending) >= c.batch
 	c.mu.Unlock()
 	if ready {
-		return c.Flush()
+		if err := c.Flush(); err != nil && (errors.Is(err, ErrNoLeader) || errors.Is(err, ErrNoQuorum)) {
+			// The transaction is appended but unsequenced; mark it so a
+			// failover driver knows to replay the queue instead of
+			// resubmitting (which would order it twice).
+			return fmt.Errorf("%w: %w", ErrQueuedAwaitingLeader, err)
+		} else if err != nil {
+			return err
+		}
 	}
 	return nil
+}
+
+// cancelPending removes one queued instance of tx (matched by transaction
+// ID) from the pending queue, reporting whether it was still there. A
+// failover driver calls this when its election failed: the submission is
+// withdrawn so the error it returns means "not ordered" — unless a racing
+// failover already flushed the queue, in which case the transaction was
+// sequenced after all.
+func (c *Cluster) cancelPending(tx ledger.Transaction) bool {
+	id := tx.ID()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.pending {
+		if c.pending[i].ID() == id {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Pending returns the number of queued-but-unsequenced transactions.
+func (c *Cluster) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// exportState snapshots the cluster's chain state for migration: committed
+// height, head hash, and the queued transactions that have not been
+// sequenced yet. Taking the delivery lock first drains any in-flight flush
+// so the snapshot is a consistent cut.
+func (c *Cluster) exportState() ChannelState {
+	c.deliver.Lock()
+	defer c.deliver.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ChannelState{
+		Height:   c.height,
+		LastHash: c.lastHash,
+		Pending:  append([]ledger.Transaction(nil), c.pending...),
+	}
+}
+
+// adoptState seeds a freshly constructed cluster with chain state imported
+// from another shard. Block numbering and hash chaining continue from the
+// imported height — including across later elections, which re-derive
+// height as base + committed log entries.
+func (c *Cluster) adoptState(st ChannelState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.base = st.Height
+	c.baseHash = st.LastHash
+	c.height = st.Height
+	c.lastHash = st.LastHash
+	c.pending = append([]ledger.Transaction(nil), st.Pending...)
 }
 
 func (c *Cluster) observeLocked(tx ledger.Transaction) {

@@ -40,8 +40,9 @@ type ringPoint struct {
 
 // shardCounters tracks one shard's routing traffic.
 type shardCounters struct {
-	routedTxs atomic.Uint64
-	delivered atomic.Uint64
+	routedTxs  atomic.Uint64
+	delivered  atomic.Uint64
+	migratedIn atomic.Uint64
 }
 
 // ShardStats is a snapshot of one shard's routing counters.
@@ -58,6 +59,41 @@ type ShardStats struct {
 	DeliveredBlocks uint64
 	// PinnedChannels counts channels explicitly pinned to the shard.
 	PinnedChannels int
+	// OwnedChannels counts channels whose traffic currently routes to the
+	// shard — the live residency rebalancing shifts, unlike the pin table.
+	OwnedChannels int
+	// Failovers counts leader elections the shard ran to recover from a
+	// dead leader; 0 for non-replicated shards.
+	Failovers uint64
+	// MigratedIn counts live channels migrated onto the shard.
+	MigratedIn uint64
+}
+
+// channelRoute is a channel's routing record: which shard serves it, its
+// subscriber fan-out, and its load counter. It exists once the channel has
+// carried traffic (the old "owned" fact), and its lock is the migration
+// gate.
+type channelRoute struct {
+	// mu gates routing against migration: Submit and Subscribe hold it
+	// shared around the shard call, Migrate holds it exclusively — so a
+	// migration starts only after in-flight submissions drain, and new ones
+	// wait until the channel has landed on its new shard.
+	mu sync.RWMutex
+	// shard is the serving shard index: written by Migrate under mu,
+	// read atomically by inspection paths that must not touch mu (resolve
+	// runs under the backend lock, which Migrate acquires after mu).
+	shard atomic.Int32
+	// relay records whether the fan-out relay is registered on the serving
+	// shard; Migrate re-registers it on the target. Guarded by mu.
+	relay bool
+	// subs is the subscriber list, read lock-free by the relay: delivery
+	// runs inside Submit, which already holds mu shared — re-acquiring it
+	// there would deadlock against a waiting migration.
+	subs atomic.Pointer[[]DeliverFunc]
+	// routed counts accepted submissions for this channel — the per-channel
+	// load signal skew rebalancing ranks by. It travels with the channel
+	// across migrations, unlike the per-shard counters.
+	routed atomic.Uint64
 }
 
 // ShardedBackend partitions channels across multiple ordering backends so
@@ -77,12 +113,21 @@ type ShardedBackend struct {
 	mu sync.RWMutex
 	// pins maps channel -> shard index, overriding the hash ring.
 	pins map[string]int
-	// owned records the shard each channel was first routed to — on its
-	// first Submit or Subscribe — so a later pin cannot silently fork a
-	// channel with history across shards. Steady-state routing reads it
-	// under the read lock; only a channel's first touch takes the write
-	// lock.
-	owned map[string]int
+	// routes records each channel's routing state from its first Submit or
+	// Subscribe on — the ownership fact a later pin must not fork, plus the
+	// migration gate and fan-out. Steady-state routing reads the map under
+	// the read lock; a channel's first touch takes the write lock, and
+	// moves go through Migrate.
+	routes map[string]*channelRoute
+
+	// migrations counts completed channel migrations across the topology.
+	migrations atomic.Uint64
+}
+
+// shardFailovers is the optional interface replicated shard backends
+// implement to surface their failover counter into ShardStats and metrics.
+type shardFailovers interface {
+	Failovers() uint64
 }
 
 // Compile-time check.
@@ -105,7 +150,7 @@ func NewSharded(shards []Backend) (*ShardedBackend, error) {
 		ring:   make([]ringPoint, 0, len(shards)*vnodesPerShard),
 		stats:  make([]shardCounters, len(shards)),
 		pins:   make(map[string]int),
-		owned:  make(map[string]int),
+		routes: make(map[string]*channelRoute),
 	}
 	for i := range sb.shards {
 		for v := 0; v < vnodesPerShard; v++ {
@@ -161,8 +206,10 @@ func (sb *ShardedBackend) Pin(channel string, shard int) error {
 	}
 	sb.mu.Lock()
 	defer sb.mu.Unlock()
-	if cur, ok := sb.owned[channel]; ok && cur != shard {
-		return fmt.Errorf("%w: %q lives on shard %d, pin wants %d", ErrChannelMoved, channel, cur, shard)
+	if rt, ok := sb.routes[channel]; ok {
+		if cur := int(rt.shard.Load()); cur != shard {
+			return fmt.Errorf("%w: %q lives on shard %d, pin wants %d", ErrChannelMoved, channel, cur, shard)
+		}
 	}
 	// Ownership is only established by traffic (route), so a mistaken pin
 	// can still be corrected freely before the channel's first
@@ -184,13 +231,20 @@ func (sb *ShardedBackend) ShardFor(channel string) int {
 func (sb *ShardedBackend) resolve(channel string) (int, bool) {
 	sb.mu.RLock()
 	defer sb.mu.RUnlock()
-	if i, ok := sb.owned[channel]; ok {
-		return i, true
+	if rt, ok := sb.routes[channel]; ok {
+		return int(rt.shard.Load()), true
 	}
 	if i, ok := sb.pins[channel]; ok {
 		return i, false
 	}
 	return sb.hashShard(channel), false
+}
+
+// route returns the channel's routing record, nil before its first traffic.
+func (sb *ShardedBackend) route(channel string) *channelRoute {
+	sb.mu.RLock()
+	defer sb.mu.RUnlock()
+	return sb.routes[channel]
 }
 
 // hashShard maps a channel onto the ring: the first point at or after the
@@ -205,53 +259,117 @@ func (sb *ShardedBackend) hashShard(channel string) int {
 }
 
 // adopt records channel ownership — the fact a later Pin must not fork —
-// and returns the owner on record (an earlier racer's claim wins, which
+// and returns the route on record (an earlier racer's claim wins, which
 // resolve's determinism makes the same shard in supported usage).
-func (sb *ShardedBackend) adopt(channel string, shard int) int {
+func (sb *ShardedBackend) adopt(channel string, shard int) *channelRoute {
 	sb.mu.Lock()
 	defer sb.mu.Unlock()
-	if cur, ok := sb.owned[channel]; ok {
-		return cur
+	if rt, ok := sb.routes[channel]; ok {
+		return rt
 	}
-	sb.owned[channel] = shard
-	return shard
+	rt := &channelRoute{}
+	rt.shard.Store(int32(shard))
+	sb.routes[channel] = rt
+	return rt
 }
 
 // Submit implements Backend: the transaction is routed to its channel's
-// owning shard. Ownership is recorded only once a submission is accepted,
-// so a channel whose only traffic was rejected can still be pinned.
+// owning shard, holding the route's migration gate shared so a concurrent
+// Migrate waits for it (and it for a migration in progress). Ownership is
+// recorded only once a submission is accepted, so a channel whose only
+// traffic was rejected can still be pinned.
 func (sb *ShardedBackend) Submit(tx ledger.Transaction) error {
-	i, owned := sb.resolve(tx.Channel)
+	rt := sb.route(tx.Channel)
+	if rt == nil {
+		retry, err := sb.submitFirst(tx)
+		if !retry {
+			return err
+		}
+		// A racing Subscribe established the route between the lookup and
+		// the first-traffic path; take the gated route path instead.
+		rt = sb.route(tx.Channel)
+	}
+	rt.mu.RLock()
+	i := int(rt.shard.Load())
+	st := &sb.stats[i]
 	// Count the routing BEFORE the shard submit: a submission that fills a
 	// batch delivers its block synchronously inside Submit, so counting
 	// after would let a stats poll observe the delivery without the routing
 	// that caused it. A rejected submission undoes the increment.
-	sb.stats[i].routedTxs.Add(1)
-	if err := sb.shards[i].Submit(tx); err != nil {
-		sb.stats[i].routedTxs.Add(^uint64(0))
-		return fmt.Errorf("shard %d: %w", i, err)
+	st.routedTxs.Add(1)
+	err := sb.shards[i].Submit(tx)
+	if err != nil {
+		st.routedTxs.Add(^uint64(0))
+	} else {
+		rt.routed.Add(1)
 	}
-	if !owned {
-		sb.adopt(tx.Channel, i)
+	rt.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("shard %d: %w", i, err)
 	}
 	return nil
 }
 
-// Subscribe implements Backend: the subscription fans out to the channel's
-// owning shard, with deliveries counted against it. Subscribing IS channel
-// history — blocks will be cut on this shard — so ownership is recorded
-// immediately.
-func (sb *ShardedBackend) Subscribe(channel string, deliver DeliverFunc) {
-	i, owned := sb.resolve(channel)
-	if !owned {
-		i = sb.adopt(channel, i)
+// submitFirst is the first-traffic Submit path: the channel has no route
+// yet, so the shard comes from the pin table or the ring, and acceptance
+// establishes ownership. A migration cannot interleave — Migrate requires
+// an existing route — but a concurrent Subscribe can create one; that case
+// returns retry=true and the caller re-routes through the migration gate.
+func (sb *ShardedBackend) submitFirst(tx ledger.Transaction) (retry bool, err error) {
+	i, owned := sb.resolve(tx.Channel)
+	if owned {
+		return true, nil
 	}
-	st := &sb.stats[i]
-	sb.shards[i].Subscribe(channel, func(b ledger.Block) error {
-		if err := deliver(b); err != nil {
-			return err
+	sb.stats[i].routedTxs.Add(1)
+	if err := sb.shards[i].Submit(tx); err != nil {
+		sb.stats[i].routedTxs.Add(^uint64(0))
+		return false, fmt.Errorf("shard %d: %w", i, err)
+	}
+	sb.adopt(tx.Channel, i).routed.Add(1)
+	return false, nil
+}
+
+// Subscribe implements Backend: the subscriber joins the channel's fan-out
+// list, and the first subscription attaches the relay — one shard-side
+// consumer per channel residency that delivers to every subscriber
+// registered here, so a migration moves all of them by re-attaching one
+// relay on the target shard. Subscribing IS channel history — blocks will
+// be cut on this shard — so ownership is recorded immediately.
+func (sb *ShardedBackend) Subscribe(channel string, deliver DeliverFunc) {
+	i, _ := sb.resolve(channel)
+	rt := sb.adopt(channel, i)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var subs []DeliverFunc
+	if old := rt.subs.Load(); old != nil {
+		subs = append(subs, *old...)
+	}
+	subs = append(subs, deliver)
+	rt.subs.Store(&subs)
+	if !rt.relay {
+		sb.attachRelay(channel, rt, int(rt.shard.Load()))
+		rt.relay = true
+	}
+}
+
+// attachRelay registers the channel's fan-out relay on its serving shard.
+// Deliveries count against the shard that cut the block, keeping stats
+// attribution correct across migrations; a subscriber error aborts the
+// fan-out, surfacing through the shard's Submit/Flush as before. Caller
+// holds rt.mu.
+func (sb *ShardedBackend) attachRelay(channel string, rt *channelRoute, shard int) {
+	st := &sb.stats[shard]
+	sb.shards[shard].Subscribe(channel, func(b ledger.Block) error {
+		subs := rt.subs.Load()
+		if subs == nil {
+			return nil
 		}
-		st.delivered.Add(1)
+		for _, deliver := range *subs {
+			if err := deliver(b); err != nil {
+				return err
+			}
+			st.delivered.Add(1)
+		}
 		return nil
 	})
 }
@@ -275,9 +393,13 @@ func (sb *ShardedBackend) Operators() []string {
 // Stats snapshots per-shard routing counters, indexed by shard.
 func (sb *ShardedBackend) Stats() []ShardStats {
 	pinned := make([]int, len(sb.shards))
+	owned := make([]int, len(sb.shards))
 	sb.mu.RLock()
 	for _, shard := range sb.pins {
 		pinned[shard]++
+	}
+	for _, rt := range sb.routes {
+		owned[rt.shard.Load()]++
 	}
 	sb.mu.RUnlock()
 	out := make([]ShardStats, len(sb.shards))
@@ -293,10 +415,18 @@ func (sb *ShardedBackend) Stats() []ShardStats {
 			RoutedTxs:       sb.stats[i].routedTxs.Load(),
 			DeliveredBlocks: delivered,
 			PinnedChannels:  pinned[i],
+			OwnedChannels:   owned[i],
+			MigratedIn:      sb.stats[i].migratedIn.Load(),
+		}
+		if f, ok := sb.shards[i].(shardFailovers); ok {
+			out[i].Failovers = f.Failovers()
 		}
 	}
 	return out
 }
+
+// Migrations counts completed channel migrations across the topology.
+func (sb *ShardedBackend) Migrations() uint64 { return sb.migrations.Load() }
 
 // RegisterMetrics registers the per-shard routing counters and pinned-
 // channel gauges into reg under the confmw_shard_* names, labelled by
@@ -313,6 +443,16 @@ func (sb *ShardedBackend) RegisterMetrics(reg *telemetry.Registry) error {
 			"Block deliveries fanned out to the shard's subscribers.", st.delivered.Load, label); err != nil {
 			return err
 		}
+		if err := reg.CounterFunc("confmw_shard_migrations_total",
+			"Live channels migrated onto the shard.", st.migratedIn.Load, label); err != nil {
+			return err
+		}
+		if f, ok := sb.shards[i].(shardFailovers); ok {
+			if err := reg.CounterFunc("confmw_shard_failovers_total",
+				"Leader elections the shard ran to recover from a dead leader.", f.Failovers, label); err != nil {
+				return err
+			}
+		}
 		shard := i
 		if err := reg.GaugeFunc("confmw_shard_pinned_channels",
 			"Channels explicitly pinned to the shard.", func() float64 {
@@ -320,6 +460,20 @@ func (sb *ShardedBackend) RegisterMetrics(reg *telemetry.Registry) error {
 				sb.mu.RLock()
 				for _, s := range sb.pins {
 					if s == shard {
+						n++
+					}
+				}
+				sb.mu.RUnlock()
+				return float64(n)
+			}, label); err != nil {
+			return err
+		}
+		if err := reg.GaugeFunc("confmw_shard_owned_channels",
+			"Channels whose traffic currently routes to the shard.", func() float64 {
+				n := 0
+				sb.mu.RLock()
+				for _, rt := range sb.routes {
+					if int(rt.shard.Load()) == shard {
 						n++
 					}
 				}
